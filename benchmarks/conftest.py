@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one of the paper's artifacts (figure,
+worked example, or an ablation of a design choice).  Wall-clock time is
+measured by pytest-benchmark; the scientifically meaningful quantities —
+virtual makespan, message counts, bytes, idle time — are attached as
+``extra_info`` and printed as a table (run with ``-s`` to see the tables
+inline; EXPERIMENTS.md records the canonical numbers).
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(title: str, header: list[str], rows: list[list]) -> None:
+    """Print one experiment table to stdout."""
+    out = sys.stdout
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(header)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(f"\n== {title}", file=out)
+    print(line, file=out)
+    print("-" * len(line), file=out)
+    for r in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)), file=out)

@@ -1,0 +1,60 @@
+"""E3 — the section-3.1 iown() algorithm.
+
+The paper's walk-through: C[1:4,1:8] distributed (BLOCK, BLOCK) over a 2x2
+grid with 2x1 segments; P3 executes ``iown(C[1,5:7])`` and the intersect-
+and-cover test returns true.  We benchmark that exact query, then sweep
+the segment-descriptor count to show the lookup's linear scaling — the
+paper notes "more efficient algorithms could be developed"; this measures
+the baseline it describes.
+"""
+
+from conftest import emit
+
+from repro import ProcessorGrid, RuntimeSymbolTable, Segmentation, section
+from repro.distributions import Block, Distribution
+
+
+def paper_table() -> RuntimeSymbolTable:
+    st = RuntimeSymbolTable(2)  # the paper's P3
+    dist = Distribution(
+        section((1, 4), (1, 8)), (Block(), Block()), ProcessorGrid((2, 2))
+    )
+    st.declare("C", Segmentation(dist, (2, 1)))
+    return st
+
+
+def test_e3_paper_query_bench(benchmark):
+    st = paper_table()
+    query = section(1, (5, 7))
+    result = benchmark(st.iown, "C", query)
+    assert result is True
+    # The walk-through's intersections: (1,5), (1,6), (1,7), null.
+    inters = [
+        d.segment.intersect(query) for d in st.entry("C").segdescs
+    ]
+    sizes = sorted(i.size for i in inters if i is not None)
+    assert sizes == [1, 1, 1]
+    benchmark.extra_info["segments_examined"] = 4
+
+
+def test_e3_scaling_table(benchmark):
+    rows = []
+    for n, seg in [(64, 16), (64, 4), (64, 1), (1024, 16), (1024, 1)]:
+        st = RuntimeSymbolTable(0)
+        dist = Distribution(section((1, n)), (Block(),), ProcessorGrid((2,)))
+        st.declare("X", Segmentation(dist, (seg,)))
+        nsegs = st.entry("X").segment_count
+        q = section((1, n // 2))
+        import timeit
+
+        t = timeit.timeit(lambda: st.iown("X", q), number=200) / 200
+        rows.append([n, seg, nsegs, f"{t * 1e6:.1f} us"])
+    emit(
+        "E3 / section 3.1 — iown() cost vs segment-descriptor count",
+        ["extent", "segment size", "#descriptors", "mean lookup"],
+        rows,
+    )
+    st = paper_table()
+    benchmark.pedantic(
+        lambda: st.iown("C", section(1, (5, 7))), rounds=5, iterations=100
+    )

@@ -1,0 +1,77 @@
+"""E4 — the section-4 3-D FFT optimization pipeline.
+
+Runs the paper's three program stages (naive / compute-rules-eliminated /
+pipelined) at the paper's size (4^3 on 4 processors) and larger, under the
+default and a communication-heavy machine.  Expected shapes:
+
+* stage 1 < stage 0 in makespan (guard lookups removed — the paper's
+  "much more efficient SPMD program");
+* stage 2 lowers mean processor finish time and early receivers' idle by
+  overlapping the redistribution with computation; the *makespan* stays
+  bound by the transpose's tail message, matching the paper's caveat that
+  improvements "depend largely on the capabilities of the run-time
+  communication library".
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.apps.fft3d import run_fft3d
+from repro.machine import MachineModel
+
+COMM_HEAVY = MachineModel(alpha=2000, per_byte=5.0, o_send=50, o_recv=50)
+
+
+def profile(n, nprocs, model):
+    out = []
+    for stage in (0, 1, 2):
+        r = run_fft3d(n, nprocs, stage, model=model)
+        assert r.correct
+        out.append(r)
+    return out
+
+
+def test_e4_table(benchmark):
+    rows = []
+    for n, nprocs, model, label in [
+        (4, 4, MachineModel(), "default"),
+        (8, 4, MachineModel(), "default"),
+        (16, 4, COMM_HEAVY, "comm-heavy"),
+    ]:
+        for r in profile(n, nprocs, model):
+            mean_finish = np.mean([p.finish_time for p in r.stats.procs])
+            min_idle = min(p.idle_time for p in r.stats.procs)
+            rows.append([
+                f"{n}^3/{nprocs} {label}", r.stage,
+                f"{r.makespan:.0f}", r.messages,
+                f"{mean_finish:.0f}", f"{r.stats.total_idle_time:.0f}",
+                f"{min_idle:.0f}",
+            ])
+    emit(
+        "E4 / section 4 — 3-D FFT optimization stages",
+        ["config", "stage", "makespan", "msgs", "mean finish", "total idle",
+         "min idle"],
+        rows,
+    )
+    # Shapes asserted:
+    s = profile(4, 4, MachineModel())
+    assert s[1].makespan < s[0].makespan  # compute-rule elimination pays
+    h = profile(16, 4, COMM_HEAVY)
+    mean1 = np.mean([p.finish_time for p in h[1].stats.procs])
+    mean2 = np.mean([p.finish_time for p in h[2].stats.procs])
+    assert mean2 < mean1  # pipelining overlaps transfer with compute
+    benchmark.pedantic(
+        lambda: run_fft3d(4, 4, 2, model=MachineModel()), rounds=1, iterations=1
+    )
+
+
+def test_e4_stage0_bench(benchmark):
+    r = benchmark(run_fft3d, 8, 4, 0, model=MachineModel())
+    assert r.correct
+    benchmark.extra_info["virtual_makespan"] = r.makespan
+
+
+def test_e4_stage2_bench(benchmark):
+    r = benchmark(run_fft3d, 8, 4, 2, model=MachineModel())
+    assert r.correct
+    benchmark.extra_info["virtual_makespan"] = r.makespan

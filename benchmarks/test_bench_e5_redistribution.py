@@ -1,0 +1,80 @@
+"""E5 — pipelined segment-granularity ownership transfer (paper section 3.1).
+
+"The use of segments allows the pipelining of a transfer of a section …
+A processor can transfer each segment individually … In many cases, this
+can effectively reduce the total time by allowing a processor to overlap
+one segment's transfer with computation on another segment."
+
+P1 ships its half of a vector to P2 in segments of size ``s``; P2 scales
+each segment as soon as it becomes accessible.  Sweeping ``s`` exposes the
+classic pipelining U-curve: tiny segments drown in per-message overhead,
+one monolithic segment allows no overlap, and the optimum sits between.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro import Interpreter, MachineModel, parse_program
+
+MODEL = MachineModel(o_send=40, o_recv=40, alpha=400, per_byte=2.0)
+
+
+def source(n: int, s: int) -> str:
+    half = n // 2
+    nseg = half // s
+    return f"""array A[1:{n}] dist (BLOCK) seg ({s})
+
+do k = 1, {nseg}
+  mypid == 1 : {{ A[(k-1)*{s}+1:k*{s}] -=> {{2}} }}
+enddo
+do k = 1, {nseg}
+  mypid == 2 : {{ A[(k-1)*{s}+1:k*{s}] <=- }}
+enddo
+do k = 1, {nseg}
+  mypid == 2 : {{
+    await(A[(k-1)*{s}+1:k*{s}]) : {{
+      call scale(A[(k-1)*{s}+1:k*{s}], 2.0)
+    }}
+  }}
+enddo
+"""
+
+
+def run(n: int, s: int):
+    it = Interpreter(parse_program(source(n, s)), 2, model=MODEL)
+    a0 = np.arange(1.0, n + 1)
+    it.write_global("A", a0)
+    stats = it.run()
+    got = it.read_global("A")
+    want = a0.copy()
+    want[: n // 2] *= 2.0
+    assert np.array_equal(got, want)
+    return stats
+
+
+def test_e5_segment_sweep(benchmark):
+    n = 512
+    rows = []
+    results = {}
+    for s in (4, 8, 16, 32, 64, 128, 256):
+        stats = run(n, s)
+        results[s] = stats.makespan
+        rows.append([
+            s, (n // 2) // s, stats.total_messages,
+            f"{stats.makespan:.0f}", f"{stats.total_idle_time:.0f}",
+        ])
+    emit(
+        f"E5 / section 3.1 — pipelined segment transfer (n={n}, P1 -> P2)",
+        ["segment size", "#segments", "messages", "makespan", "idle"],
+        rows,
+    )
+    # U-curve shape: the best interior segment size beats both extremes.
+    best = min(results.values())
+    assert best < results[256]  # monolithic transfer allows no overlap
+    assert best < results[4]    # over-fine segments pay per-message overhead
+    benchmark.pedantic(lambda: run(512, 32), rounds=1, iterations=1)
+
+
+def test_e5_best_segment_bench(benchmark):
+    stats = benchmark.pedantic(lambda: run(512, 32), rounds=3, iterations=1)
+    benchmark.extra_info["model"] = "o=40 alpha=400 per_byte=2"

@@ -1,0 +1,61 @@
+"""E6 — dynamic load balancing through the message pool (paper section 2.7).
+
+Compares the paper's dynamic pool (unspecified-recipient sends claimed by
+idle workers) against a static round-robin schedule over a job-cost skew
+sweep.  Expected shape: near parity for uniform costs (the pool pays a
+little request latency), growing wins as skew increases.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.apps.workqueue import make_job_costs, run_workqueue
+from repro.machine import MachineModel
+
+MODEL = MachineModel()
+NJOBS = 48
+NPROCS = 5
+
+
+def imbalance(result) -> float:
+    compute = [p.compute_time for p in result.stats.procs[1:]]
+    return max(compute) / (sum(compute) / len(compute))
+
+
+def test_e6_skew_sweep(benchmark):
+    rows = []
+    for skew in (1.0, 2.0, 4.0, 8.0):
+        costs = make_job_costs(NJOBS, skew=skew, seed=5)
+        stat = run_workqueue(NJOBS, NPROCS, scheme="static", costs=costs, model=MODEL)
+        dyn = run_workqueue(NJOBS, NPROCS, scheme="dynamic", costs=costs, model=MODEL)
+        gain = (stat.makespan - dyn.makespan) / stat.makespan * 100
+        rows.append([
+            skew,
+            f"{stat.makespan:.0f}", f"{imbalance(stat):.2f}",
+            f"{dyn.makespan:.0f}", f"{imbalance(dyn):.2f}",
+            f"{gain:+.1f}%",
+        ])
+    emit(
+        "E6 / section 2.7 — static schedule vs dynamic ownership pool",
+        ["skew", "static time", "static imbal", "dynamic time",
+         "dynamic imbal", "gain"],
+        rows,
+    )
+    costs = make_job_costs(NJOBS, skew=8.0, seed=5)
+    stat = run_workqueue(NJOBS, NPROCS, scheme="static", costs=costs, model=MODEL)
+    dyn = run_workqueue(NJOBS, NPROCS, scheme="dynamic", costs=costs, model=MODEL)
+    assert dyn.makespan < stat.makespan
+    assert imbalance(dyn) < imbalance(stat)
+    benchmark.pedantic(
+        lambda: run_workqueue(NJOBS, NPROCS, scheme="dynamic", costs=costs,
+                              model=MODEL),
+        rounds=1, iterations=1,
+    )
+
+
+def test_e6_dynamic_bench(benchmark):
+    costs = make_job_costs(NJOBS, skew=4.0, seed=5)
+    r = benchmark(
+        run_workqueue, NJOBS, NPROCS, scheme="dynamic", costs=costs, model=MODEL
+    )
+    benchmark.extra_info["virtual_makespan"] = r.makespan

@@ -1,0 +1,64 @@
+"""F2 — Figure 2: the XDP symbol-table structure.
+
+Rebuilds the figure's two arrays (A[1:4,1:8] (*, BLOCK) seg (2,1);
+B[1:16,1:16] (BLOCK, CYCLIC) seg (4,2)) on a 2x2 grid and benchmarks the
+run-time operations the table supports: construction, and the
+intersect-and-cover ``iown``/``accessible`` lookups of section 3.1.
+"""
+
+from conftest import emit
+
+from repro import ProcessorGrid, RuntimeSymbolTable, Segmentation, section
+from repro.distributions import Block, Collapsed, Cyclic, Distribution
+from repro.report import figure2_table
+
+
+def build_table(pid: int = 0) -> RuntimeSymbolTable:
+    grid = ProcessorGrid((2, 2))
+    st = RuntimeSymbolTable(pid)
+    st.declare(
+        "A",
+        Segmentation(
+            Distribution(section((1, 4), (1, 8)), (Collapsed(), Block()), grid),
+            (2, 1),
+        ),
+    )
+    st.declare(
+        "B",
+        Segmentation(
+            Distribution(section((1, 16), (1, 16)), (Block(), Cyclic()), grid),
+            (4, 2),
+        ),
+    )
+    return st
+
+
+def test_fig2_table_construction_bench(benchmark):
+    st = benchmark(build_table)
+    assert st.entry("A").segment_count == 4
+    assert st.entry("B").segment_count == 8
+    print()
+    print(figure2_table())
+    benchmark.extra_info["A_segments"] = 4
+    benchmark.extra_info["B_segments"] = 8
+
+
+def test_fig2_iown_lookup_bench(benchmark):
+    st = build_table()
+    queries = [
+        ("A", section((1, 4), (1, 2)), True),
+        ("A", section((1, 4), (1, 3)), False),
+        ("B", section((1, 4), (1, 3, 2)), True),
+        ("B", section((1, 8), (1, 16)), False),
+    ]
+
+    def run():
+        return [st.iown(name, sec) for name, sec, _ in queries]
+
+    got = benchmark(run)
+    assert got == [want for _, _, want in queries]
+    emit(
+        "F2 / run-time symbol-table lookups (section 3.1 algorithm)",
+        ["query", "result"],
+        [[f"iown({n}{s})", g] for (n, s, _), g in zip(queries, got)],
+    )

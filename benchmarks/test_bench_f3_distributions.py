@@ -1,0 +1,54 @@
+"""F3 — Figure 3: distributions and local segmentations of a 4x8 array.
+
+Regenerates the figure's four panels and benchmarks the geometric layer:
+owner computation and segment enumeration across the panel configurations.
+"""
+
+from conftest import emit
+
+from repro import ProcessorGrid, Segmentation, section
+from repro.distributions import Block, Collapsed, Distribution
+from repro.report import figure3_maps
+
+PANELS = [
+    ("(BLOCK,BLOCK) seg (2,1)", (Block(), Block()), (2, 1)),
+    ("(BLOCK,BLOCK) seg (1,4)", (Block(), Block()), (1, 4)),
+    ("(*,BLOCK) seg (2,1)", (Collapsed(), Block()), (2, 1)),
+    ("(*,BLOCK) seg (4,1)", (Collapsed(), Block()), (4, 1)),
+]
+
+
+def build_panels():
+    grid = ProcessorGrid((2, 2))
+    space = section((1, 4), (1, 8))
+    out = []
+    for title, specs, seg_shape in PANELS:
+        dist = Distribution(space, specs, grid)
+        seg = Segmentation(dist, seg_shape)
+        counts = [seg.segment_count(p) for p in grid.pids()]
+        owners = [dist.owner(pt) for pt in space]
+        out.append((title, counts, owners))
+    return out
+
+
+def test_fig3_panels_bench(benchmark):
+    panels = benchmark(build_panels)
+    rows = []
+    for title, counts, owners in panels:
+        assert sum(owners.count(p) for p in range(4)) == 32
+        rows.append([title, counts, "exact cover"])
+    emit(
+        "F3 / Figure 3 — 4x8 array on a 2x2 grid",
+        ["panel", "#segments per P1..P4", "ownership"],
+        rows,
+    )
+    print()
+    print(figure3_maps())
+    # P3's segment counts in the paper's panels: 4, 2, 4, 2.
+    grid = ProcessorGrid((2, 2))
+    space = section((1, 4), (1, 8))
+    p3_counts = [
+        Segmentation(Distribution(space, sp, grid), sh).segment_count(2)
+        for _, sp, sh in PANELS
+    ]
+    assert p3_counts == [4, 2, 4, 2]

@@ -1,0 +1,42 @@
+"""F4 — Figure 4: the 3-D FFT's data layout and repartitioning.
+
+Regenerates the figure's data-to-segment assignment and benchmarks the
+compile-time redistribution planner at the paper's size and larger.
+"""
+
+from conftest import emit
+
+from repro import ProcessorGrid, Segmentation, plan_redistribution, section
+from repro.distributions import Block, Collapsed, Distribution
+from repro.report import figure4_layouts
+
+
+def make_plan(n: int, nprocs: int):
+    grid = ProcessorGrid((nprocs,))
+    space = section((1, n), (1, n), (1, n))
+    src = Distribution(space, (Collapsed(), Collapsed(), Block()), grid)
+    dst = Distribution(space, (Collapsed(), Block(), Collapsed()), grid)
+    return plan_redistribution(
+        src, dst, segmentation=Segmentation(src, (n, 1, 1))
+    )
+
+
+def test_fig4_plan_bench(benchmark):
+    plan = benchmark(make_plan, 4, 4)
+    assert plan.message_count == 12
+    assert plan.stationary_elements == 16
+    print()
+    print(figure4_layouts(4, 4))
+    rows = []
+    for n, nprocs in [(4, 4), (8, 4), (16, 8), (32, 8)]:
+        p = make_plan(n, nprocs)
+        rows.append([
+            f"{n}^3 on {nprocs}", p.message_count, p.total_elements_moved,
+            p.stationary_elements,
+        ])
+    emit(
+        "F4 / Figure 4 — redistribution plans (*,*,BLOCK) -> (*,BLOCK,*)",
+        ["size", "moves", "elements moved", "elements stationary"],
+        rows,
+    )
+    benchmark.extra_info["paper_case_moves"] = 12

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Array redistribution with ownership transfer, at segment granularity.
+
+Shows the compile-time redistribution plan for the FFT example's
+(*,*,BLOCK) → (*,BLOCK,*) change (paper Figure 4), regenerates the
+figure's data-to-segment assignment, and runs the redistribution as an
+IL+XDP program — demonstrating that the run-time symbol table tracks the
+moving ownership (``mylb``/``myub`` answer differently before and after).
+
+Run:  python examples/redistribution.py
+"""
+
+import numpy as np
+
+from repro import (
+    Collapsed, Block, Distribution, Interpreter, MachineModel,
+    ProcessorGrid, Segmentation, parse_program, plan_redistribution, section,
+)
+from repro.apps.fft3d import fft3d_source
+from repro.report import figure4_layouts
+
+N, P = 4, 4
+
+
+def main():
+    grid = ProcessorGrid((P,))
+    space = section((1, N), (1, N), (1, N))
+    src = Distribution(space, (Collapsed(), Collapsed(), Block()), grid)
+    dst = Distribution(space, (Collapsed(), Block(), Collapsed()), grid)
+
+    print(figure4_layouts(N, P))
+
+    plan = plan_redistribution(src, dst, segmentation=Segmentation(src, (N, 1, 1)))
+    print("\ncompile-time redistribution plan (segment granularity):")
+    print(plan)
+
+    # Run the paper's redistribution loop (stage-1 listing, FFTs and all).
+    program = parse_program(fft3d_source(N, P, 1))
+    it = Interpreter(program, P, model=MachineModel())
+    rng = np.random.default_rng(0)
+    a0 = rng.standard_normal((N, N, N)) + 1j * rng.standard_normal((N, N, N))
+    it.write_global("A", a0)
+
+    before = [it.engine.symtabs[p].mylb("A", 3) for p in range(P)]
+    stats = it.run()
+    after_lb2 = [it.engine.symtabs[p].mylb("A", 2) for p in range(P)]
+    after_ub2 = [it.engine.symtabs[p].myub("A", 2) for p in range(P)]
+
+    print("\nrun-time symbol table before: mylb(A, dim 3) per processor:", before)
+    print("run-time symbol table after:  mylb..myub(A, dim 2) per processor:",
+          list(zip(after_lb2, after_ub2)))
+    print(f"\nownership moves executed: {stats.total_messages} messages, "
+          f"{stats.total_bytes} bytes, makespan {stats.makespan:.1f}")
+    ok = np.allclose(it.read_global("A"), np.fft.fftn(a0))
+    print(f"3-D FFT result correct: {ok}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Selective monitoring via ownership transfer (paper section 2.6).
+
+"A debugger could allow the user to input an ownership transfer command
+that moves exclusive ownership of a variable (and hence the permission to
+execute certain SPMD code segments, such as a print command that outputs
+the value of local data structures to the user's screen) from one
+processor to another.  Thus, processors can be selectively monitored by
+simply transferring ownership of this variable."
+
+``MON[1]`` is a one-element permission variable.  Every processor runs the
+same SPMD rounds: compute, then — guarded by ``iown(MON[1])`` — emit a log
+of its local state.  A *monitoring schedule* (round → processor) drives
+pure ownership transfers (``=>``, no value) between rounds; only the
+current owner logs.  The run's log stream is the "debugger output".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.sections import section
+from ..machine.effects import Compute, Log, RecvInit, Send, WaitAccessible
+from ..machine.engine import Engine, ProcessorContext
+from ..machine.message import TransferKind
+from ..machine.model import MachineModel
+from ..machine.stats import RunStats
+
+__all__ = ["run_monitor", "MonitorResult"]
+
+_MON = section(1)
+
+
+@dataclass
+class MonitorResult:
+    schedule: list[int]
+    stats: RunStats
+    observed: list[tuple[int, int]]  # (round, pid that logged)
+
+    def monitored_pids(self) -> list[int]:
+        return [pid for _, pid in sorted(self.observed)]
+
+
+def run_monitor(
+    nprocs: int,
+    schedule: list[int],
+    *,
+    work_per_round: float = 50.0,
+    model: MachineModel | None = None,
+) -> MonitorResult:
+    """Run ``len(schedule)`` rounds; round ``r`` is monitored on processor
+    ``schedule[r]`` (0-based pids).  Ownership of the permission variable
+    moves with a pure ``=>``/``<=`` pair whenever the schedule changes
+    hands — no data is shipped, just the permission (paper: "the compiler
+    may be able to determine that only the ownership, and not the value,
+    needs to be transferred")."""
+    if not schedule:
+        raise ValueError("schedule must name at least one round's monitor")
+    for pid in schedule:
+        if not 0 <= pid < nprocs:
+            raise ValueError(f"schedule names pid {pid} outside 0..{nprocs - 1}")
+    engine = Engine(nprocs, model if model is not None else MachineModel())
+    # MON is a one-element permission variable initially owned by the first
+    # scheduled processor; declared manually since no HPF spec places a
+    # single element on an arbitrary pid.
+    for st in engine.symtabs:
+        entry = st.declare_empty("MON", section((1, 1)), partitioning="(monitor)")
+        if st.pid == schedule[0]:
+            handle, _ = st.memory.allocate((1,), entry.dtype)
+            from ..core.states import SegmentState
+            from ..runtime.symtab import SegmentDesc
+
+            entry.segdescs.append(SegmentDesc(_MON, SegmentState.ACCESSIBLE, handle))
+
+    observed: list[tuple[int, int]] = []
+
+    def node(ctx: ProcessorContext):
+        for rnd, owner in enumerate(schedule):
+            # Hand-off from the previous round's owner, if it changed.
+            if rnd > 0 and schedule[rnd - 1] != owner:
+                prev = schedule[rnd - 1]
+                if ctx.pid == prev:
+                    yield WaitAccessible("MON", _MON)
+                    yield Send(TransferKind.OWNERSHIP, "MON", _MON, dests=(owner,))
+                elif ctx.pid == owner:
+                    yield RecvInit(TransferKind.OWNERSHIP, "MON", _MON)
+            # The SPMD round body: everyone computes...
+            yield Compute(work_per_round, flops=int(work_per_round))
+            # ...and whoever holds the permission reports local state.
+            if ctx.symtab.iown("MON", _MON):
+                yield WaitAccessible("MON", _MON)
+                observed.append((rnd, ctx.pid))
+                yield Log(f"round {rnd}: P{ctx.pid + 1} local state")
+
+    stats = engine.run(node)
+    return MonitorResult(schedule=list(schedule), stats=stats, observed=observed)

@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``compile FILE``
+    Parse an IL+XDP (or sequential) program, optionally translate a
+    sequential program to SPMD form, run the optimizer, and print the
+    resulting program with the per-pass report.
+
+``run FILE``
+    Execute a program on the simulated machine and print the run summary
+    (optionally final array values and the event trace).
+
+``figures [N|all]``
+    Regenerate the paper's figures as text.
+
+``fft``
+    Run the section-4 3-D FFT at a chosen stage/size and report.
+
+Examples
+--------
+
+::
+
+    python -m repro compile examples/simple.xdp --nprocs 4 -O2
+    python -m repro run examples/simple.xdp --nprocs 4 --show A
+    python -m repro figures all
+    python -m repro fft --n 8 --nprocs 4 --stage 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .core.codegen import lower
+from .core.interp import Interpreter
+from .core.ir.nodes import Guarded, RecvStmt, SendStmt
+from .core.ir.parser import parse_program
+from .core.ir.printer import print_program
+from .core.ir.verify import verify_program
+from .core.ir.visitor import walk_stmts
+from .core.opt import optimize
+from .core.translate import translate
+from .machine.model import MachineModel
+
+__all__ = ["main"]
+
+_MODELS = {
+    "default": MachineModel.message_passing,
+    "message-passing": MachineModel.message_passing,
+    "shared-address": MachineModel.shared_address,
+    "high-latency": MachineModel.high_latency,
+}
+
+
+def _load(path: str):
+    text = Path(path).read_text()
+    return parse_program(text)
+
+
+def _is_sequential(program) -> bool:
+    return not any(
+        isinstance(s, (SendStmt, RecvStmt, Guarded))
+        for s in walk_stmts(program.body)
+    )
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    verify_program(program)
+    if _is_sequential(program):
+        program = translate(
+            program,
+            args.nprocs,
+            strategy=args.strategy,
+            bind_destinations=not args.no_binding,
+        )
+        print(f"// translated ({args.strategy}) for {args.nprocs} processors")
+    result = optimize(program, args.nprocs, level=args.opt_level)
+    print(print_program(result.program))
+    print("// optimization report:")
+    for line in result.reports:
+        print(f"//   {line}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    verify_program(program)
+    if _is_sequential(program):
+        program = translate(program, args.nprocs, strategy=args.strategy)
+    if args.opt_level > 0:
+        program = optimize(program, args.nprocs, level=args.opt_level).program
+    model = _MODELS[args.model]()
+    if args.path == "vm":
+        runner = lower(program, args.nprocs, model=model,
+                       binding=args.binding, trace=args.trace)
+    else:
+        runner = Interpreter(program, args.nprocs, model=model, trace=args.trace)
+    for spec in args.init or ():
+        name, _, kind = spec.partition("=")
+        decl = program.decl(name)
+        shape = decl.shape
+        if kind in ("iota", ""):
+            values = np.arange(1.0, np.prod(shape) + 1).reshape(shape)
+        elif kind == "ones":
+            values = np.ones(shape)
+        elif kind == "zeros":
+            values = np.zeros(shape)
+        elif kind == "rand":
+            values = np.random.default_rng(0).standard_normal(shape)
+        else:
+            raise SystemExit(f"unknown init kind {kind!r} (iota/ones/zeros/rand)")
+        runner.write_global(name, values)
+    stats = runner.run()
+    print(stats.summary())
+    for name in args.show or ():
+        try:
+            arr = runner.read_global(name)
+        except Exception as exc:  # pragma: no cover - diagnostic path
+            print(f"{name}: <unreadable: {exc}>")
+            continue
+        with np.printoptions(precision=4, suppress=True):
+            print(f"{name} =\n{arr}")
+    if args.trace:
+        for event in stats.trace:
+            print(event)
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .report import figure1_text, figure2_table, figure3_maps, figure4_layouts
+
+    which = args.which
+    out = []
+    if which in ("1", "all"):
+        out.append(figure1_text())
+    if which in ("2", "all"):
+        out.append(figure2_table())
+    if which in ("3", "all"):
+        out.append(figure3_maps())
+    if which in ("4", "all"):
+        out.append(figure4_layouts())
+    print("\n\n".join(out))
+    return 0
+
+
+def _cmd_fft(args: argparse.Namespace) -> int:
+    from .apps.fft3d import fft3d_source, run_fft3d
+
+    if args.print_source:
+        print(fft3d_source(args.n, args.nprocs, args.stage))
+        return 0
+    model = _MODELS[args.model]()
+    r = run_fft3d(args.n, args.nprocs, args.stage, model=model, path=args.path)
+    print(
+        f"3-D FFT n={args.n} P={args.nprocs} stage={args.stage}: "
+        f"correct={r.correct} makespan={r.makespan:.1f} "
+        f"messages={r.messages}"
+    )
+    print(r.stats.summary())
+    return 0 if r.correct else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XDP (PPoPP 1993) reproduction: compile and run IL+XDP "
+        "programs on a simulated SPMD machine.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--nprocs", type=int, default=4)
+        p.add_argument("-O", "--opt-level", type=int, default=2,
+                       choices=(0, 1, 2))
+        p.add_argument("--strategy", default="owner-computes",
+                       choices=("owner-computes", "migrate"))
+
+    c = sub.add_parser("compile", help="translate/optimize and print a program")
+    c.add_argument("file")
+    common(c)
+    c.add_argument("--no-binding", action="store_true",
+                   help="emit unannotated sends (the paper's literal form)")
+    c.set_defaults(fn=_cmd_compile)
+
+    r = sub.add_parser("run", help="execute a program on the simulated machine")
+    r.add_argument("file")
+    common(r)
+    r.add_argument("--model", default="default", choices=sorted(_MODELS))
+    r.add_argument("--path", default="vm", choices=("vm", "interp"))
+    r.add_argument("--binding", default="nonblocking",
+                   choices=("nonblocking", "blocking"))
+    r.add_argument("--trace", action="store_true")
+    r.add_argument("--show", action="append", metavar="ARRAY",
+                   help="print the final global value of an array")
+    r.add_argument("--init", action="append", metavar="ARRAY=KIND",
+                   help="initialise an array (KIND: iota, ones, zeros, rand)")
+    r.set_defaults(fn=_cmd_run)
+
+    f = sub.add_parser("figures", help="regenerate the paper's figures")
+    f.add_argument("which", nargs="?", default="all",
+                   choices=("1", "2", "3", "4", "all"))
+    f.set_defaults(fn=_cmd_figures)
+
+    t = sub.add_parser("fft", help="run the section-4 3-D FFT")
+    t.add_argument("--n", type=int, default=4)
+    t.add_argument("--nprocs", type=int, default=4)
+    t.add_argument("--stage", type=int, default=2, choices=(0, 1, 2))
+    t.add_argument("--model", default="default", choices=sorted(_MODELS))
+    t.add_argument("--path", default="vm", choices=("vm", "interp"))
+    t.add_argument("--print-source", action="store_true")
+    t.set_defaults(fn=_cmd_fft)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # piping into `head` etc.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Compile-time analyses over IL+XDP: constant evaluation, layout
+construction, static ownership enumeration, reference-set dependence."""
+
+from .consteval import ConstEnv, const_eval, resolve_section_const
+from .layouts import build_layouts
+from .ownership import CompilerContext, OwnershipAnalysis
+from .refsets import RefSets, stmt_refsets
+
+__all__ = [
+    "ConstEnv",
+    "const_eval",
+    "resolve_section_const",
+    "build_layouts",
+    "CompilerContext",
+    "OwnershipAnalysis",
+    "RefSets",
+    "stmt_refsets",
+]

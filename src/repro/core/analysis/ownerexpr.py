@@ -1,0 +1,81 @@
+"""Compile-time owner expressions.
+
+Paper section 3.2: "it may be useful for optimizations (and essential for
+code generation) to annotate an XDP send statement with the id of the
+receiving processor."  For HPF distributions the owning processor of an
+element reference is a closed-form arithmetic function of its subscripts,
+so the compiler can *inline* the owner computation as an IL expression and
+bind it as the send's destination set — no run-time lookup structure
+needed (cf. the paper's note that XDP deliberately does not supply a
+who-owns query; the compiler provides its own mechanism, which is this).
+
+Formulas (0-based grid position ``q`` along one distributed axis, array
+bounds ``lo..hi`` over ``P`` positions):
+
+* ``BLOCK``      — ``q = (i - lo) / ceil(extent / P)``
+* ``CYCLIC``     — ``q = (i - lo) % P``
+* ``CYCLIC(b)``  — ``q = ((i - lo) / b) % P``
+
+Positions combine into a linear pid with the distribution grid's
+column-major strides, and the IL result is 1-based (``mypid`` convention).
+"""
+
+from __future__ import annotations
+
+from ...distributions import Block, BlockCyclic, Collapsed, Cyclic, Segmentation
+from ..ir.nodes import ArrayDecl, ArrayRef, BinOp, Expr, Index, IntConst
+
+__all__ = ["owner_pid1_expr"]
+
+
+def _times(e: Expr, k: int) -> Expr:
+    if k == 1:
+        return e
+    return BinOp("*", e, IntConst(k))
+
+
+def _plus(a: Expr | None, b: Expr) -> Expr:
+    return b if a is None else BinOp("+", a, b)
+
+
+def owner_pid1_expr(
+    decl: ArrayDecl, layout: Segmentation, ref: ArrayRef
+) -> Expr | None:
+    """IL expression for the 1-based owner pid of an element reference.
+
+    Returns ``None`` when the reference is not an element reference (the
+    owner of a multi-element section is not a single closed form).
+    """
+    if not ref.is_element():
+        return None
+    dist = layout.distribution
+    acc: Expr | None = None
+    axis_pos = 0
+    for axis, spec in enumerate(dist.specs):
+        if isinstance(spec, Collapsed):
+            continue
+        lo, hi = decl.bounds[axis]
+        nprocs_axis = dist._dist_grid.shape[axis_pos]
+        stride = dist._dist_grid._strides[axis_pos]
+        axis_pos += 1
+        sub = ref.subs[axis]
+        assert isinstance(sub, Index)
+        offset: Expr = BinOp("-", sub.expr, IntConst(lo))
+        if isinstance(spec, Block):
+            extent = hi - lo + 1
+            bs = -(-extent // nprocs_axis)
+            coord: Expr = BinOp("/", offset, IntConst(bs))
+        elif isinstance(spec, Cyclic):
+            coord = BinOp("%", offset, IntConst(nprocs_axis))
+        elif isinstance(spec, BlockCyclic):
+            coord = BinOp(
+                "%",
+                BinOp("/", offset, IntConst(spec.blocksize)),
+                IntConst(nprocs_axis),
+            )
+        else:  # pragma: no cover - future specs
+            return None
+        acc = _plus(acc, _times(coord, stride))
+    if acc is None:
+        return None
+    return BinOp("+", acc, IntConst(1))

@@ -1,0 +1,222 @@
+"""Static ownership analysis by compile-time enumeration.
+
+Because the paper's setting fixes the processor grid, the HPF partitioning
+and (in its examples) the loop bounds at compile time, ownership questions
+("which processor owns ``B[i]`` for each ``i`` in this loop?") can be
+decided exactly by evaluating subscripts over the iteration space and
+asking the distribution.  That is what this module does, with explicit
+caps so that the compiler degrades to *conservative* (communication kept,
+optimization skipped) rather than slow on large or symbolic programs.
+
+All pids here are the engine's 0-based ids; ``mypid``-pinning uses the
+paper's 1-based ids via :class:`~repro.core.analysis.consteval.ConstEnv`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ...distributions import ProcessorGrid, Segmentation
+from ..errors import CompilationError
+from ..ir.nodes import ArrayDecl, ArrayRef, DoLoop, Program, ScalarDecl
+from ..sections import Section
+from .consteval import ConstEnv, const_eval, program_constants, resolve_section_const
+from .layouts import build_layouts
+
+__all__ = ["CompilerContext", "OwnershipAnalysis", "ITERATION_CAP"]
+
+#: Maximum iteration-space points an analysis will enumerate before giving
+#: up (conservatively).
+ITERATION_CAP = 65536
+
+
+@dataclass
+class CompilerContext:
+    """Everything the compile-time passes know about the target program."""
+
+    program: Program
+    nprocs: int
+    grid: ProcessorGrid
+    layouts: dict[str, Segmentation]
+    consts: ConstEnv
+    reports: list[str] = field(default_factory=list)
+
+    @classmethod
+    def create(
+        cls,
+        program: Program,
+        nprocs: int,
+        grid: ProcessorGrid | None = None,
+    ) -> "CompilerContext":
+        grid = grid if grid is not None else ProcessorGrid((nprocs,))
+        if grid.size != nprocs:
+            raise CompilationError(f"grid {grid.shape} != {nprocs} processors")
+        return cls(
+            program=program,
+            nprocs=nprocs,
+            grid=grid,
+            layouts=build_layouts(program, grid),
+            consts=program_constants(program, nprocs),
+        )
+
+    def array_decl(self, name: str) -> ArrayDecl | None:
+        for d in self.program.decls:
+            if d.name == name:
+                return d if isinstance(d, ArrayDecl) else None
+        return None
+
+    def is_exclusive(self, name: str) -> bool:
+        d = self.array_decl(name)
+        return d is not None and not d.universal
+
+    def note(self, message: str) -> None:
+        self.reports.append(message)
+
+
+class OwnershipAnalysis:
+    """Answer ownership questions about references under loop bindings."""
+
+    def __init__(self, ctx: CompilerContext):
+        self.ctx = ctx
+
+    # ------------------------------------------------------------------ #
+    # single references
+    # ------------------------------------------------------------------ #
+
+    def resolve(self, ref: ArrayRef, env: ConstEnv) -> Section | None:
+        decl = self.ctx.array_decl(ref.var)
+        if decl is None or decl.universal:
+            return None
+        return resolve_section_const(ref, decl, env)
+
+    def owner_of(self, ref: ArrayRef, env: ConstEnv) -> int | None:
+        """The unique 0-based owner pid of ``ref`` under ``env``, or ``None``
+        if unknown / spanning several processors."""
+        if not self.ctx.is_exclusive(ref.var):
+            return None
+        sec = self.resolve(ref, env)
+        if sec is None:
+            return None
+        return self.ctx.layouts[ref.var].distribution.owner_of_section(sec)
+
+    def owned_by(self, ref: ArrayRef, env: ConstEnv, pid: int) -> bool | None:
+        """Does (0-based) ``pid`` initially own all of ``ref``?  ``None``
+        when the section is not compile-time resolvable."""
+        sec = self.resolve(ref, env)
+        if sec is None:
+            return None
+        dist = self.ctx.layouts[ref.var].distribution
+        owned = dist.owned_sections(pid)
+        covered = 0
+        for piece in owned:
+            inter = sec.intersect(piece)
+            if inter is not None:
+                covered += inter.size
+        return covered == sec.size
+
+    # ------------------------------------------------------------------ #
+    # loops
+    # ------------------------------------------------------------------ #
+
+    def iteration_values(self, loop: DoLoop, env: ConstEnv) -> list[int] | None:
+        """Concrete iteration values of a loop, or ``None`` if symbolic or
+        too large."""
+        lo = const_eval(loop.lo, env)
+        hi = const_eval(loop.hi, env)
+        step = const_eval(loop.step, env)
+        if lo is None or hi is None or step is None or step == 0:
+            return None
+        lo_i, hi_i, step_i = int(lo), int(hi), int(step)
+        count = max(0, (hi_i - lo_i) // step_i + 1) if step_i > 0 else max(
+            0, (lo_i - hi_i) // -step_i + 1
+        )
+        if count > ITERATION_CAP:
+            return None
+        return list(range(lo_i, hi_i + (1 if step_i > 0 else -1), step_i))
+
+    def iteration_space(
+        self, loops: list[DoLoop], env: ConstEnv
+    ) -> Iterator[dict[str, int]] | None:
+        """Cartesian product of nested loop values as binding dicts, or
+        ``None`` if any loop is symbolic or the product exceeds the cap.
+
+        Inner loop bounds may reference outer induction variables.
+        """
+        # Validate sizes first with outermost bindings where possible.
+        def gen(idx: int, bound: dict[str, int], budget: list[int]):
+            if idx == len(loops):
+                yield dict(bound)
+                return
+            vals = self.iteration_values(loops[idx], env.bind(**bound))
+            if vals is None:
+                raise _Symbolic()
+            for v in vals:
+                budget[0] -= 1
+                if budget[0] < 0:
+                    raise _Symbolic()
+                bound[loops[idx].var] = v
+                yield from gen(idx + 1, bound, budget)
+            bound.pop(loops[idx].var, None)
+
+        try:
+            return list(gen(0, {}, [ITERATION_CAP]))
+        except _Symbolic:
+            return None
+
+    def same_owner_forall(
+        self,
+        ref_a: ArrayRef,
+        ref_b: ArrayRef,
+        loops: list[DoLoop],
+        env: ConstEnv,
+    ) -> bool:
+        """True iff for every point of the (fully constant) iteration space
+        the owners of both references are known, unique, and equal."""
+        space = self.iteration_space(loops, env)
+        if space is None:
+            return False
+        for bindings in space:
+            e = env.bind(**bindings)
+            oa = self.owner_of(ref_a, e)
+            ob = self.owner_of(ref_b, e)
+            if oa is None or ob is None or oa != ob:
+                return False
+        return True
+
+    def owner_table(
+        self, ref: ArrayRef, loops: list[DoLoop], env: ConstEnv
+    ) -> dict[tuple[int, ...], int] | None:
+        """Map from iteration tuple to owning pid, or ``None`` if any point
+        is unresolvable."""
+        space = self.iteration_space(loops, env)
+        if space is None:
+            return None
+        out: dict[tuple[int, ...], int] = {}
+        for bindings in space:
+            owner = self.owner_of(ref, env.bind(**bindings))
+            if owner is None:
+                return None
+            out[tuple(bindings[l.var] for l in loops)] = owner
+        return out
+
+    def guard_true_iterations(
+        self, loop: DoLoop, guard_ref: ArrayRef, env: ConstEnv, pid: int
+    ) -> list[int] | None:
+        """Iteration values of ``loop`` at which ``iown(guard_ref)`` holds
+        on ``pid`` (by initial ownership), or ``None`` if unresolvable."""
+        vals = self.iteration_values(loop, env)
+        if vals is None:
+            return None
+        out: list[int] = []
+        for v in vals:
+            owned = self.owned_by(guard_ref, env.at_pid(pid + 1).bind(**{loop.var: v}), pid)
+            if owned is None:
+                return None
+            if owned:
+                out.append(v)
+        return out
+
+
+class _Symbolic(Exception):
+    pass

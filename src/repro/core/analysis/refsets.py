@@ -1,0 +1,221 @@
+"""Reference-set analysis: what a statement reads, writes, transfers and
+queries.
+
+Loop fusion in the paper (section 4) needs more than classic dependence
+testing: "the analysis for validity of fusion must also check to make sure
+that between any ``-=>`` and its corresponding ``<=-`` operation, no
+ownership queries are performed on the associated data, and that these data
+are not accessed by computation in the interim."  :class:`RefSets`
+therefore tracks five categories:
+
+* ``reads`` / ``writes`` — value accesses;
+* ``released`` / ``acquired`` — ownership leaving / arriving;
+* ``queried`` — sections named by ownership intrinsics (``iown`` etc.).
+
+Sections are concrete when compile-time resolvable; any unresolvable
+reference sets ``unknown`` and forces clients to be conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.nodes import (
+    Accessible, ArrayRef, Assign, Await, CallStmt, DoLoop, Expr, ExprStmt,
+    Guarded, IfStmt, Iown, Mylb, Myub, RecvStmt, SendStmt, Stmt, VarRef,
+    XferOp,
+)
+from ..ir.visitor import walk_exprs
+from ..sections import Section
+from .consteval import ConstEnv
+from .ownership import CompilerContext, OwnershipAnalysis
+
+__all__ = ["RefSets", "stmt_refsets"]
+
+
+@dataclass
+class RefSets:
+    """Named concrete sections touched by a statement, by category."""
+
+    reads: list[tuple[str, Section]] = field(default_factory=list)
+    writes: list[tuple[str, Section]] = field(default_factory=list)
+    released: list[tuple[str, Section]] = field(default_factory=list)
+    acquired: list[tuple[str, Section]] = field(default_factory=list)
+    queried: list[tuple[str, Section]] = field(default_factory=list)
+    unknown: bool = False
+
+    def merge(self, other: "RefSets") -> None:
+        self.reads.extend(other.reads)
+        self.writes.extend(other.writes)
+        self.released.extend(other.released)
+        self.acquired.extend(other.acquired)
+        self.queried.extend(other.queried)
+        self.unknown = self.unknown or other.unknown
+
+    # -- intersection helpers ------------------------------------------- #
+
+    @staticmethod
+    def _meets(
+        a: list[tuple[str, Section]], b: list[tuple[str, Section]]
+    ) -> bool:
+        for name_a, sec_a in a:
+            for name_b, sec_b in b:
+                if name_a == name_b and sec_a.intersect(sec_b) is not None:
+                    return True
+        return False
+
+    def conflicts_with(self, other: "RefSets") -> bool:
+        """True if reordering these two statement instances could change
+        behaviour: write/write, read/write, any ownership-transfer overlap
+        with the other's accesses or queries, or unknown references."""
+        if self.unknown or other.unknown:
+            return True
+        m = RefSets._meets
+        touched_self = self.reads + self.writes + self.queried
+        touched_other = other.reads + other.writes + other.queried
+        moves_self = self.released + self.acquired
+        moves_other = other.released + other.acquired
+        return (
+            m(self.writes, other.writes)
+            or m(self.writes, other.reads)
+            or m(self.reads, other.writes)
+            or m(moves_self, touched_other + moves_other)
+            or m(moves_other, touched_self)
+        )
+
+
+def _refs_in_expr(
+    e: Expr, analysis: OwnershipAnalysis, env: ConstEnv, out: RefSets
+) -> None:
+    for sub in walk_exprs(e):
+        match sub:
+            case Iown(ref) | Accessible(ref) | Await(ref):
+                _record(analysis, env, ref, out.queried, out)
+            case Mylb(ref, _) | Myub(ref, _):
+                _record(analysis, env, ref, out.queried, out)
+            case ArrayRef():
+                pass  # handled by the parent that knows its position
+    # Value reads: ArrayRefs not in intrinsic-name position.
+    _value_reads(e, analysis, env, out)
+
+
+def _value_reads(
+    e: Expr, analysis: OwnershipAnalysis, env: ConstEnv, out: RefSets
+) -> None:
+    match e:
+        case ArrayRef():
+            _record(analysis, env, e, out.reads, out)
+        case Iown(_) | Accessible(_) | Await(_):
+            return  # name position only
+        case Mylb(_, dim) | Myub(_, dim):
+            _value_reads(dim, analysis, env, out)
+        case _:
+            for child in _children(e):
+                _value_reads(child, analysis, env, out)
+
+
+def _children(e: Expr) -> list[Expr]:
+    from ..ir.nodes import BinOp, Index, Range, UnaryOp
+
+    match e:
+        case BinOp(_, lhs, rhs):
+            return [lhs, rhs]
+        case UnaryOp(_, operand):
+            return [operand]
+        case _:
+            return []
+
+
+def _record(
+    analysis: OwnershipAnalysis,
+    env: ConstEnv,
+    ref: ArrayRef,
+    bucket: list[tuple[str, Section]],
+    out: RefSets,
+) -> None:
+    if not analysis.ctx.is_exclusive(ref.var):
+        # Universal data is private per processor: no cross-statement
+        # communication hazard, but still a local value dependence.  We
+        # track it like any other section over its declared space.
+        decl = analysis.ctx.array_decl(ref.var)
+        if decl is None:
+            return  # scalar or unknown name: handled via free_scalars elsewhere
+    sec = analysis.resolve(ref, env)
+    if sec is None:
+        decl = analysis.ctx.array_decl(ref.var)
+        if decl is not None:
+            from .layouts import decl_index_space
+
+            # Unresolvable subscripts: assume the whole array.
+            bucket.append((ref.var, decl_index_space(decl)))
+        else:
+            out.unknown = True
+        return
+    bucket.append((ref.var, sec))
+
+
+def stmt_refsets(
+    stmt: Stmt, ctx: CompilerContext, env: ConstEnv
+) -> RefSets:
+    """Reference sets of one statement instance under ``env``.
+
+    Nested loops are enumerated when bounds are compile-time constants;
+    otherwise the result is marked ``unknown``.
+    """
+    analysis = OwnershipAnalysis(ctx)
+    out = RefSets()
+    _collect(stmt, analysis, env, out)
+    return out
+
+
+def _collect(
+    stmt: Stmt, analysis: OwnershipAnalysis, env: ConstEnv, out: RefSets
+) -> None:
+    match stmt:
+        case Guarded(rule, body):
+            _refs_in_expr(rule, analysis, env, out)
+            for s in body:
+                _collect(s, analysis, env, out)
+        case Assign(target, expr):
+            if isinstance(target, ArrayRef):
+                _record(analysis, env, target, out.writes, out)
+                for sub in target.subs:
+                    pass  # subscript reads are scalar-only; ignore
+            _refs_in_expr(expr, analysis, env, out)
+        case SendStmt(ref, op, dests):
+            if op is XferOp.SEND_VALUE:
+                _record(analysis, env, ref, out.reads, out)
+            else:
+                _record(analysis, env, ref, out.released, out)
+                if op is XferOp.SEND_OWNER_VALUE:
+                    _record(analysis, env, ref, out.reads, out)
+            for d in dests or ():
+                _refs_in_expr(d, analysis, env, out)
+        case RecvStmt(into, op, source):
+            _record(analysis, env, into, out.writes, out)
+            if op is not XferOp.RECV_VALUE:
+                _record(analysis, env, into, out.acquired, out)
+        case CallStmt(_, args):
+            for a in args:
+                if isinstance(a, ArrayRef) and not a.is_element():
+                    _record(analysis, env, a, out.reads, out)
+                    _record(analysis, env, a, out.writes, out)
+                else:
+                    _refs_in_expr(a, analysis, env, out)
+        case ExprStmt(expr):
+            _refs_in_expr(expr, analysis, env, out)
+        case IfStmt(cond, then, orelse):
+            _refs_in_expr(cond, analysis, env, out)
+            for s in list(then) + list(orelse):
+                _collect(s, analysis, env, out)
+        case DoLoop() as loop:
+            vals = analysis.iteration_values(loop, env)
+            if vals is None:
+                out.unknown = True
+                return
+            for v in vals:
+                inner = env.bind(**{loop.var: v})
+                for s in loop.body:
+                    _collect(s, analysis, inner, out)
+        case _:
+            out.unknown = True

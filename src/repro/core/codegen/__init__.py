@@ -1,0 +1,7 @@
+"""Code generation: lowering IL+XDP to an executable SPMD node program
+(paper section 3.2), including the delayed binding of communication
+primitives to the transfer statements."""
+
+from .lower import CompiledProgram, lower
+
+__all__ = ["CompiledProgram", "lower"]

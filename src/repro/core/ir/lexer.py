@@ -1,0 +1,108 @@
+"""Lexer for the textual IL+XDP syntax.
+
+Tokenises the paper's notation, including the multi-character transfer
+operators.  Longest-match ordering matters: ``-=>`` before ``->`` and
+``-``; ``<=-`` before ``<=`` before ``<-`` and ``<``.  Comments run from
+``//`` or ``#`` to end of line.  Newlines are significant (statements are
+line-oriented) and are emitted as NEWLINE tokens; consecutive newlines are
+collapsed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParseError
+
+__all__ = ["Token", "tokenize"]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # NAME, INT, FLOAT, OP, NEWLINE, EOF
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind},{self.text!r},{self.line}:{self.col})"
+
+
+_OPERATORS = [
+    "-=>", "<=-", "<=", "<-", "->", "=>", ">=", "==", "!=",
+    "(", ")", "[", "]", "{", "}", ",", ":", "+", "-", "*", "/", "%",
+    "<", ">", "=",
+]
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(text)
+
+    def emit(kind: str, s: str) -> None:
+        tokens.append(Token(kind, s, line, col))
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            if tokens and tokens[-1].kind not in ("NEWLINE",):
+                emit("NEWLINE", "\n")
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if c in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if text.startswith("//", i) or c == "#":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                ch = text[j]
+                if ch.isdigit():
+                    j += 1
+                elif ch == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif ch in "eE" and not seen_exp and j > i and (
+                    j + 1 < n and (text[j + 1].isdigit() or text[j + 1] in "+-")
+                ):
+                    seen_exp = True
+                    j += 2 if text[j + 1] in "+-" else 1
+                else:
+                    break
+            s = text[i:j]
+            emit("FLOAT" if (seen_dot or seen_exp) else "INT", s)
+            col += j - i
+            i = j
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            emit("NAME", text[i:j])
+            col += j - i
+            i = j
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                emit("OP", op)
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise ParseError(f"unexpected character {c!r}", line, col)
+
+    if tokens and tokens[-1].kind != "NEWLINE":
+        tokens.append(Token("NEWLINE", "\n", line, col))
+    tokens.append(Token("EOF", "", line, col))
+    return tokens

@@ -1,0 +1,172 @@
+"""Pretty-printer: IL+XDP trees back to the paper's concrete syntax.
+
+The output of :func:`print_program` is re-parseable by
+:mod:`repro.core.ir.parser` (round-trip property-tested), and statement
+syntax matches the paper's examples: ``iown(A[i]) : { ... }``,
+``A[*,n,mypid] -=>``, ``T[mypid] <- B[i]``.
+"""
+
+from __future__ import annotations
+
+from .nodes import (
+    Accessible, ArrayDecl, ArrayRef, Assign, Await, BinOp, Block, BoolConst,
+    CallStmt, DoLoop, Expr, ExprStmt, FloatConst, Full, Guarded, IfStmt,
+    Index, IntConst, Iown, MaxIntConst, MinIntConst, Mylb, Mypid, Myub,
+    NumProcs, Program, Range, RecvStmt, ScalarDecl, SendStmt, Stmt, Subscript,
+    UnaryOp, VarRef, XferOp,
+)
+
+__all__ = ["print_program", "print_stmt", "print_expr", "print_ref"]
+
+# Binding strengths for parenthesisation (higher binds tighter).
+_PREC = {
+    "or": 1, "and": 2,
+    "==": 4, "!=": 4, "<": 4, "<=": 4, ">": 4, ">=": 4,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6, "%": 6,
+    "min": 7, "max": 7,
+}
+
+
+def _sub(s: Subscript) -> str:
+    if isinstance(s, Full):
+        return "*"
+    if isinstance(s, Index):
+        return print_expr(s.expr)
+    lo = print_expr(s.lo) if s.lo is not None else ""
+    hi = print_expr(s.hi) if s.hi is not None else ""
+    out = f"{lo}:{hi}"
+    if s.step is not None:
+        out += f":{print_expr(s.step)}"
+    return out
+
+
+def print_ref(r: ArrayRef) -> str:
+    return f"{r.var}[{','.join(_sub(s) for s in r.subs)}]"
+
+
+def print_expr(e: Expr, parent_prec: int = 0) -> str:
+    match e:
+        case IntConst(v):
+            return str(v)
+        case FloatConst(v):
+            return repr(v)
+        case BoolConst(v):
+            return "true" if v else "false"
+        case VarRef(name):
+            return name
+        case Mypid():
+            return "mypid"
+        case NumProcs():
+            return "nprocs"
+        case MaxIntConst():
+            return "MAXINT"
+        case MinIntConst():
+            return "MININT"
+        case ArrayRef():
+            return print_ref(e)
+        case Iown(ref):
+            return f"iown({print_ref(ref)})"
+        case Accessible(ref):
+            return f"accessible({print_ref(ref)})"
+        case Await(ref):
+            return f"await({print_ref(ref)})"
+        case Mylb(ref, dim):
+            return f"mylb({print_ref(ref)}, {print_expr(dim)})"
+        case Myub(ref, dim):
+            return f"myub({print_ref(ref)}, {print_expr(dim)})"
+        case UnaryOp(op, operand):
+            inner = print_expr(operand, 8)
+            return f"not {inner}" if op == "not" else f"-{inner}"
+        case BinOp(op, lhs, rhs):
+            if op in ("min", "max"):
+                return f"{op}({print_expr(lhs)}, {print_expr(rhs)})"
+            prec = _PREC[op]
+            text = f"{print_expr(lhs, prec)} {op} {print_expr(rhs, prec + 1)}"
+            return f"({text})" if prec < parent_prec else text
+        case _:
+            raise TypeError(f"cannot print expression {e!r}")
+
+
+def _dests(stmt: SendStmt) -> str:
+    if stmt.dests is None:
+        return ""
+    return " {" + ", ".join(print_expr(d) for d in stmt.dests) + "}"
+
+
+def print_stmt(s: Stmt, indent: int = 0) -> list[str]:
+    pad = "  " * indent
+    match s:
+        case Guarded(rule, body):
+            lines = [f"{pad}{print_expr(rule)} : {{"]
+            for st in body:
+                lines.extend(print_stmt(st, indent + 1))
+            lines.append(f"{pad}}}")
+            return lines
+        case Assign(target, expr):
+            t = print_ref(target) if isinstance(target, ArrayRef) else target.name
+            return [f"{pad}{t} = {print_expr(expr)}"]
+        case SendStmt(ref, op, _):
+            return [f"{pad}{print_ref(ref)} {op.value}{_dests(s)}"]
+        case RecvStmt(into, op, source):
+            if op is XferOp.RECV_VALUE:
+                return [f"{pad}{print_ref(into)} <- {print_ref(source)}"]
+            return [f"{pad}{print_ref(into)} {op.value}"]
+        case DoLoop(var, lo, hi, step, body):
+            head = f"{pad}do {var} = {print_expr(lo)}, {print_expr(hi)}"
+            if step != IntConst(1):
+                head += f", {print_expr(step)}"
+            lines = [head]
+            for st in body:
+                lines.extend(print_stmt(st, indent + 1))
+            lines.append(f"{pad}enddo")
+            return lines
+        case IfStmt(cond, then, orelse):
+            lines = [f"{pad}if {print_expr(cond)} then"]
+            for st in then:
+                lines.extend(print_stmt(st, indent + 1))
+            if len(orelse):
+                lines.append(f"{pad}else")
+                for st in orelse:
+                    lines.extend(print_stmt(st, indent + 1))
+            lines.append(f"{pad}endif")
+            return lines
+        case CallStmt(name, args):
+            rendered = ", ".join(
+                print_ref(a) if isinstance(a, ArrayRef) else print_expr(a)
+                for a in args
+            )
+            return [f"{pad}call {name}({rendered})"]
+        case ExprStmt(expr):
+            return [f"{pad}{print_expr(expr)}"]
+        case _:
+            raise TypeError(f"cannot print statement {s!r}")
+
+
+def _print_decl(d) -> str:
+    if isinstance(d, ScalarDecl):
+        text = f"scalar {d.name}"
+        if d.init is not None:
+            text += f" = {print_expr(d.init)}"
+        return text
+    assert isinstance(d, ArrayDecl)
+    bounds = ",".join(f"{lo}:{hi}" for lo, hi in d.bounds)
+    text = f"array {d.name}[{bounds}]"
+    if d.universal:
+        text += " universal"
+    if d.dist is not None:
+        text += f" dist {d.dist}"
+    if d.segment_shape is not None:
+        text += " seg (" + ",".join(str(n) for n in d.segment_shape) + ")"
+    if d.dtype != "float64":
+        text += f" dtype {d.dtype}"
+    return text
+
+
+def print_program(p: Program) -> str:
+    lines = [_print_decl(d) for d in p.decls]
+    if lines:
+        lines.append("")
+    for s in p.body:
+        lines.extend(print_stmt(s))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,150 @@
+"""Static verification of IL+XDP programs.
+
+XDP places static obligations on the compiler rather than the run-time
+(paper sections 2.4–2.7): compute rules must be side-effect-free, receive
+left-hand sides must be exclusive sections, transfers may not name
+universal data, and every referenced variable must be declared with
+matching rank.  The verifier enforces what is checkable structurally;
+dynamic obligations (matching sends/receives, deadlock freedom) are
+diagnosed by the engine.
+"""
+
+from __future__ import annotations
+
+from ..errors import VerificationError
+from .nodes import (
+    ArrayDecl, ArrayRef, Assign, Block, CallStmt, DoLoop, Expr, ExprStmt,
+    Full, Guarded, IfStmt, Index, Program, Range, RecvStmt, ScalarDecl,
+    SendStmt, Stmt, VarRef, XferOp,
+)
+from .visitor import array_refs, free_scalars, walk_stmts
+
+__all__ = ["verify_program"]
+
+
+def verify_program(program: Program) -> None:
+    """Raise :class:`VerificationError` on the first structural violation."""
+    arrays: dict[str, ArrayDecl] = {}
+    scalars: set[str] = set()
+    for d in program.decls:
+        if d.name in arrays or d.name in scalars:
+            raise VerificationError(f"duplicate declaration of {d.name!r}")
+        if isinstance(d, ArrayDecl):
+            for lo, hi in d.bounds:
+                if lo > hi:
+                    raise VerificationError(
+                        f"array {d.name}: empty bounds {lo}:{hi}"
+                    )
+            if d.universal and d.dist is not None:
+                raise VerificationError(
+                    f"array {d.name} is both universal and distributed"
+                )
+            if not d.universal and d.dist is None:
+                raise VerificationError(
+                    f"array {d.name} is neither universal nor distributed"
+                )
+            if d.segment_shape is not None and len(d.segment_shape) != d.rank:
+                raise VerificationError(
+                    f"array {d.name}: segment shape rank mismatch"
+                )
+            arrays[d.name] = d
+        else:
+            assert isinstance(d, ScalarDecl)
+            scalars.add(d.name)
+
+    def check_ref(ref: ArrayRef, context: str) -> ArrayDecl:
+        decl = arrays.get(ref.var)
+        if decl is None:
+            raise VerificationError(
+                f"{context}: {ref.var!r} is not a declared array"
+            )
+        if len(ref.subs) != decl.rank:
+            raise VerificationError(
+                f"{context}: {ref.var} has rank {decl.rank} but the reference "
+                f"has {len(ref.subs)} subscripts"
+            )
+        return decl
+
+    def check_exclusive(ref: ArrayRef, context: str) -> None:
+        decl = check_ref(ref, context)
+        if decl.universal:
+            raise VerificationError(
+                f"{context}: {ref.var} is universally owned; XDP restricts "
+                "this position to exclusive sections"
+            )
+
+    loop_vars: list[str] = []
+
+    def visit(s: Stmt) -> None:
+        for ref in array_refs(s):
+            check_ref(ref, type(s).__name__)
+        match s:
+            case Guarded(rule, body):
+                _check_rule_pure(rule)
+                for ref in _intrinsic_refs(rule):
+                    check_exclusive(ref, "compute rule intrinsic")
+                for st in body:
+                    visit(st)
+            case SendStmt(ref, op, dests):
+                check_exclusive(ref, f"send '{op.value}'")
+            case RecvStmt(into, op, source):
+                check_exclusive(into, f"receive '{op.value}'")
+                if op is XferOp.RECV_VALUE:
+                    if source is None:
+                        raise VerificationError("value receive without a source name")
+                    check_exclusive(source, "receive source")
+                elif source is not None and source != into:
+                    raise VerificationError(
+                        "ownership receive names its own section; no separate source"
+                    )
+            case DoLoop(var, _, _, _, body):
+                if var in loop_vars:
+                    raise VerificationError(
+                        f"loop variable {var!r} shadows an enclosing loop"
+                    )
+                loop_vars.append(var)
+                for st in body:
+                    visit(st)
+                loop_vars.pop()
+            case IfStmt(_, then, orelse):
+                for st in list(then) + list(orelse):
+                    visit(st)
+            case ExprStmt(expr):
+                for ref in _intrinsic_refs(expr):
+                    check_exclusive(ref, "intrinsic")
+            case Assign() | CallStmt():
+                pass
+            case _:
+                raise VerificationError(f"unknown statement {type(s).__name__}")
+
+    for s in program.body:
+        visit(s)
+
+    # Scalars referenced anywhere must be declared or bound by a loop.
+    body_free = free_scalars(program.body)
+    undeclared = body_free - scalars
+    if undeclared:
+        raise VerificationError(
+            f"undeclared scalar(s): {', '.join(sorted(undeclared))} "
+            "(declare with 'scalar NAME' or bind with a loop)"
+        )
+
+
+def _check_rule_pure(rule: Expr) -> None:
+    """Compute rules 'may not have side effects, so in particular they may
+    not include send or receive statements' (section 2.4).  Expressions are
+    side-effect-free by construction; this guards future extensions."""
+    # All Expr nodes are pure; nothing further to check structurally.
+    return
+
+
+def _intrinsic_refs(e: Expr):
+    from .nodes import Accessible, Await, Iown, Mylb, Myub
+    from .visitor import walk_exprs
+
+    for sub in walk_exprs(e):
+        match sub:
+            case Iown(ref) | Accessible(ref) | Await(ref):
+                yield ref
+            case Mylb(ref, _) | Myub(ref, _):
+                yield ref

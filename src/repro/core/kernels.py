@@ -1,0 +1,102 @@
+"""Computation kernels callable from IL+XDP programs.
+
+The paper's 3-D FFT example calls an opaque library routine ``fft1D()``;
+the host IL models such routines as *kernels*: named Python functions that
+mutate gathered section values in place and report a flop count, which the
+engine converts to virtual compute time.  Kernels keep local computation
+strictly separate from data transfer — they never communicate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Kernel", "KernelRegistry", "default_registry"]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A named local-computation routine.
+
+    ``fn`` receives the gathered section values (dense ndarrays, mutated in
+    place) followed by any scalar arguments, and returns the number of
+    flops performed — the engine charges ``flops * flop_time``.
+    """
+
+    name: str
+    fn: Callable[..., int]
+
+
+class KernelRegistry:
+    """Name → kernel mapping used by the interpreter and the VM."""
+
+    def __init__(self) -> None:
+        self._kernels: dict[str, Kernel] = {}
+
+    def register(self, name: str, fn: Callable[..., int]) -> Kernel:
+        k = Kernel(name, fn)
+        self._kernels[name] = k
+        return k
+
+    def get(self, name: str) -> Kernel:
+        try:
+            return self._kernels[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown kernel {name!r}; registered: {sorted(self._kernels)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._kernels
+
+
+def _fft1d(arr: np.ndarray) -> int:
+    """In-place 1-D FFT of a section with exactly one non-unit extent.
+
+    The section shape may be e.g. ``(1, 4, 1)`` for ``A[i, *, k]``; the FFT
+    runs along the non-unit axis.  Flops follow the standard radix-2
+    estimate ``5 n log2 n``.
+    """
+    n = arr.size
+    flat = arr.reshape(n)
+    flat[...] = np.fft.fft(flat)
+    return max(1, int(5 * n * math.log2(n))) if n > 1 else 1
+
+
+def _work(units: float = 1.0) -> int:
+    """Pure virtual work: burns ``units`` flops without touching data."""
+    return int(units)
+
+
+def _negate(arr: np.ndarray) -> int:
+    arr *= -1
+    return arr.size
+
+
+def _scale(arr: np.ndarray, factor: float) -> int:
+    arr *= factor
+    return arr.size
+
+
+def _smooth(arr: np.ndarray) -> int:
+    """Three-point smoothing along the last axis (a stencil-ish kernel)."""
+    flat = arr.reshape(-1, arr.shape[-1])
+    if flat.shape[-1] >= 3:
+        inner = (flat[:, :-2] + flat[:, 1:-1] + flat[:, 2:]) / 3.0
+        flat[:, 1:-1] = inner
+    return 3 * arr.size
+
+
+def default_registry() -> KernelRegistry:
+    """Kernels available to every program unless overridden."""
+    reg = KernelRegistry()
+    reg.register("fft1D", _fft1d)
+    reg.register("work", _work)
+    reg.register("negate", _negate)
+    reg.register("scale", _scale)
+    reg.register("smooth", _smooth)
+    return reg

@@ -1,0 +1,87 @@
+"""Destination binding as an optimization pass (paper section 3.2).
+
+"It may be useful for optimizations (and essential for code generation) to
+annotate an XDP send statement with the id of the receiving processor."
+
+The translator binds destinations as it generates code; this pass performs
+the same annotation on *hand-written* IL+XDP that uses the canonical
+owner-computes communication idiom::
+
+    iown(R) : { R -> }                       # unspecified recipient
+    iown(L) : { T <- R ; await(T) ; ... }    # the receiver's guard names L
+
+The receiver of each instance is the owner of ``L``; when ``L`` is an
+element reference of an HPF-distributed array, that owner is a closed-form
+expression of the subscripts (see
+:mod:`repro.core.analysis.ownerexpr`), inlined as the send's destination
+set.  Binding converts pool matching into per-destination FIFO channels —
+deterministic pairing even when a section name is reused across outer
+iterations.
+"""
+
+from __future__ import annotations
+
+from ..analysis.ownerexpr import owner_pid1_expr
+from ..analysis.ownership import CompilerContext
+from ..ir.nodes import (
+    ArrayRef, Await, Block, ExprStmt, Guarded, Iown, Program, RecvStmt,
+    SendStmt, Stmt, XferOp,
+)
+from ..ir.printer import print_expr, print_ref
+from .common import OrderedRewriter
+
+__all__ = ["DestinationBinding"]
+
+
+class DestinationBinding:
+    name = "destination-binding"
+
+    def run(self, program: Program, ctx: CompilerContext) -> Program:
+        return _Rewriter(ctx).rewrite_program(program)
+
+
+class _Rewriter(OrderedRewriter):
+    def rewrite_block(self, block: Block, loops) -> Block:
+        stmts = list(block.stmts)
+        for i in range(len(stmts) - 1):
+            bound = self._try_bind(stmts[i], stmts[i + 1])
+            if bound is not None:
+                stmts[i] = bound
+        return super().rewrite_block(Block(tuple(stmts)), loops)
+
+    def _try_bind(self, first: Stmt, second: Stmt) -> Stmt | None:
+        match first:
+            case Guarded(
+                Iown(g_ref),
+                Block((SendStmt(s_ref, XferOp.SEND_VALUE, None),)),
+            ) if g_ref == s_ref:
+                pass
+            case _:
+                return None
+        l_ref = self._receiver_of(second, s_ref)
+        if l_ref is None or not l_ref.is_element():
+            return None
+        decl = self.ctx.array_decl(l_ref.var)
+        if decl is None or decl.universal or l_ref.var not in self.ctx.layouts:
+            return None
+        dest = owner_pid1_expr(decl, self.ctx.layouts[l_ref.var], l_ref)
+        if dest is None:
+            return None
+        self.ctx.note(
+            f"{DestinationBinding.name}: bound send of {print_ref(s_ref)} "
+            f"to owner({print_ref(l_ref)}) = {print_expr(dest)}"
+        )
+        return Guarded(
+            Iown(s_ref),
+            Block((SendStmt(s_ref, XferOp.SEND_VALUE, (dest,)),)),
+        )
+
+    @staticmethod
+    def _receiver_of(stmt: Stmt, source_ref: ArrayRef) -> ArrayRef | None:
+        """The L of ``iown(L) : { T <- R ; ... }`` when R matches."""
+        match stmt:
+            case Guarded(Iown(l_ref), Block(body)) if body:
+                match body[0]:
+                    case RecvStmt(_, XferOp.RECV_VALUE, src) if src == source_ref:
+                        return l_ref
+        return None

@@ -1,0 +1,178 @@
+"""Shared machinery for the optimization passes.
+
+Two recurring needs:
+
+* **Ordered rewriting with ownership tracking** — a pass that reasons from
+  the *initial* data distribution may only do so for arrays whose ownership
+  has not been changed by earlier statements.  :class:`OrderedRewriter`
+  walks blocks in program order, maintaining the set of "dirty" arrays
+  (those named by any ownership-moving statement so far).
+
+* **Dynamic guard simulation** — the FFT redistribution loop (paper
+  section 4) changes ownership *inside* the guarded loop, so deciding
+  which iterations a processor executes requires simulating the ownership
+  set across iterations.  :func:`dynamic_guard_true_iterations` does this
+  by enumerating element sets, using the per-iteration released/acquired
+  sections from the reference-set analysis.
+"""
+
+from __future__ import annotations
+
+from ..analysis.consteval import ConstEnv
+from ..analysis.ownership import CompilerContext, OwnershipAnalysis
+from ..analysis.refsets import stmt_refsets
+from ..ir.nodes import (
+    ArrayRef, Block, DoLoop, Guarded, IfStmt, Program, RecvStmt, SendStmt,
+    Stmt,
+)
+from ..ir.visitor import walk_stmts
+
+__all__ = [
+    "OrderedRewriter",
+    "ownership_ops",
+    "dynamic_guard_true_iterations",
+    "ELEMENT_SIM_CAP",
+]
+
+#: Maximum number of array elements the dynamic ownership simulation will
+#: materialise before giving up conservatively.
+ELEMENT_SIM_CAP = 65536
+
+
+def ownership_ops(stmt: Stmt | Block) -> set[str]:
+    """Arrays whose ownership a statement subtree may move."""
+    out: set[str] = set()
+    for s in walk_stmts(stmt):
+        match s:
+            case SendStmt(ref, op, _):
+                if op.moves_ownership:
+                    out.add(ref.var)
+            case RecvStmt(into, op, _):
+                if op.moves_ownership:
+                    out.add(into.var)
+    return out
+
+
+class OrderedRewriter:
+    """Program-order block rewriting with dirty-array tracking.
+
+    Subclasses override :meth:`visit`, which receives each statement with
+    the enclosing loop stack; ``self.dirty`` holds the arrays whose initial
+    distribution is no longer trustworthy at that point.  The default
+    recurses into structured statements.
+    """
+
+    def __init__(self, ctx: CompilerContext):
+        self.ctx = ctx
+        self.analysis = OwnershipAnalysis(ctx)
+        self.dirty: set[str] = set()
+
+    def rewrite_program(self, program: Program) -> Program:
+        return Program(program.decls, self.rewrite_block(program.body, []))
+
+    def rewrite_block(self, block: Block, loops: list[DoLoop]) -> Block:
+        out: list[Stmt] = []
+        for s in block:
+            replacement = self.visit(s, loops)
+            if replacement is None:
+                pass
+            elif isinstance(replacement, list):
+                out.extend(replacement)
+            else:
+                out.append(replacement)
+            # Whatever the rewrite produced, the original statement's
+            # ownership effects have happened by this point in program
+            # order (rewrites preserve semantics).
+            self.dirty |= ownership_ops(s)
+        return Block(tuple(out))
+
+    def visit(self, stmt: Stmt, loops: list[DoLoop]) -> Stmt | list[Stmt] | None:
+        return self.recurse(stmt, loops)
+
+    def recurse(self, stmt: Stmt, loops: list[DoLoop]) -> Stmt:
+        match stmt:
+            case Guarded(rule, body):
+                return Guarded(rule, self.rewrite_block(body, loops))
+            case DoLoop(var, lo, hi, step, body):
+                return DoLoop(var, lo, hi, step, self.rewrite_block(body, loops + [stmt]))
+            case IfStmt(cond, then, orelse):
+                return IfStmt(
+                    cond,
+                    self.rewrite_block(then, loops),
+                    self.rewrite_block(orelse, loops),
+                )
+            case _:
+                return stmt
+
+
+def _owned_points(
+    ctx: CompilerContext, name: str, pid: int
+) -> set[tuple[int, ...]] | None:
+    dist = ctx.layouts[name].distribution
+    if dist.index_space.size > ELEMENT_SIM_CAP:
+        return None
+    out: set[tuple[int, ...]] = set()
+    for sec in dist.owned_sections(pid):
+        out.update(sec)
+    return out
+
+
+def dynamic_guard_true_iterations(
+    loop: DoLoop,
+    guard_ref: ArrayRef,
+    ctx: CompilerContext,
+    env: ConstEnv,
+    pid: int,
+) -> list[int] | None:
+    """Iterations of ``loop`` at which ``iown(guard_ref)`` holds on ``pid``,
+    accounting for ownership transfers performed by the guarded body in
+    earlier iterations.
+
+    Returns ``None`` when anything is unresolvable (symbolic bounds,
+    unresolvable sections, oversized arrays) — callers must then keep the
+    guard.  Acquired sections count as owned immediately (a transitional
+    section is owned, Figure 1)."""
+    analysis = OwnershipAnalysis(ctx)
+    vals = analysis.iteration_values(loop, env)
+    if vals is None:
+        return None
+    owned = _owned_points(ctx, guard_ref.var, pid)
+    if owned is None:
+        return None
+    # Other arrays' ownership the body might move, tracked lazily.
+    other_owned: dict[str, set[tuple[int, ...]]] = {guard_ref.var: owned}
+
+    def points_of(name: str) -> set[tuple[int, ...]] | None:
+        if name not in other_owned:
+            pts = _owned_points(ctx, name, pid)
+            if pts is None:
+                return None
+            other_owned[name] = pts
+        return other_owned[name]
+
+    true_iters: list[int] = []
+    for v in vals:
+        env_v = env.at_pid(pid + 1).bind(**{loop.var: v})
+        sec = analysis.resolve(guard_ref, env_v)
+        if sec is None:
+            return None
+        guard_pts = set(sec)
+        if guard_pts <= other_owned[guard_ref.var]:
+            true_iters.append(v)
+            # Apply this iteration's ownership effects before testing the
+            # next one.
+            for s in loop.body:
+                rs = stmt_refsets(s, ctx, env_v)
+                if rs.unknown:
+                    return None
+                for name, rsec in rs.released:
+                    pts = points_of(name)
+                    if pts is None:
+                        return None
+                    pts.difference_update(rsec)
+                for name, asec in rs.acquired:
+                    pts = points_of(name)
+                    if pts is None:
+                        return None
+                    pts.update(asec)
+    return true_iters

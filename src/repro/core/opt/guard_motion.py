@@ -1,0 +1,92 @@
+"""Guard hoisting: widening a per-iteration ``iown`` guard to loop level.
+
+The paper's FFT example assumes an earlier phase produced loop-level guards
+(``iown(A[*,*,k])`` around the whole inner FFT loop) rather than one guard
+per call.  This pass performs that widening::
+
+    do v { iown(A[.., v, ..]) : body }
+      ==>
+    iown(A[.., *, ..]) : { do v { body } }
+
+legal when compile-time enumeration shows that, on every processor, the
+per-iteration guard has the same truth value for all iterations and that
+value equals the widened guard's — i.e. ownership of the array is
+all-or-nothing across the loop (true for the collapsed dimensions of HPF
+distributions).  Hoisting pays the symbol-table lookup once per loop
+instead of once per iteration.
+"""
+
+from __future__ import annotations
+
+from ..analysis.consteval import const_eval
+from ..analysis.ownership import CompilerContext
+from ..ir.nodes import (
+    ArrayRef, Block, DoLoop, Full, Guarded, Index, Iown, Program, Stmt,
+    VarRef,
+)
+from ..ir.printer import print_ref
+from .common import OrderedRewriter, ownership_ops
+
+__all__ = ["GuardHoisting"]
+
+
+class GuardHoisting:
+    name = "guard-hoisting"
+
+    def run(self, program: Program, ctx: CompilerContext) -> Program:
+        return _Rewriter(ctx).rewrite_program(program)
+
+
+class _Rewriter(OrderedRewriter):
+    def visit(self, stmt: Stmt, loops) -> Stmt | list[Stmt] | None:
+        match stmt:
+            case DoLoop(var, lo, hi, step, Block((Guarded(Iown(ref), g_body),))):
+                hoisted = self._try_hoist(stmt, ref, g_body)
+                if hoisted is not None:
+                    return self.recurse(hoisted, loops)
+        return self.recurse(stmt, loops)
+
+    def _try_hoist(self, loop: DoLoop, ref: ArrayRef, g_body: Block) -> Stmt | None:
+        if ref.var in self.dirty or ref.var in ownership_ops(g_body):
+            return None
+        dims = [
+            d for d, sub in enumerate(ref.subs) if sub == Index(VarRef(loop.var))
+        ]
+        if not dims:
+            return None
+        # No other use of the loop variable in the guard.
+        for d, sub in enumerate(ref.subs):
+            if d in dims:
+                continue
+            from .compute_rule_elim import _sub_exprs
+
+            if any(
+                isinstance(e, VarRef) and e.name == loop.var
+                for e in _sub_exprs(sub)
+            ):
+                return None
+        widened = ArrayRef(
+            ref.var,
+            tuple(Full() if d in dims else sub for d, sub in enumerate(ref.subs)),
+        )
+        env = self.ctx.consts
+        vals = self.analysis.iteration_values(loop, env)
+        if vals is None or not vals:
+            return None
+        for pid in range(self.ctx.nprocs):
+            penv = env.at_pid(pid + 1)
+            widened_owned = self.analysis.owned_by(widened, penv, pid)
+            if widened_owned is None:
+                return None
+            for v in vals:
+                per_iter = self.analysis.owned_by(ref, penv.bind(**{loop.var: v}), pid)
+                if per_iter is None or per_iter != widened_owned:
+                    return None
+        self.ctx.note(
+            f"{GuardHoisting.name}: hoisted iown({print_ref(ref)}) out of the "
+            f"loop over {loop.var} as iown({print_ref(widened)})"
+        )
+        return Guarded(
+            Iown(widened),
+            Block((DoLoop(loop.var, loop.lo, loop.hi, loop.step, g_body),)),
+        )

@@ -1,0 +1,106 @@
+"""Pass management.
+
+A pass is an object with a ``name`` and ``run(program, ctx) -> Program``;
+it records human-readable notes on the shared
+:class:`~repro.core.analysis.ownership.CompilerContext` (``ctx.note``),
+which the pass manager collects into a report — the compiler's explanation
+of what it did to the data movement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from ...distributions import ProcessorGrid
+from ..analysis.ownership import CompilerContext
+from ..ir.nodes import Program
+from ..ir.verify import verify_program
+
+__all__ = ["Pass", "PassManager", "optimize"]
+
+
+class Pass(Protocol):
+    name: str
+
+    def run(self, program: Program, ctx: CompilerContext) -> Program: ...
+
+
+@dataclass
+class PassResult:
+    program: Program
+    reports: list[str]
+
+    def report_text(self) -> str:
+        return "\n".join(self.reports)
+
+
+class PassManager:
+    """Runs a pipeline of passes, re-verifying the IR after each."""
+
+    def __init__(self, passes: Sequence[Pass], *, verify: bool = True):
+        self.passes = list(passes)
+        self.verify = verify
+
+    def run(
+        self,
+        program: Program,
+        nprocs: int,
+        grid: ProcessorGrid | None = None,
+    ) -> PassResult:
+        ctx = CompilerContext.create(program, nprocs, grid)
+        if self.verify:
+            verify_program(program)
+        current = program
+        for p in self.passes:
+            before = len(ctx.reports)
+            ctx.program = current
+            current = p.run(current, ctx)
+            if len(ctx.reports) == before:
+                ctx.note(f"{p.name}: no opportunities")
+            if self.verify:
+                verify_program(current)
+        return PassResult(current, ctx.reports)
+
+
+def optimize(
+    program: Program,
+    nprocs: int,
+    *,
+    grid: ProcessorGrid | None = None,
+    level: int = 2,
+) -> PassResult:
+    """The default pipeline at an optimization level.
+
+    * level 0 — verification only;
+    * level 1 — transfer elimination + compute-rule elimination + cleanup;
+    * level 2 — level 1 plus message vectorization, guard hoisting, loop
+      fusion, await sinking and receive hoisting (the full paper pipeline).
+    """
+    from .await_motion import AwaitSinking
+    from .binding import DestinationBinding
+    from .cleanup import Cleanup
+    from .compute_rule_elim import ComputeRuleElimination
+    from .fusion import LoopFusion
+    from .guard_motion import GuardHoisting
+    from .recv_motion import ReceiveHoisting
+    from .transfer_elim import TransferElimination
+    from .vectorize import MessageVectorization
+
+    if level <= 0:
+        passes: list[Pass] = []
+    elif level == 1:
+        passes = [TransferElimination(), DestinationBinding(),
+                  ComputeRuleElimination(), Cleanup()]
+    else:
+        passes = [
+            TransferElimination(),
+            MessageVectorization(),
+            DestinationBinding(),
+            ComputeRuleElimination(),
+            GuardHoisting(),
+            LoopFusion(),
+            AwaitSinking(),
+            ReceiveHoisting(),
+            Cleanup(),
+        ]
+    return PassManager(passes).run(program, nprocs, grid)

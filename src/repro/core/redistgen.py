@@ -1,0 +1,74 @@
+"""Generate IL+XDP redistribution code from a compile-time plan.
+
+The paper (section 4) notes that the compiler builds "an auxiliary data
+structure … that links the ``-=>`` and ``<=-`` statements … used for
+communication binding at code generation time and to generate matching
+message types".  :class:`~repro.distributions.RedistributionPlan` is that
+structure; this module turns it into the linked, destination-bound
+statement pairs:
+
+.. code-block:: none
+
+    mypid == s : { A[sec] -=> {d} }      // one per move, sends first
+    mypid == d : { A[sec] <=- }          // then the matching receives
+
+and optionally the synchronisation epilogue (``await`` per received
+section) that downstream compute needs.
+"""
+
+from __future__ import annotations
+
+from ..distributions import RedistributionPlan
+from .ir.nodes import (
+    ArrayRef, Await, BinOp, Block, ExprStmt, Guarded, Index, IntConst, Mypid,
+    Range, RecvStmt, SendStmt, Stmt, Subscript, XferOp,
+)
+from .sections import Section, Triplet
+
+__all__ = ["redistribution_statements", "section_to_subscripts"]
+
+
+def _triplet_sub(t: Triplet) -> Subscript:
+    if t.size == 1:
+        return Index(IntConst(t.lo))
+    step = None if t.step == 1 else IntConst(t.step)
+    return Range(IntConst(t.lo), IntConst(t.hi), step)
+
+
+def section_to_subscripts(sec: Section) -> tuple[Subscript, ...]:
+    """Constant IL subscripts denoting a concrete section."""
+    return tuple(_triplet_sub(t) for t in sec.dims)
+
+
+def _on_pid(pid0: int, stmt: Stmt) -> Guarded:
+    return Guarded(BinOp("==", Mypid(), IntConst(pid0 + 1)), Block((stmt,)))
+
+
+def redistribution_statements(
+    var: str,
+    plan: RedistributionPlan,
+    *,
+    with_value: bool = True,
+    awaits: bool = False,
+) -> list[Stmt]:
+    """IL+XDP statements realising ``plan`` for array ``var``.
+
+    ``with_value=False`` emits pure ownership moves (``=>`` / ``<=``) for
+    data whose values need not travel.  ``awaits=True`` appends one
+    ``await`` per received section, so following statements may rely on
+    accessibility.
+    """
+    send_op = XferOp.SEND_OWNER_VALUE if with_value else XferOp.SEND_OWNER
+    recv_op = XferOp.RECV_OWNER_VALUE if with_value else XferOp.RECV_OWNER
+    sends: list[Stmt] = []
+    recvs: list[Stmt] = []
+    waits: list[Stmt] = []
+    for m in plan.moves:
+        ref = ArrayRef(var, section_to_subscripts(m.section))
+        sends.append(
+            _on_pid(m.src, SendStmt(ref, send_op, (IntConst(m.dst + 1),)))
+        )
+        recvs.append(_on_pid(m.dst, RecvStmt(ref, recv_op)))
+        if awaits:
+            waits.append(_on_pid(m.dst, ExprStmt(Await(ref))))
+    return sends + recvs + waits

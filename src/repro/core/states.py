@@ -1,0 +1,41 @@
+"""Section/segment states from Figure 1 of the paper.
+
+With respect to a given processor ``p``, an exclusive section is in exactly
+one of three states:
+
+* ``UNOWNED`` — some element of the section is not owned by ``p``;
+* ``ACCESSIBLE`` — the entire section is owned by ``p`` and ``p`` has no
+  uncompleted receive involving any element of it;
+* ``TRANSITIONAL`` — the entire section is owned by ``p`` and ``p`` has
+  initiated an uncompleted receive involving some element of it.  The value
+  of a transitional section is unpredictable.
+
+XDP deliberately does **not** check states automatically at run time (paper
+section 2.1); the compiler inserts ``await()``/``accessible()`` where
+needed.  The states are tracked per *segment* in the run-time symbol table
+(:mod:`repro.runtime.symtab`), and the engine uses them to implement the
+blocking behaviour of ``await``, ownership sends and value receives.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["SegmentState"]
+
+
+class SegmentState(enum.Enum):
+    """State of one segment on one processor (paper Figure 1, bottom panel)."""
+
+    UNOWNED = "unowned"
+    TRANSITIONAL = "transitional"
+    ACCESSIBLE = "accessible"
+
+    @property
+    def owned(self) -> bool:
+        """Owned means *not unowned* (paper Figure 1: 'If a section is not
+        unowned, we say it is owned')."""
+        return self is not SegmentState.UNOWNED
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

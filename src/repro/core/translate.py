@@ -1,0 +1,337 @@
+"""Translation of sequential host-IL programs into IL+XDP SPMD programs.
+
+Paper section 1: "The original shared memory program can be considered to
+be an SPMD node program that is replicated along with all its data, on
+every node.  The compiler can then use data partitioning to transform the
+intermediate representation into the eventual distributed memory SPMD node
+program."  Section 2.2 shows the straightforward owner-computes result for
+``A[i] = A[i] + B[i]``:
+
+.. code-block:: none
+
+    do i = 1, n
+      iown(B[i]) : { B[i] -> }
+      iown(A[i]) : {
+        T[mypid] <- B[i]
+        await(T[mypid])
+        A[i] = A[i] + T[mypid]
+      }
+    enddo
+
+:func:`translate` reproduces exactly that shape (strategy
+``"owner-computes"``), introducing one per-processor temp array per
+communicated reference.  Strategy ``"migrate"`` instead produces the
+paper's ownership-migration variant, where the left-hand side's ownership
+moves to the right-hand side's owner before computing:
+
+.. code-block:: none
+
+    do i = 1, n
+      iown(A[i]) : { A[i] -=> }
+      iown(B[i]) : { A[i] <=- }
+      await(A[i]) : { A[i] = A[i] + B[i] }
+    enddo
+
+(the compiler "might determine that it would save future communication if
+ownership of each element of the A array were moved to the same processor
+as the corresponding element of the B array").  Our migrate output guards
+the transfer pair with ``not iown(...)`` so already-aligned elements do
+not ship ownership to themselves; ``literal_migrate=True`` emits the
+paper's unguarded form.
+
+The input must be *sequential*: it may not already contain XDP transfer
+statements or compute rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..distributions import ProcessorGrid
+from .errors import CompilationError
+from .ir.nodes import (
+    ArrayDecl, ArrayRef, Assign, Await, BinOp, Block, CallStmt, DoLoop, Expr,
+    ExprStmt, Guarded, IfStmt, Index, Iown, Mypid, Program, RecvStmt,
+    ScalarDecl, SendStmt, Stmt, UnaryOp, VarRef, XferOp,
+)
+from .ir.visitor import map_expr, walk_exprs
+
+__all__ = ["translate"]
+
+
+@dataclass
+class _Ctx:
+    program: Program
+    nprocs: int
+    strategy: str
+    literal_migrate: bool
+    bind_destinations: bool
+    grid: ProcessorGrid
+    new_decls: list[ArrayDecl] = field(default_factory=list)
+    temp_counter: int = 0
+
+    def owner_expr(self, ref: ArrayRef) -> Expr | None:
+        """Closed-form 1-based owner pid of an element reference, used to
+        bind send destinations (paper section 3.2: 'essential for code
+        generation').  None when unbindable."""
+        if not self.bind_destinations:
+            return None
+        decl = self.array_decl(ref.var)
+        if decl is None or decl.universal or decl.dist is None:
+            return None
+        from .analysis.layouts import build_segmentation
+        from .analysis.ownerexpr import owner_pid1_expr
+
+        try:
+            layout = build_segmentation(decl, self.grid)
+        except Exception:
+            return None
+        return owner_pid1_expr(decl, layout, ref)
+
+    def array_decl(self, name: str) -> ArrayDecl | None:
+        for d in self.program.decls:
+            if d.name == name and isinstance(d, ArrayDecl):
+                return d
+        return None
+
+    def is_exclusive(self, name: str) -> bool:
+        d = self.array_decl(name)
+        return d is not None and not d.universal
+
+    def fresh_temp(self) -> str:
+        self.temp_counter += 1
+        name = f"_T{self.temp_counter}"
+        self.new_decls.append(
+            ArrayDecl(
+                name,
+                bounds=((1, self.nprocs),),
+                dist="(BLOCK)",
+                segment_shape=(1,),
+            )
+        )
+        return name
+
+
+def _check_sequential(program: Program) -> None:
+    from .ir.visitor import walk_stmts
+
+    for s in walk_stmts(program.body):
+        if isinstance(s, (SendStmt, RecvStmt, Guarded)):
+            raise CompilationError(
+                "translate() expects a sequential program; it already "
+                f"contains the XDP statement {type(s).__name__}"
+            )
+
+
+def _exclusive_refs(expr: Expr, ctx: _Ctx) -> list[ArrayRef]:
+    """Distinct exclusive array references in an expression, in order."""
+    seen: list[ArrayRef] = []
+    for e in walk_exprs(expr):
+        if isinstance(e, ArrayRef) and ctx.is_exclusive(e.var) and e not in seen:
+            seen.append(e)
+    return seen
+
+
+def _mypid_elem(temp: str) -> ArrayRef:
+    return ArrayRef(temp, (Index(Mypid()),))
+
+
+def translate(
+    program: Program,
+    nprocs: int,
+    *,
+    strategy: str = "owner-computes",
+    literal_migrate: bool = False,
+    bind_destinations: bool = True,
+    grid: ProcessorGrid | None = None,
+) -> Program:
+    """Lower a sequential program to an IL+XDP SPMD node program.
+
+    Parameters
+    ----------
+    program:
+        Sequential host-IL program (loops, assignments, calls; declared
+        distributions but no XDP statements).
+    nprocs:
+        Target processor count — the paper's implementation assumes a
+        fixed, known machine, and the introduced per-processor temp arrays
+        need its size.
+    strategy:
+        ``"owner-computes"`` (default) or ``"migrate"`` (move LHS ownership
+        to the RHS owner, the paper's section-2.2 alternative).
+    literal_migrate:
+        With ``strategy="migrate"``, emit the paper's literal unguarded
+        transfer pair (self-transfers included) instead of the
+        ``not iown``-guarded form.
+    bind_destinations:
+        Annotate sends with the receiving processor computed as inline
+        owner arithmetic (paper section 3.2).  Binding is what makes
+        repeated communication of the same section name across outer
+        iterations well-defined: with per-destination FIFO channels, the
+        k-th send to a receiver pairs with its k-th receive.  Disable to
+        get the paper's literal unannotated listings (correct only when
+        name reuse is synchronised, as in the paper's single loop).
+    grid:
+        Processor grid (defaults to a linear array of ``nprocs``).
+    """
+    if strategy not in ("owner-computes", "migrate"):
+        raise CompilationError(f"unknown translation strategy {strategy!r}")
+    _check_sequential(program)
+    if grid is None:
+        grid = ProcessorGrid((nprocs,))
+    ctx = _Ctx(program, nprocs, strategy, literal_migrate, bind_destinations, grid)
+    body = _xlate_block(program.body, ctx)
+    return Program(tuple(program.decls) + tuple(ctx.new_decls), body)
+
+
+def _xlate_block(block: Block, ctx: _Ctx) -> Block:
+    out: list[Stmt] = []
+    for s in block:
+        out.extend(_xlate_stmt(s, ctx))
+    return Block(tuple(out))
+
+
+def _xlate_stmt(s: Stmt, ctx: _Ctx) -> list[Stmt]:
+    match s:
+        case DoLoop(var, lo, hi, step, body):
+            _require_universal_expr(lo, ctx, "loop bound")
+            _require_universal_expr(hi, ctx, "loop bound")
+            _require_universal_expr(step, ctx, "loop step")
+            return [DoLoop(var, lo, hi, step, _xlate_block(body, ctx))]
+        case IfStmt(cond, then, orelse):
+            _require_universal_expr(cond, ctx, "if condition")
+            return [IfStmt(cond, _xlate_block(then, ctx), _xlate_block(orelse, ctx))]
+        case Assign():
+            return _xlate_assign(s, ctx)
+        case CallStmt(_, args):
+            guards: list[Expr] = []
+            for a in args:
+                if isinstance(a, ArrayRef) and ctx.is_exclusive(a.var):
+                    guards.append(Iown(a))
+                else:
+                    if not isinstance(a, ArrayRef):
+                        _require_universal_expr(a, ctx, "call argument")
+            if not guards:
+                return [s]
+            rule = guards[0]
+            for g in guards[1:]:
+                rule = BinOp("and", rule, g)
+            return [Guarded(rule, Block((s,)))]
+        case ExprStmt(expr):
+            _require_universal_expr(expr, ctx, "expression statement")
+            return [s]
+        case _:
+            raise CompilationError(f"cannot translate statement {type(s).__name__}")
+
+
+def _require_universal_expr(e: Expr, ctx: _Ctx, what: str) -> None:
+    refs = _exclusive_refs(e, ctx)
+    if refs:
+        raise CompilationError(
+            f"{what} references exclusive section "
+            f"{refs[0].var}: it must be computable on every processor"
+        )
+
+
+def _xlate_assign(s: Assign, ctx: _Ctx) -> list[Stmt]:
+    target = s.target
+
+    # Scalar or universal-array target: computed by every processor, so the
+    # RHS must be universal too (a broadcast of exclusive data would be the
+    # compiler's job; we require an explicit element target instead).
+    if isinstance(target, VarRef):
+        _require_universal_expr(s.expr, ctx, "scalar assignment")
+        return [s]
+    assert isinstance(target, ArrayRef)
+    if not ctx.is_exclusive(target.var):
+        return _xlate_universal_target(s, target, ctx)
+
+    rhs_refs = [r for r in _exclusive_refs(s.expr, ctx) if r != target]
+
+    if ctx.strategy == "migrate" and len(rhs_refs) == 1 and target.is_element():
+        return _xlate_migrate(s, target, rhs_refs[0], ctx)
+
+    out: list[Stmt] = []
+    substitutions: dict[ArrayRef, ArrayRef] = {}
+    recv_stmts: list[Stmt] = []
+    for r in rhs_refs:
+        if not r.is_element():
+            raise CompilationError(
+                f"owner-computes translation of a section read {r.var} on the "
+                "right-hand side is not supported; write an element loop"
+            )
+        temp = ctx.fresh_temp()
+        t_elem = _mypid_elem(temp)
+        dest = ctx.owner_expr(target)
+        dests = None if dest is None else (dest,)
+        out.append(Guarded(Iown(r), Block((SendStmt(r, XferOp.SEND_VALUE, dests),))))
+        recv_stmts.append(RecvStmt(t_elem, XferOp.RECV_VALUE, r))
+        recv_stmts.append(ExprStmt(Await(t_elem)))
+        substitutions[r] = t_elem
+
+    def swap(e: Expr) -> Expr:
+        if isinstance(e, ArrayRef) and e in substitutions:
+            return substitutions[e]
+        return e
+
+    new_rhs = map_expr(s.expr, swap)
+    body = Block(tuple(recv_stmts) + (Assign(target, new_rhs),))
+    out.append(Guarded(Iown(target), body))
+    return out
+
+
+def _xlate_universal_target(s: Assign, target: ArrayRef, ctx: _Ctx) -> list[Stmt]:
+    """Universal LHS: every processor computes.  Exclusive RHS references
+    are broadcast by their owners (``R -> {1..P}``) and received into a
+    per-processor temp."""
+    rhs_refs = _exclusive_refs(s.expr, ctx)
+    if not rhs_refs:
+        return [s]
+    out: list[Stmt] = []
+    substitutions: dict[ArrayRef, ArrayRef] = {}
+    pre: list[Stmt] = []
+    for r in rhs_refs:
+        if not r.is_element():
+            raise CompilationError(
+                f"broadcast of section {r.var} into a universal target is "
+                "not supported; write an element loop"
+            )
+        temp = ctx.fresh_temp()
+        t_elem = _mypid_elem(temp)
+        from .ir.nodes import IntConst
+
+        all_pids = tuple(IntConst(p) for p in range(1, ctx.nprocs + 1))
+        out.append(
+            Guarded(Iown(r), Block((SendStmt(r, XferOp.SEND_VALUE, all_pids),)))
+        )
+        pre.append(RecvStmt(t_elem, XferOp.RECV_VALUE, r))
+        pre.append(ExprStmt(Await(t_elem)))
+        substitutions[r] = t_elem
+
+    def swap(e: Expr) -> Expr:
+        if isinstance(e, ArrayRef) and e in substitutions:
+            return substitutions[e]
+        return e
+
+    out.extend(pre)
+    out.append(Assign(target, map_expr(s.expr, swap)))
+    return out
+
+
+def _xlate_migrate(
+    s: Assign, target: ArrayRef, anchor: ArrayRef, ctx: _Ctx
+) -> list[Stmt]:
+    """The section-2.2 ownership-migration translation."""
+    if ctx.literal_migrate:
+        send_rule: Expr = Iown(target)
+        recv_rule: Expr = Iown(anchor)
+    else:
+        send_rule = BinOp("and", Iown(target), UnaryOp("not", Iown(anchor)))
+        recv_rule = BinOp("and", Iown(anchor), UnaryOp("not", Iown(target)))
+    dest = ctx.owner_expr(anchor)
+    dests = None if dest is None else (dest,)
+    return [
+        Guarded(send_rule, Block((SendStmt(target, XferOp.SEND_OWNER_VALUE, dests),))),
+        Guarded(recv_rule, Block((RecvStmt(target, XferOp.RECV_OWNER_VALUE),))),
+        Guarded(Await(target), Block((s,))),
+    ]

@@ -1,0 +1,32 @@
+"""HPF-style data distributions, processor grids, segmentation and
+redistribution planning — the partitioning substrate assumed by the paper's
+example implementation (section 3)."""
+
+from .grid import ProcessorGrid
+from .layout import (
+    Block,
+    BlockCyclic,
+    Collapsed,
+    Cyclic,
+    DimSpec,
+    Distribution,
+    parse_dist_spec,
+)
+from .redistribute import Move, RedistributionPlan, plan_redistribution
+from .segmentation import Segmentation, chunk_triplet
+
+__all__ = [
+    "ProcessorGrid",
+    "DimSpec",
+    "Block",
+    "Cyclic",
+    "BlockCyclic",
+    "Collapsed",
+    "Distribution",
+    "parse_dist_spec",
+    "Segmentation",
+    "chunk_triplet",
+    "Move",
+    "RedistributionPlan",
+    "plan_redistribution",
+]

@@ -1,0 +1,147 @@
+"""Redistribution planning (paper section 4, Figure 4).
+
+The 3-D FFT example changes an array's partitioning from ``(*, *, BLOCK)``
+to ``(*, BLOCK, *)`` using XDP ownership-transfer operations.  The compiler
+artifact behind such a change is a *redistribution plan*: for every pair of
+processors, which sections of the index space move.  The paper notes that
+an auxiliary compile-time structure links each ``-=>`` with its matching
+``<=-`` "for communication binding at code generation time"; the
+:class:`RedistributionPlan` is that structure.
+
+Plans can be computed at element-exact granularity (intersections of owned
+regions) or at *segment* granularity, where each source segment is cut
+against the destination distribution so each piece has a single receiver —
+this is what enables the pipelined, per-segment transfer the paper
+illustrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.errors import DistributionError
+from ..core.sections import Section
+from .layout import Distribution
+from .segmentation import Segmentation
+
+__all__ = ["Move", "RedistributionPlan", "plan_redistribution"]
+
+
+@dataclass(frozen=True)
+class Move:
+    """One ownership transfer: ``section`` moves from ``src`` to ``dst``.
+
+    Moves with ``src == dst`` never appear in a plan — data already in
+    place requires no transfer (the compiler's "transfer elimination").
+    """
+
+    src: int
+    dst: int
+    section: Section
+
+    @property
+    def elements(self) -> int:
+        return self.section.size
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"P{self.src + 1} -> P{self.dst + 1}: {self.section}"
+
+
+@dataclass(frozen=True)
+class RedistributionPlan:
+    """All moves realising ``source`` → ``target`` ownership."""
+
+    source: Distribution
+    target: Distribution
+    moves: tuple[Move, ...]
+
+    def moves_from(self, pid: int) -> list[Move]:
+        return [m for m in self.moves if m.src == pid]
+
+    def moves_to(self, pid: int) -> list[Move]:
+        return [m for m in self.moves if m.dst == pid]
+
+    @property
+    def total_elements_moved(self) -> int:
+        return sum(m.elements for m in self.moves)
+
+    @property
+    def message_count(self) -> int:
+        return len(self.moves)
+
+    @property
+    def stationary_elements(self) -> int:
+        """Elements whose owner does not change (transfers eliminated)."""
+        return self.source.index_space.size - self.total_elements_moved
+
+    def pairs(self) -> Iterator[tuple[int, int]]:
+        seen: set[tuple[int, int]] = set()
+        for m in self.moves:
+            key = (m.src, m.dst)
+            if key not in seen:
+                seen.add(key)
+                yield key
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [
+            f"redistribute {self.source.spec_str()} -> {self.target.spec_str()}: "
+            f"{self.message_count} moves, {self.total_elements_moved} elements"
+        ]
+        lines.extend(f"  {m}" for m in self.moves)
+        return "\n".join(lines)
+
+
+def plan_redistribution(
+    source: Distribution,
+    target: Distribution,
+    *,
+    segmentation: Segmentation | None = None,
+) -> RedistributionPlan:
+    """Compute the moves realising a change of distribution.
+
+    Without a segmentation the plan is element-exact: one move per
+    non-empty ``(source-owned piece ∩ target-owned piece)`` with distinct
+    owners.  With a segmentation (which must segment ``source``), each
+    source segment is intersected with the target ownership instead, so
+    the plan's unit of transfer matches the run-time unit of ownership —
+    whole segments move when they land on a single receiver, and edge
+    segments straddling receivers are split minimally.
+    """
+    if source.index_space != target.index_space:
+        raise DistributionError(
+            f"redistribution endpoints disagree on index space: "
+            f"{source.index_space} vs {target.index_space}"
+        )
+    if source.grid.size != target.grid.size:
+        raise DistributionError(
+            "redistribution between different processor counts is not supported"
+        )
+    if segmentation is not None and segmentation.distribution != source:
+        raise DistributionError(
+            "segmentation passed to plan_redistribution must segment the source"
+        )
+
+    moves: list[Move] = []
+    target_regions = [
+        (pid, sec) for pid in target.grid.pids() for sec in target.owned_sections(pid)
+    ]
+
+    if segmentation is None:
+        sources: Iterator[tuple[int, Section]] = (
+            (pid, sec)
+            for pid in source.grid.pids()
+            for sec in source.owned_sections(pid)
+        )
+    else:
+        sources = segmentation.all_segments()
+
+    for src_pid, src_sec in sources:
+        for dst_pid, dst_sec in target_regions:
+            if dst_pid == src_pid:
+                continue
+            inter = src_sec.intersect(dst_sec)
+            if inter is not None:
+                moves.append(Move(src_pid, dst_pid, inter))
+
+    return RedistributionPlan(source, target, tuple(moves))

@@ -1,0 +1,140 @@
+"""Compiler-chosen segmentation of local partitions (paper section 3, Figure 3).
+
+XDP permits ownership transfer at single-element granularity, but "for
+efficiency's sake, a compiler may use a coarser granularity of ownership
+transfer" — it logically divides each processor's local partition of an
+array into *segments* of a size and shape chosen by the compiler.  A
+processor can transfer the ownership of each segment individually, and the
+run-time symbol table tracks state per segment.
+
+A :class:`Segmentation` pairs a :class:`~repro.distributions.layout.Distribution`
+with a segment shape (member counts per dimension) and enumerates, per
+processor, the segments as concrete sections of the *global* index space.
+Segments at partition edges may be partial (smaller than the nominal
+shape), exactly as a compiler handling non-dividing extents would produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..core.errors import DistributionError
+from ..core.sections import Section, Triplet
+from .layout import Distribution
+
+__all__ = ["Segmentation", "chunk_triplet"]
+
+
+def chunk_triplet(t: Triplet, members: int) -> list[Triplet]:
+    """Cut a progression into consecutive chunks of ``members`` members.
+
+    The chunks preserve the stride of ``t`` — segmenting a ``CYCLIC``-owned
+    dimension produces strided segments, matching Figure 2's array ``B``
+    whose ``(4, 2)`` segments span cyclically-owned columns.
+    """
+    if members < 1:
+        raise DistributionError(f"segment extent must be >= 1, got {members}")
+    out: list[Triplet] = []
+    start = t.lo
+    while start <= t.hi:
+        last = min(t.hi, start + (members - 1) * t.step)
+        out.append(Triplet(start, last, t.step))
+        start = last + t.step
+    return out
+
+
+@dataclass(frozen=True)
+class Segmentation:
+    """Per-processor tiling of a distribution's local partitions.
+
+    Parameters
+    ----------
+    distribution:
+        The underlying HPF-style partitioning.
+    segment_shape:
+        Number of owned members each segment spans per dimension (the
+        paper's "segment shape" column in Figure 2 — e.g. ``(2, 1)`` for
+        array ``A``).  Must have the same rank as the array.
+    """
+
+    distribution: Distribution
+    segment_shape: tuple[int, ...]
+    _cache: dict[int, tuple[Section, ...]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.segment_shape, tuple):
+            object.__setattr__(self, "segment_shape", tuple(self.segment_shape))
+        if len(self.segment_shape) != self.distribution.rank:
+            raise DistributionError(
+                f"segment shape {self.segment_shape} has rank "
+                f"{len(self.segment_shape)}, array has rank {self.distribution.rank}"
+            )
+        if any(s < 1 for s in self.segment_shape):
+            raise DistributionError(f"invalid segment shape {self.segment_shape}")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def rank(self) -> int:
+        return self.distribution.rank
+
+    def segments(self, pid: int) -> tuple[Section, ...]:
+        """All segments owned by ``pid`` at program start, as global sections.
+
+        Deterministic order: owned pieces in distribution order, tiled
+        row-major (last dimension fastest), matching the storage layout in
+        Figure 3's "local segmentation" panels.
+        """
+        cached = self._cache.get(pid)
+        if cached is not None:
+            return cached
+        out: list[Section] = []
+        for owned in self.distribution.owned_sections(pid):
+            per_dim = [
+                chunk_triplet(t, m) for t, m in zip(owned.dims, self.segment_shape)
+            ]
+
+            def rec(axis: int, dims: tuple[Triplet, ...]) -> None:
+                if axis == self.rank:
+                    out.append(Section(dims))
+                    return
+                for c in per_dim[axis]:
+                    rec(axis + 1, dims + (c,))
+
+            rec(0, ())
+        result = tuple(out)
+        self._cache[pid] = result
+        return result
+
+    def segment_count(self, pid: int) -> int:
+        """The "#segments" column of Figure 2 for this processor."""
+        return len(self.segments(pid))
+
+    def all_segments(self) -> Iterator[tuple[int, Section]]:
+        """Yield ``(initial_owner_pid, segment)`` over the whole array."""
+        for pid in self.distribution.grid.pids():
+            for seg in self.segments(pid):
+                yield pid, seg
+
+    def segment_containing(self, pid: int, point: tuple[int, ...]) -> Section | None:
+        """The segment of ``pid``'s initial partition containing ``point``."""
+        for seg in self.segments(pid):
+            if point in seg:
+                return seg
+        return None
+
+    def nominal_segment_size(self) -> int:
+        """Elements in a full (non-edge) segment."""
+        n = 1
+        for m in self.segment_shape:
+            n *= m
+        return n
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"segmentation {self.segment_shape} of {self.distribution.spec_str()} "
+            f"{self.distribution.index_space}"
+        )

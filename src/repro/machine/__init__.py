@@ -1,0 +1,30 @@
+"""The simulated distributed-memory SPMD machine: cost model, messages,
+effects, per-processor memory, statistics, and the discrete-event engine."""
+
+from .effects import Compute, Effect, Log, RecvInit, Send, WaitAccessible
+from .engine import HEADER_BYTES, Engine, NodeProgram, ProcessorContext
+from ..runtime.memory import LocalMemory
+from .message import Message, MessageName, TransferKind
+from .model import MachineModel
+from .stats import ProcStats, RunStats, TraceEvent
+
+__all__ = [
+    "Compute",
+    "Send",
+    "RecvInit",
+    "WaitAccessible",
+    "Log",
+    "Effect",
+    "Engine",
+    "ProcessorContext",
+    "NodeProgram",
+    "HEADER_BYTES",
+    "LocalMemory",
+    "Message",
+    "MessageName",
+    "TransferKind",
+    "MachineModel",
+    "ProcStats",
+    "RunStats",
+    "TraceEvent",
+]

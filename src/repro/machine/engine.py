@@ -1,0 +1,439 @@
+"""The discrete-event SPMD execution engine.
+
+Every processor runs the *same* node program (SPMD, paper section 1) as a
+Python generator yielding :mod:`~repro.machine.effects`.  The engine:
+
+* advances per-processor virtual clocks, always resuming the runnable
+  processor with the smallest clock so effects are processed in
+  nondecreasing virtual-time order (which makes message matching
+  deterministic);
+* performs sends and receives, matching them by *name* (variable +
+  section) with FIFO discipline — unspecified-recipient messages live in a
+  pool claimable by any processor, giving the section-2.7 semantics where
+  "any processor that was otherwise idle could initiate a receive";
+* applies receive *completions* to the receiver's run-time symbol table as
+  timestamped events, so ``accessible()`` is false exactly until the
+  completion time — the initiation/completion split of paper section 2.5;
+* implements blocking (``await``, owner sends, receives into transitional
+  sections) via the ``WaitAccessible`` effect, accounting blocked time as
+  idle;
+* detects deadlock: XDP itself does not guarantee freedom from deadlock
+  (the compiler must), so the engine reports it rather than hanging.
+
+Completions may be applied to a *blocked* processor's table ahead of its
+clock while searching for its wake-up time; this is sound because only the
+owning processor reads its table and it cannot run before that time.  Data
+written "early" into a transitional section is unobservable except through
+reads of transitional state, whose value the paper already declares
+unpredictable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Generator, Iterable
+
+import numpy as np
+
+from ..core.errors import DeadlockError, OwnershipError, ProtocolError
+from ..core.sections import Section
+from ..runtime.symtab import RuntimeSymbolTable
+from .effects import Compute, Effect, Log, RecvInit, Send, WaitAccessible
+from ..runtime.memory import LocalMemory
+from .message import Message, MessageName, TransferKind
+from .model import MachineModel
+from .stats import ProcStats, RunStats, TraceEvent
+
+__all__ = ["Engine", "ProcessorContext", "NodeProgram"]
+
+#: Fixed per-message header bytes (the transmitted name tag).
+HEADER_BYTES = 16
+
+
+@dataclass
+class _PendingRecv:
+    seq: int
+    pid: int
+    init_time: float
+    kind: TransferKind
+    name: MessageName
+    into_var: str
+    into_sec: Section
+
+
+@dataclass
+class _Completion:
+    time: float
+    seq: int
+    apply: Callable[[], None]
+    nbytes: int
+
+    def __lt__(self, other: "_Completion") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class ProcessorContext:
+    """What a node program sees of its processor: pid, clock and table."""
+
+    def __init__(self, pid: int, symtab: RuntimeSymbolTable, nprocs: int):
+        self.pid = pid
+        self.symtab = symtab
+        self.nprocs = nprocs
+
+    @property
+    def mypid(self) -> int:
+        return self.pid
+
+
+NodeProgram = Callable[[ProcessorContext], Generator[Effect, object, None]]
+
+
+class _Proc:
+    __slots__ = (
+        "pid", "ctx", "gen", "clock", "blocked_on", "done",
+        "completions", "stats", "send_value",
+    )
+
+    def __init__(self, pid: int, ctx: ProcessorContext, gen: Generator):
+        self.pid = pid
+        self.ctx = ctx
+        self.gen = gen
+        self.clock = 0.0
+        self.blocked_on: tuple[str, Section] | None = None
+        self.done = False
+        self.completions: list[_Completion] = []  # heap
+        self.stats = ProcStats(pid)
+        self.send_value: object = None  # value sent into the generator on resume
+
+    @property
+    def runnable(self) -> bool:
+        return not self.done and self.blocked_on is None
+
+
+class Engine:
+    """Runs one SPMD node program on ``nprocs`` simulated processors."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        model: MachineModel | None = None,
+        *,
+        strict: bool = False,
+        trace: bool = False,
+        max_effects: int = 10_000_000,
+    ):
+        self.nprocs = nprocs
+        self.model = model if model is not None else MachineModel()
+        self.strict = strict
+        self.trace_enabled = trace
+        self.max_effects = max_effects
+        self.symtabs = [
+            RuntimeSymbolTable(pid, LocalMemory(pid), strict=strict)
+            for pid in range(nprocs)
+        ]
+        self._seq = itertools.count()
+        self._unclaimed: dict[tuple[TransferKind, MessageName], deque[Message]] = {}
+        self._pending: dict[tuple[TransferKind, MessageName], deque[_PendingRecv]] = {}
+        self._trace: list[TraceEvent] = []
+        self._logs: list[tuple[float, int, str]] = []
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def declare(self, name: str, segmentation, *, dtype=np.float64) -> None:
+        """Declare an exclusive variable on every processor's table."""
+        for st in self.symtabs:
+            st.declare(name, segmentation, dtype=dtype)
+
+    def declare_empty(self, name: str, index_space: Section, **kw) -> None:
+        for st in self.symtabs:
+            st.declare_empty(name, index_space, **kw)
+
+    def run(self, program: NodeProgram) -> RunStats:
+        """Load ``program`` onto every processor and run to completion."""
+        procs = []
+        for pid in range(self.nprocs):
+            ctx = ProcessorContext(pid, self.symtabs[pid], self.nprocs)
+            procs.append(_Proc(pid, ctx, program(ctx)))
+        self._procs = procs
+
+        budget = self.max_effects
+        while True:
+            runnable = [p for p in procs if p.runnable]
+            if not runnable:
+                if all(p.done for p in procs):
+                    break
+                blocked = [p for p in procs if p.blocked_on is not None]
+                if not self._try_unblock(blocked):
+                    self._report_deadlock(blocked)
+                continue
+            proc = min(runnable, key=lambda p: (p.clock, p.pid))
+            budget -= 1
+            if budget < 0:
+                raise DeadlockError(
+                    f"effect budget ({self.max_effects}) exhausted — "
+                    "runaway program or livelock"
+                )
+            self._step(proc)
+
+        return self._collect_stats(procs)
+
+    # ------------------------------------------------------------------ #
+    # core stepping
+    # ------------------------------------------------------------------ #
+
+    def _step(self, proc: _Proc) -> None:
+        self._apply_due_completions(proc)
+        try:
+            effect = proc.gen.send(proc.send_value)
+        except StopIteration:
+            proc.done = True
+            proc.stats.finish_time = proc.clock
+            self._emit(proc.clock, proc.pid, "done", "")
+            return
+        proc.send_value = None
+        if isinstance(effect, Compute):
+            proc.clock += effect.cost
+            proc.stats.compute_time += effect.cost
+            proc.stats.flops += effect.flops
+            if effect.what:
+                self._emit(proc.clock, proc.pid, "compute", effect.what)
+        elif isinstance(effect, Send):
+            self._do_send(proc, effect)
+        elif isinstance(effect, RecvInit):
+            self._do_recv_init(proc, effect)
+        elif isinstance(effect, WaitAccessible):
+            self._do_wait(proc, effect)
+        elif isinstance(effect, Log):
+            self._logs.append((proc.clock, proc.pid, effect.text))
+            self._emit(proc.clock, proc.pid, "log", effect.text)
+        else:
+            raise TypeError(f"unknown effect {effect!r} from P{proc.pid + 1}")
+
+    # ------------------------------------------------------------------ #
+    # sends
+    # ------------------------------------------------------------------ #
+
+    def _do_send(self, proc: _Proc, eff: Send) -> None:
+        st = proc.ctx.symtab
+        name = MessageName(eff.var, eff.sec)
+        if eff.kind is TransferKind.VALUE:
+            # "E ->": E must be an exclusive section owned by p.  No
+            # accessibility check — XDP does not test state automatically.
+            if not st.iown(eff.var, eff.sec):
+                raise OwnershipError(
+                    f"P{proc.pid + 1} sends unowned section {name}"
+                )
+            payload: np.ndarray | None = st.read(eff.var, eff.sec)
+        else:
+            # Owner sends block until accessible; the program yields a
+            # WaitAccessible first, and release_ownership re-validates.
+            payload = st.release_ownership(
+                eff.var, eff.sec, with_value=eff.kind is TransferKind.OWN_VALUE
+            )
+
+        dests: Iterable[int | None] = eff.dests if eff.dests is not None else (None,)
+        for dst in dests:
+            proc.clock += self.model.o_send
+            proc.stats.send_overhead += self.model.o_send
+            nbytes = HEADER_BYTES + (0 if payload is None else payload.nbytes)
+            msg = Message(
+                seq=next(self._seq),
+                kind=eff.kind,
+                name=name,
+                payload=None if payload is None else payload.copy(),
+                src=proc.pid,
+                dst=dst,
+                send_time=proc.clock,
+                arrive_time=proc.clock + self.model.message_cost(nbytes),
+            )
+            proc.stats.msgs_sent += 1
+            proc.stats.bytes_sent += nbytes
+            self._emit(proc.clock, proc.pid, "send", str(msg))
+            self._route(msg)
+
+    def _route(self, msg: Message) -> None:
+        key = (msg.kind, msg.name)
+        queue = self._pending.get(key)
+        if queue:
+            for i, recv in enumerate(queue):
+                if msg.dst is None or msg.dst == recv.pid:
+                    del queue[i]
+                    self._match(msg, recv)
+                    return
+        self._unclaimed.setdefault(key, deque()).append(msg)
+
+    # ------------------------------------------------------------------ #
+    # receives
+    # ------------------------------------------------------------------ #
+
+    def _do_recv_init(self, proc: _Proc, eff: RecvInit) -> None:
+        st = proc.ctx.symtab
+        proc.clock += self.model.o_recv
+        proc.stats.recv_overhead += self.model.o_recv
+        into_var, into_sec = eff.destination()
+        name = MessageName(eff.var, eff.sec)
+        if eff.kind is TransferKind.VALUE:
+            st.begin_value_receive(into_var, into_sec)
+        else:
+            st.acquire_ownership(into_var, into_sec, transitional=True)
+        recv = _PendingRecv(
+            seq=next(self._seq),
+            pid=proc.pid,
+            init_time=proc.clock,
+            kind=eff.kind,
+            name=name,
+            into_var=into_var,
+            into_sec=into_sec,
+        )
+        self._emit(proc.clock, proc.pid, "recv-init", f"{eff.kind.value} {name}")
+        key = (eff.kind, name)
+        pool = self._unclaimed.get(key)
+        if pool:
+            for i, msg in enumerate(pool):
+                if msg.dst is None or msg.dst == proc.pid:
+                    del pool[i]
+                    self._match(msg, recv)
+                    return
+        self._pending.setdefault(key, deque()).append(recv)
+
+    def _match(self, msg: Message, recv: _PendingRecv) -> None:
+        ctime = max(recv.init_time, msg.arrive_time)
+        receiver = self._procs[recv.pid]
+        st = receiver.ctx.symtab
+        msg.claimed = True
+        if msg.kind is TransferKind.VALUE:
+            expected = recv.into_sec.size
+            got = 0 if msg.payload is None else msg.payload.size
+            if got != expected:
+                raise ProtocolError(
+                    f"section mismatch: message {msg.name} carries {got} "
+                    f"elements, receive destination {recv.into_var}{recv.into_sec} "
+                    f"has {expected} (paper section 2.7: results unpredictable)"
+                )
+
+            def apply(msg=msg, recv=recv):
+                st.complete_value_receive(recv.into_var, recv.into_sec, msg.payload)
+        else:
+
+            def apply(msg=msg, recv=recv):
+                st.complete_ownership_receive(recv.into_var, recv.into_sec, msg.payload)
+
+        heapq.heappush(
+            receiver.completions,
+            _Completion(ctime, next(self._seq), apply, msg.nbytes),
+        )
+        receiver.stats.msgs_received += 1
+        self._emit(ctime, recv.pid, "recv-done", f"{msg.kind.value} {msg.name}")
+        # A blocked receiver may now have its wake-up event: unblock it
+        # eagerly so it re-enters scheduling at its correct wake time.
+        if receiver.blocked_on is not None:
+            self._try_unblock([receiver])
+
+    # ------------------------------------------------------------------ #
+    # waiting and completions
+    # ------------------------------------------------------------------ #
+
+    def _apply_due_completions(self, proc: _Proc) -> None:
+        while proc.completions and proc.completions[0].time <= proc.clock:
+            c = heapq.heappop(proc.completions)
+            c.apply()
+            proc.stats.bytes_received += c.nbytes
+
+    def _do_wait(self, proc: _Proc, eff: WaitAccessible) -> None:
+        st = proc.ctx.symtab
+        self._apply_due_completions(proc)
+        if st.accessible(eff.var, eff.sec):
+            proc.send_value = True
+            return
+        # Drain future completions until the section becomes accessible.
+        t0 = proc.clock
+        while proc.completions:
+            c = heapq.heappop(proc.completions)
+            c.apply()
+            proc.stats.bytes_received += c.nbytes
+            if st.accessible(eff.var, eff.sec):
+                proc.clock = max(proc.clock, c.time)
+                proc.stats.idle_time += proc.clock - t0
+                proc.send_value = True
+                self._emit(proc.clock, proc.pid, "awake", f"{eff.var}{eff.sec}")
+                return
+        # Nothing scheduled can wake us: block until a new match appears.
+        proc.blocked_on = (eff.var, eff.sec)
+        self._emit(proc.clock, proc.pid, "block", f"{eff.var}{eff.sec}")
+
+    def _try_unblock(self, blocked: list[_Proc]) -> bool:
+        """Re-examine blocked processors after state changed; True if any woke."""
+        woke = False
+        for proc in blocked:
+            var, sec = proc.blocked_on
+            st = proc.ctx.symtab
+            t0 = proc.clock
+            while proc.completions:
+                c = heapq.heappop(proc.completions)
+                c.apply()
+                proc.stats.bytes_received += c.nbytes
+                if st.accessible(var, sec):
+                    proc.clock = max(proc.clock, c.time)
+                    proc.stats.idle_time += proc.clock - t0
+                    proc.blocked_on = None
+                    proc.send_value = True
+                    self._emit(proc.clock, proc.pid, "awake", f"{var}{sec}")
+                    woke = True
+                    break
+        return woke
+
+    def _report_deadlock(self, blocked: list[_Proc]) -> None:
+        lines = ["deadlock: every live processor is blocked"]
+        for p in blocked:
+            var, sec = p.blocked_on
+            lines.append(
+                f"  P{p.pid + 1} at t={p.clock:.2f} awaiting {var}{sec} "
+                f"(state {p.ctx.symtab.state_of(var, sec).value})"
+            )
+        n_unclaimed = sum(len(q) for q in self._unclaimed.values())
+        n_pending = sum(len(q) for q in self._pending.values())
+        lines.append(f"  {n_unclaimed} unclaimed messages, {n_pending} unmatched receives")
+        for key, q in self._pending.items():
+            for r in q:
+                lines.append(f"    P{r.pid + 1} waits for {key[0].value} {key[1]}")
+        raise DeadlockError("\n".join(lines))
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _emit(self, time: float, pid: int, kind: str, detail: str) -> None:
+        if self.trace_enabled:
+            self._trace.append(TraceEvent(time, pid, kind, detail))
+
+    def _collect_stats(self, procs: list[_Proc]) -> RunStats:
+        # Apply any leftover completions (non-blocking receives the program
+        # never awaited) so final data is as-delivered.
+        for p in procs:
+            while p.completions:
+                c = heapq.heappop(p.completions)
+                c.apply()
+                p.stats.bytes_received += c.nbytes
+                p.stats.finish_time = max(p.stats.finish_time, c.time)
+        stats = RunStats(
+            procs=[p.stats for p in procs],
+            makespan=max((p.stats.finish_time for p in procs), default=0.0),
+            total_messages=sum(p.stats.msgs_sent for p in procs),
+            total_bytes=sum(p.stats.bytes_sent for p in procs),
+            unclaimed_messages=sum(len(q) for q in self._unclaimed.values()),
+            unmatched_receives=sum(len(q) for q in self._pending.values()),
+            logs=self._logs,
+            trace=self._trace,
+        )
+        if self.strict and (stats.unclaimed_messages or stats.unmatched_receives):
+            raise ProtocolError(
+                f"program ended with {stats.unclaimed_messages} unclaimed "
+                f"messages and {stats.unmatched_receives} unmatched receives "
+                "(the compiler must generate matching sends and receives)"
+            )
+        return stats

@@ -1,0 +1,74 @@
+"""Messages and transfer kinds.
+
+A message carries the *name* of a section (variable + concrete section —
+the paper's footnote 2: "the name is used as a tag to associate a send with
+a corresponding receive") plus, depending on the transfer kind, the value
+and/or ownership.  Destinations may be unspecified (``E ->``, ``E -=>``):
+such messages sit in a global pool claimable by any processor whose receive
+names the same section — the mechanism behind the paper's section-2.7 load
+balancing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.sections import Section
+
+__all__ = ["TransferKind", "MessageName", "Message"]
+
+
+class TransferKind(enum.Enum):
+    """What a transfer statement moves (paper Figure 1)."""
+
+    VALUE = "value"          # E ->   /  E <- X
+    OWNERSHIP = "ownership"  # E =>   /  U <=
+    OWN_VALUE = "own_value"  # E -=>  /  U <=-
+
+    @property
+    def moves_value(self) -> bool:
+        return self is not TransferKind.OWNERSHIP
+
+    @property
+    def moves_ownership(self) -> bool:
+        return self is not TransferKind.VALUE
+
+
+@dataclass(frozen=True)
+class MessageName:
+    """The tag associating a send with its receive: variable + section."""
+
+    var: str
+    sec: Section
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.var}{self.sec}"
+
+
+@dataclass
+class Message:
+    """One in-flight transfer."""
+
+    seq: int
+    kind: TransferKind
+    name: MessageName
+    payload: np.ndarray | None
+    src: int
+    dst: int | None            # None: unspecified recipient
+    send_time: float
+    arrive_time: float
+    claimed: bool = False
+
+    @property
+    def nbytes(self) -> int:
+        return 0 if self.payload is None else self.payload.nbytes
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        to = "?" if self.dst is None else f"P{self.dst + 1}"
+        return (
+            f"msg#{self.seq} {self.kind.value} {self.name} "
+            f"P{self.src + 1}->{to} @{self.send_time:.1f}->{self.arrive_time:.1f}"
+        )

@@ -1,0 +1,26 @@
+"""Text regeneration of the paper's figures and experiment tables."""
+
+from .figures import (
+    figure1_check,
+    figure1_text,
+    figure2_table,
+    figure3_maps,
+    figure4_layouts,
+    ownership_map,
+    render_symbol_table,
+    segment_map,
+)
+from .utilization import utilization_bars, utilization_summary
+
+__all__ = [
+    "figure1_check",
+    "figure1_text",
+    "figure2_table",
+    "figure3_maps",
+    "figure4_layouts",
+    "ownership_map",
+    "segment_map",
+    "render_symbol_table",
+    "utilization_bars",
+    "utilization_summary",
+]

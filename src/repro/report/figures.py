@@ -1,0 +1,409 @@
+"""Regeneration of the paper's figures as text artifacts.
+
+* **Figure 1** — the rules governing execution.  :func:`figure1_check`
+  *executes* every rule against the engine/run-time and reports a PASS row
+  per rule, making the semantics table an executable artifact.
+* **Figure 2** — the XDP symbol-table structure for the paper's arrays
+  ``A[1:4,1:8] (*, BLOCK) seg (2,1)`` and ``B[1:16,1:16] (BLOCK, CYCLIC)
+  seg (4,2)`` on a 2x2 grid, rendered per processor including the
+  run-time-filled segment descriptors.
+* **Figure 3** — ownership and segmentation maps of a 4x8 array under the
+  figure's two distributions and two segmentations each, highlighting P3.
+* **Figure 4** — the 3-D FFT example's data-to-segment assignment before
+  and after the (*,*,BLOCK) → (*,BLOCK,*) repartitioning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.sections import Section, section
+from ..core.states import SegmentState
+from ..distributions import (
+    Block,
+    Collapsed,
+    Cyclic,
+    Distribution,
+    ProcessorGrid,
+    Segmentation,
+    parse_dist_spec,
+)
+from ..machine.effects import Compute, RecvInit, Send, WaitAccessible
+from ..machine.engine import Engine
+from ..machine.message import TransferKind
+from ..machine.model import MachineModel
+from ..runtime.symtab import MAXINT, MININT, RuntimeSymbolTable
+
+__all__ = [
+    "figure1_check",
+    "figure2_table",
+    "figure3_maps",
+    "figure4_layouts",
+    "ownership_map",
+    "segment_map",
+    "render_symbol_table",
+]
+
+
+# ---------------------------------------------------------------------- #
+# shared renderers
+# ---------------------------------------------------------------------- #
+
+
+def ownership_map(dist: Distribution) -> str:
+    """ASCII map of a rank-2 index space: each cell labels its owner."""
+    if dist.rank != 2:
+        raise ValueError("ownership_map renders rank-2 arrays")
+    (r_lo, r_hi), (c_lo, c_hi) = (
+        (t.lo, t.hi) for t in dist.index_space.dims
+    )
+    lines = []
+    for r in range(r_lo, r_hi + 1):
+        cells = [dist.grid.label(dist.owner((r, c))) for c in range(c_lo, c_hi + 1)]
+        lines.append(" ".join(f"{c:>3s}" for c in cells))
+    return "\n".join(lines)
+
+
+def segment_map(seg: Segmentation, pid: int) -> str:
+    """ASCII map of a rank-2 array: pid's segments numbered, others '.'."""
+    dist = seg.distribution
+    if dist.rank != 2:
+        raise ValueError("segment_map renders rank-2 arrays")
+    (r_lo, r_hi), (c_lo, c_hi) = ((t.lo, t.hi) for t in dist.index_space.dims)
+    owner_of_point: dict[tuple[int, int], int] = {}
+    for idx, s in enumerate(seg.segments(pid), start=1):
+        for pt in s:
+            owner_of_point[pt] = idx
+    lines = []
+    for r in range(r_lo, r_hi + 1):
+        cells = []
+        for c in range(c_lo, c_hi + 1):
+            idx = owner_of_point.get((r, c))
+            cells.append(f"s{idx}" if idx is not None else " .")
+        lines.append(" ".join(f"{c:>3s}" for c in cells))
+    return "\n".join(lines)
+
+
+def render_symbol_table(st: RuntimeSymbolTable, *, descriptors: bool = True) -> str:
+    """One processor's run-time XDP symbol table, Figure-2 style."""
+    header = (
+        f"{'idx':>3} {'symbol':<8} {'rank':>4} {'global shape':<14} "
+        f"{'partitioning':<18} {'seg shape':<10} {'#segs':>5}"
+    )
+    lines = [f"run-time XDP symbol table of {'P' + str(st.pid + 1)}", header,
+             "-" * len(header)]
+    for e in st.variables():
+        lines.append(
+            f"{e.index:>3} {e.name:<8} {e.rank:>4} {str(e.global_shape):<14} "
+            f"{e.partitioning:<18} {str(e.segment_shape):<10} {e.segment_count:>5}"
+        )
+        if descriptors:
+            for d in e.segdescs:
+                lines.append(
+                    f"      segdesc: bounds={str(d.segment):<18} "
+                    f"status={d.state.value}"
+                )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# Figure 1: executable rules check
+# ---------------------------------------------------------------------- #
+
+
+def _check(rule: str, desc: str, fn) -> tuple[str, str, bool]:
+    try:
+        ok = bool(fn())
+    except Exception:
+        ok = False
+    return rule, desc, ok
+
+
+def figure1_check() -> list[tuple[str, str, bool]]:
+    """Execute every Figure-1 rule; returns (rule, description, ok) rows."""
+    model = MachineModel(o_send=1, o_recv=1, alpha=10, per_byte=0.0)
+
+    def fresh(n=2, extent=4, seg=1):
+        eng = Engine(n, model)
+        dist = Distribution(section((1, extent)), (Block(),), ProcessorGrid((n,)))
+        eng.declare("X", Segmentation(dist, (seg,)))
+        return eng
+
+    rows: list[tuple[str, str, bool]] = []
+
+    def mypid_rule():
+        eng = Engine(3, model)
+        seen = []
+
+        def prog(ctx):
+            seen.append(ctx.pid)
+            yield Compute(1.0)
+
+        eng.run(prog)
+        return sorted(seen) == [0, 1, 2]
+
+    rows.append(_check("mypid", "unique identifier per processor", mypid_rule))
+
+    def mylb_rule():
+        st = RuntimeSymbolTable(0)
+        dist = Distribution(section((1, 8)), (Block(),), ProcessorGrid((2,)))
+        st.declare("X", Segmentation(dist, (1,)))
+        return (
+            st.mylb("X", 1) == 1
+            and st.myub("X", 1) == 4
+            and st.mylb("X", 1, section((5, 8))) == MAXINT
+            and st.myub("X", 1, section((5, 8))) == MININT
+        )
+
+    rows.append(_check("mylb/myub", "owned bounds, MAXINT/MININT when unowned", mylb_rule))
+
+    def iown_rule():
+        st = RuntimeSymbolTable(0)
+        dist = Distribution(section((1, 8)), (Block(),), ProcessorGrid((2,)))
+        st.declare("X", Segmentation(dist, (1,)))
+        return st.iown("X", section((1, 4))) and not st.iown("X", section((4, 5)))
+
+    rows.append(_check("iown(X)", "true iff X owned by p", iown_rule))
+
+    def accessible_rule():
+        st = RuntimeSymbolTable(0)
+        dist = Distribution(section((1, 8)), (Block(),), ProcessorGrid((2,)))
+        st.declare("X", Segmentation(dist, (1,)))
+        if not st.accessible("X", section(1)):
+            return False
+        st.begin_value_receive("X", section(1))
+        return not st.accessible("X", section(1)) and st.iown("X", section(1))
+
+    rows.append(
+        _check("accessible(X)", "owned and no uncompleted receive", accessible_rule)
+    )
+
+    def await_rule():
+        eng = fresh()
+        out = {}
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                yield Compute(100.0)
+                yield Send(TransferKind.VALUE, "X", section(1), dests=(1,))
+            else:
+                out["unowned"] = not ctx.symtab.iown("X", section(1))
+                yield RecvInit(
+                    TransferKind.VALUE, "X", section(1),
+                    into_var="X", into_sec=section(3),
+                )
+                yield WaitAccessible("X", section(3))
+                out["after"] = ctx.symtab.accessible("X", section(3))
+
+        eng.run(prog)
+        return out.get("unowned") and out.get("after")
+
+    rows.append(
+        _check("await(X)", "false if unowned, else blocks until accessible", await_rule)
+    )
+
+    def send_value_rule():
+        eng = fresh()
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                ctx.symtab.write("X", section(1), 42.0)
+                yield Send(TransferKind.VALUE, "X", section(1))
+            else:
+                yield RecvInit(
+                    TransferKind.VALUE, "X", section(1),
+                    into_var="X", into_sec=section(3),
+                )
+                yield WaitAccessible("X", section(3))
+
+        eng.run(prog)
+        return eng.symtabs[1].read("X", section(3))[0] == 42.0
+
+    rows.append(
+        _check("E ->", "send name and value to unspecified recipient", send_value_rule)
+    )
+
+    def send_set_rule():
+        eng = fresh(3, extent=3)
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                yield Send(TransferKind.VALUE, "X", section(1), dests=(1, 2))
+            else:
+                yield RecvInit(
+                    TransferKind.VALUE, "X", section(1),
+                    into_var="X", into_sec=section(ctx.pid + 1),
+                )
+                yield WaitAccessible("X", section(ctx.pid + 1))
+
+        stats = eng.run(prog)
+        return stats.total_messages == 2 and stats.unclaimed_messages == 0
+
+    rows.append(_check("E -> S", "send to specified processor set", send_set_rule))
+
+    def owner_send_rule():
+        eng = fresh()
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                yield WaitAccessible("X", section(1))
+                yield Send(TransferKind.OWNERSHIP, "X", section(1))
+            else:
+                yield RecvInit(TransferKind.OWNERSHIP, "X", section(1))
+                yield WaitAccessible("X", section(1))
+
+        stats = eng.run(prog)
+        return (
+            not eng.symtabs[0].iown("X", section(1))
+            and eng.symtabs[1].iown("X", section(1))
+            and stats.total_bytes == 16  # header only: no value moved
+        )
+
+    rows.append(_check("E =>", "ownership moves without the value", owner_send_rule))
+
+    def owner_value_send_rule():
+        eng = fresh()
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                ctx.symtab.write("X", section(1), 7.0)
+                yield WaitAccessible("X", section(1))
+                yield Send(TransferKind.OWN_VALUE, "X", section(1))
+            else:
+                yield RecvInit(TransferKind.OWN_VALUE, "X", section(1))
+                yield WaitAccessible("X", section(1))
+
+        eng.run(prog)
+        return (
+            eng.symtabs[1].iown("X", section(1))
+            and eng.symtabs[1].read("X", section(1))[0] == 7.0
+        )
+
+    rows.append(_check("E -=>", "ownership and value move together", owner_value_send_rule))
+
+    def recv_transitional_rule():
+        eng = fresh()
+        states = {}
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                yield Compute(100.0)
+                yield WaitAccessible("X", section(1))
+                yield Send(TransferKind.OWN_VALUE, "X", section(1))
+            else:
+                yield RecvInit(TransferKind.OWN_VALUE, "X", section(1))
+                states["mid"] = ctx.symtab.state_of("X", section(1))
+                yield WaitAccessible("X", section(1))
+                states["end"] = ctx.symtab.state_of("X", section(1))
+
+        eng.run(prog)
+        return (
+            states.get("mid") is SegmentState.TRANSITIONAL
+            and states.get("end") is SegmentState.ACCESSIBLE
+        )
+
+    rows.append(
+        _check(
+            "states",
+            "receive initiation → transitional; completion → accessible",
+            recv_transitional_rule,
+        )
+    )
+
+    def unowned_rule():
+        st = RuntimeSymbolTable(0)
+        dist = Distribution(section((1, 8)), (Block(),), ProcessorGrid((2,)))
+        st.declare("X", Segmentation(dist, (1,)))
+        return st.state_of("X", section((3, 5))) is SegmentState.UNOWNED
+
+    rows.append(
+        _check("unowned", "some element not owned ⇒ section unowned", unowned_rule)
+    )
+
+    return rows
+
+
+def figure1_text() -> str:
+    rows = figure1_check()
+    width = max(len(r) for r, _, _ in rows)
+    lines = ["Figure 1 — rules governing execution (executable check):"]
+    for rule, desc, ok in rows:
+        mark = "PASS" if ok else "FAIL"
+        lines.append(f"  [{mark}] {rule:<{width}}  {desc}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# Figure 2
+# ---------------------------------------------------------------------- #
+
+
+def figure2_table(pid: int = 0) -> str:
+    """The paper's Figure 2 symbol table, filled in at 'run time' for one
+    processor of the 2x2 grid."""
+    grid = ProcessorGrid((2, 2))
+    st = RuntimeSymbolTable(pid)
+    a = Segmentation(
+        Distribution(section((1, 4), (1, 8)), (Collapsed(), Block()), grid),
+        (2, 1),
+    )
+    b = Segmentation(
+        Distribution(section((1, 16), (1, 16)), (Block(), Cyclic()), grid),
+        (4, 2),
+    )
+    st.declare("A", a)
+    st.declare("B", b)
+    return render_symbol_table(st)
+
+
+# ---------------------------------------------------------------------- #
+# Figure 3
+# ---------------------------------------------------------------------- #
+
+
+def figure3_maps(pid: int = 2) -> str:
+    """The four panels of Figure 3 for a 4x8 array on a 2x2 grid, shown
+    (like the paper) for processor P3 (pid 2 under column-major order)."""
+    grid = ProcessorGrid((2, 2))
+    space = section((1, 4), (1, 8))
+    panels = [
+        ("(BLOCK, BLOCK), segments (2,1)", (Block(), Block()), (2, 1)),
+        ("(BLOCK, BLOCK), segments (1,4)", (Block(), Block()), (1, 4)),
+        ("(*, BLOCK), segments (2,1)", (Collapsed(), Block()), (2, 1)),
+        ("(*, BLOCK), segments (4,1)", (Collapsed(), Block()), (4, 1)),
+    ]
+    blocks = [f"Figure 3 — 4x8 array on a 2x2 grid, segments of {grid.label(pid)}:"]
+    for title, specs, seg_shape in panels:
+        dist = Distribution(space, specs, grid)
+        seg = Segmentation(dist, seg_shape)
+        blocks.append(f"\n{title}\nownership:\n{ownership_map(dist)}")
+        blocks.append(f"{grid.label(pid)} segments:\n{segment_map(seg, pid)}")
+    return "\n".join(blocks)
+
+
+# ---------------------------------------------------------------------- #
+# Figure 4
+# ---------------------------------------------------------------------- #
+
+
+def figure4_layouts(n: int = 4, nprocs: int = 4) -> str:
+    """The FFT example's distributions before/after repartitioning, with
+    each processor's segment list (Figure 4's left column)."""
+    grid = ProcessorGrid((nprocs,))
+    space = section((1, n), (1, n), (1, n))
+    before = Segmentation(
+        Distribution(space, (Collapsed(), Collapsed(), Block()), grid),
+        (n, 1, 1),
+    )
+    after = Segmentation(
+        Distribution(space, (Collapsed(), Block(), Collapsed()), grid),
+        (n, 1, 1),
+    )
+    out = [f"Figure 4 — 3-D FFT A[1:{n},1:{n},1:{n}] on {nprocs} processors"]
+    for title, seg in (("before: (*, *, BLOCK)", before),
+                       ("after:  (*, BLOCK, *)", after)):
+        out.append(f"\n{title}")
+        for pid in grid.pids():
+            segs = ", ".join(str(s) for s in seg.segments(pid))
+            out.append(f"  {grid.label(pid)}: {segs}")
+    return "\n".join(out)

@@ -1,0 +1,7 @@
+"""Run-time support for XDP (paper section 3): the per-processor run-time
+symbol table, segment descriptors and intrinsic evaluation."""
+
+from .memory import LocalMemory
+from .symtab import MAXINT, MININT, RuntimeSymbolTable, SegmentDesc, VariableEntry
+
+__all__ = ["LocalMemory", "MAXINT", "MININT", "RuntimeSymbolTable", "SegmentDesc", "VariableEntry"]

@@ -1,0 +1,418 @@
+"""The per-processor run-time XDP symbol table (paper section 3.1, Figure 2).
+
+Each processor executing the output SPMD code maintains a local copy of the
+XDP symbol table.  Unlike a regular symbol table it contains only
+*exclusive* sections: per variable it records the rank, global shape,
+partitioning scheme, segment shape, and an array of segment descriptors —
+each descriptor holding the segment's global bounds (lbound / ubound /
+stride per dimension, i.e. a :class:`~repro.core.sections.Section`), its
+state (unowned / transitional / accessible) and a pointer to the segment's
+contiguous local storage (here: a handle into
+:class:`~repro.machine.memory.LocalMemory`).
+
+The intrinsics ``iown()``, ``accessible()``, ``await()``, ``mylb()`` and
+``myub()`` are all lookups into this table.  ``iown()`` implements exactly
+the algorithm of section 3.1: intersect the queried section with every
+segment of the variable, and return true iff the union of the non-null
+intersections equals the query and none of the intersecting segments is
+unowned.
+
+Design choices documented against the paper:
+
+* Released segments are *removed* from the active descriptor list (their
+  storage is freed, making the section-2.6 storage-reuse effect real); a
+  coverage failure is therefore equivalent to the paper's "some intersecting
+  segment is unowned".  Released descriptors are retained in a side list
+  purely for reporting.
+* XDP "does not automatically check the state of a variable at run-time":
+  reading a transitional segment is permitted and yields whatever bytes are
+  present (unpredictable in the paper's terms).  A ``strict`` flag turns
+  such reads into errors for debugging, mirroring how the compiler would
+  insert checks during development.
+* Ownership may be released at sub-segment granularity: the residual parts
+  of a split segment become fresh descriptors with their own chunks (the
+  language permits element-granularity transfer; segments are only the
+  *chosen* granularity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from ..core.errors import OwnershipError, UnknownVariableError
+from ..core.sections import Section, disjoint_cover_equal, section_difference
+from ..core.states import SegmentState
+from ..distributions.segmentation import Segmentation
+from .memory import LocalMemory
+
+__all__ = ["MAXINT", "MININT", "SegmentDesc", "VariableEntry", "RuntimeSymbolTable"]
+
+#: "MAXINT, the largest representable integer" (paper section 2.3) — we use
+#: the 32-bit values of the paper's era.
+MAXINT = 2**31 - 1
+MININT = -(2**31)
+
+
+@dataclass
+class SegmentDesc:
+    """One run-time segment descriptor (the paper's ``struct SegmentDesc``).
+
+    ``segment`` carries lbound/ubound/stride per dimension; ``handle``
+    stands in for ``segptr``.  ``pending_receives`` counts outstanding
+    receives touching the segment — the segment is transitional while the
+    count is positive.
+    """
+
+    segment: Section
+    state: SegmentState
+    handle: int | None
+    pending_receives: int = 0
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.segment.shape
+
+
+@dataclass
+class VariableEntry:
+    """Symbol-table row for one exclusive variable (Figure 2's columns)."""
+
+    index: int
+    name: str
+    rank: int
+    index_space: Section
+    partitioning: str
+    segment_shape: tuple[int, ...]
+    dtype: np.dtype
+    segdescs: list[SegmentDesc] = field(default_factory=list)
+    released: list[Section] = field(default_factory=list)
+
+    @property
+    def global_shape(self) -> tuple[int, ...]:
+        return self.index_space.shape
+
+    @property
+    def segment_count(self) -> int:
+        return len(self.segdescs)
+
+    def overlapping(self, sec: Section) -> Iterator[tuple[SegmentDesc, Section]]:
+        """Yield ``(descriptor, intersection)`` for segments meeting ``sec``."""
+        for d in self.segdescs:
+            inter = d.segment.intersect(sec)
+            if inter is not None:
+                yield d, inter
+
+
+class RuntimeSymbolTable:
+    """One processor's run-time view of all exclusive variables."""
+
+    def __init__(self, pid: int, memory: LocalMemory | None = None, *, strict: bool = False):
+        self.pid = pid
+        self.memory = memory if memory is not None else LocalMemory(pid)
+        self.strict = strict
+        self._entries: dict[str, VariableEntry] = {}
+
+    # ------------------------------------------------------------------ #
+    # declaration
+    # ------------------------------------------------------------------ #
+
+    def declare(
+        self,
+        name: str,
+        segmentation: Segmentation,
+        *,
+        dtype: np.dtype | type = np.float64,
+    ) -> VariableEntry:
+        """Declare a distributed variable and allocate this processor's
+        initial segments (state ``accessible``, zero-filled)."""
+        entry = self.declare_empty(
+            name,
+            segmentation.distribution.index_space,
+            partitioning=segmentation.distribution.spec_str(),
+            segment_shape=segmentation.segment_shape,
+            dtype=dtype,
+        )
+        for seg in segmentation.segments(self.pid):
+            handle, _ = self.memory.allocate(seg.shape, entry.dtype)
+            entry.segdescs.append(SegmentDesc(seg, SegmentState.ACCESSIBLE, handle))
+        return entry
+
+    def declare_empty(
+        self,
+        name: str,
+        index_space: Section,
+        *,
+        partitioning: str = "(manual)",
+        segment_shape: tuple[int, ...] | None = None,
+        dtype: np.dtype | type = np.float64,
+    ) -> VariableEntry:
+        """Declare a variable with no initially-owned segments."""
+        if name in self._entries:
+            raise OwnershipError(f"variable {name!r} already declared on P{self.pid + 1}")
+        entry = VariableEntry(
+            index=len(self._entries) + 1,
+            name=name,
+            rank=index_space.rank,
+            index_space=index_space,
+            partitioning=partitioning,
+            segment_shape=segment_shape or (1,) * index_space.rank,
+            dtype=np.dtype(dtype),
+        )
+        self._entries[name] = entry
+        return entry
+
+    def entry(self, name: str) -> VariableEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownVariableError(
+                f"variable {name!r} not in run-time symbol table of P{self.pid + 1} "
+                "(only exclusive variables are tabulated)"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def variables(self) -> list[VariableEntry]:
+        return list(self._entries.values())
+
+    # ------------------------------------------------------------------ #
+    # intrinsics (paper section 2.3)
+    # ------------------------------------------------------------------ #
+
+    def iown(self, name: str, sec: Section) -> bool:
+        """Section-3.1 algorithm: intersect with all segments, test coverage."""
+        entry = self.entry(name)
+        inters = [inter for _, inter in entry.overlapping(sec)]
+        return disjoint_cover_equal(sec, inters) if inters else sec.size == 0
+
+    def accessible(self, name: str, sec: Section) -> bool:
+        """True iff owned and no intersecting segment is transitional."""
+        entry = self.entry(name)
+        inters = []
+        for d, inter in entry.overlapping(sec):
+            if d.state is SegmentState.TRANSITIONAL:
+                return False
+            inters.append(inter)
+        return disjoint_cover_equal(sec, inters) if inters else False
+
+    def state_of(self, name: str, sec: Section) -> SegmentState:
+        """Composite Figure-1 state of a section on this processor."""
+        entry = self.entry(name)
+        inters = []
+        transitional = False
+        for d, inter in entry.overlapping(sec):
+            transitional = transitional or d.state is SegmentState.TRANSITIONAL
+            inters.append(inter)
+        if not inters or not disjoint_cover_equal(sec, inters):
+            return SegmentState.UNOWNED
+        return SegmentState.TRANSITIONAL if transitional else SegmentState.ACCESSIBLE
+
+    def mylb(self, name: str, dim: int, sec: Section | None = None) -> int:
+        """Smallest owned index in dimension ``dim`` (1-based per the paper's
+        Fortran flavour), or MAXINT when nothing is owned."""
+        entry = self.entry(name)
+        query = sec if sec is not None else entry.index_space
+        best = MAXINT
+        for _, inter in entry.overlapping(query):
+            best = min(best, inter.dims[dim - 1].lo)
+        return best
+
+    def myub(self, name: str, dim: int, sec: Section | None = None) -> int:
+        """Largest owned index in dimension ``dim``, or MININT."""
+        entry = self.entry(name)
+        query = sec if sec is not None else entry.index_space
+        best = MININT
+        for _, inter in entry.overlapping(query):
+            best = max(best, inter.dims[dim - 1].hi)
+        return best
+
+    # ------------------------------------------------------------------ #
+    # value access (gather / scatter across segments)
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _positions(container: Section, part: Section) -> tuple[np.ndarray, ...]:
+        """Per-dimension positions of ``part``'s members within ``container``."""
+        idx: list[np.ndarray] = []
+        for ct, pt in zip(container.dims, part.dims):
+            members = np.arange(pt.lo, pt.hi + 1, pt.step)
+            idx.append((members - ct.lo) // ct.step)
+        return tuple(idx)
+
+    def read(self, name: str, sec: Section) -> np.ndarray:
+        """Gather the value of an owned section into a dense array.
+
+        XDP does not auto-check state: reading a transitional section is
+        allowed (its value is unpredictable) unless ``strict`` is set.
+        """
+        entry = self.entry(name)
+        out = np.zeros(sec.shape, dtype=entry.dtype)
+        covered = 0
+        for d, inter in entry.overlapping(sec):
+            if d.state is SegmentState.TRANSITIONAL and self.strict:
+                raise OwnershipError(
+                    f"P{self.pid + 1} read of transitional section {name}{inter}"
+                )
+            chunk = self.memory.get(d.handle)
+            src = chunk[np.ix_(*self._positions(d.segment, inter))]
+            out[np.ix_(*self._positions(sec, inter))] = src
+            covered += inter.size
+        if covered != sec.size:
+            raise OwnershipError(
+                f"P{self.pid + 1} reads {name}{sec} but owns only {covered} of "
+                f"{sec.size} elements"
+            )
+        return out
+
+    def write(self, name: str, sec: Section, values: np.ndarray | float) -> None:
+        """Scatter values into an owned section."""
+        entry = self.entry(name)
+        vals = np.asarray(values, dtype=entry.dtype)
+        if vals.shape not in ((), sec.shape):
+            vals = vals.reshape(sec.shape)
+        covered = 0
+        for d, inter in entry.overlapping(sec):
+            chunk = self.memory.get(d.handle)
+            pos = self._positions(sec, inter)
+            src = vals if vals.shape == () else vals[np.ix_(*pos)]
+            chunk[np.ix_(*self._positions(d.segment, inter))] = src
+            covered += inter.size
+        if covered != sec.size:
+            raise OwnershipError(
+                f"P{self.pid + 1} writes {name}{sec} but owns only {covered} of "
+                f"{sec.size} elements"
+            )
+
+    # ------------------------------------------------------------------ #
+    # receive state transitions (paper section 2.7)
+    # ------------------------------------------------------------------ #
+
+    def begin_value_receive(self, name: str, sec: Section) -> None:
+        """Initiation of ``E <- X``: every intersecting segment becomes
+        transitional until the matching completion."""
+        entry = self.entry(name)
+        touched = 0
+        for d, inter in entry.overlapping(sec):
+            d.pending_receives += 1
+            d.state = SegmentState.TRANSITIONAL
+            touched += inter.size
+        if touched != sec.size:
+            raise OwnershipError(
+                f"P{self.pid + 1} initiates receive into unowned section {name}{sec}"
+            )
+
+    def complete_value_receive(self, name: str, sec: Section, data: np.ndarray) -> None:
+        """Completion of ``E <- X``: store the value, return segments whose
+        last outstanding receive this was to ``accessible``."""
+        entry = self.entry(name)
+        self.write(name, sec, data)
+        for d, _ in entry.overlapping(sec):
+            d.pending_receives -= 1
+            if d.pending_receives <= 0:
+                d.pending_receives = 0
+                d.state = SegmentState.ACCESSIBLE
+
+    # ------------------------------------------------------------------ #
+    # ownership transitions (paper section 2.6 / 2.7)
+    # ------------------------------------------------------------------ #
+
+    def release_ownership(self, name: str, sec: Section, *, with_value: bool) -> np.ndarray | None:
+        """Initiation of ``E -=>`` / ``E =>``: relinquish ownership of ``sec``.
+
+        Returns the gathered values when ``with_value`` (for ``-=>``), else
+        ``None`` (for ``=>``).  The caller (engine) must have ensured the
+        section is accessible — owner sends block until then.  Segments
+        fully inside ``sec`` are dropped and their storage freed; partially
+        covered segments are split, the kept pieces becoming new segments.
+        """
+        entry = self.entry(name)
+        if self.state_of(name, sec) is not SegmentState.ACCESSIBLE:
+            raise OwnershipError(
+                f"P{self.pid + 1} releases {name}{sec} which is "
+                f"{self.state_of(name, sec)}"
+            )
+        values = self.read(name, sec) if with_value else None
+        keep: list[SegmentDesc] = []
+        new: list[SegmentDesc] = []
+        for d in entry.segdescs:
+            inter = d.segment.intersect(sec)
+            if inter is None:
+                keep.append(d)
+                continue
+            remainder = section_difference(d.segment, inter)
+            chunk = self.memory.get(d.handle)
+            for piece in remainder:
+                handle, arr = self.memory.allocate(piece.shape, entry.dtype)
+                arr[...] = chunk[np.ix_(*self._positions(d.segment, piece))]
+                new.append(SegmentDesc(piece, SegmentState.ACCESSIBLE, handle))
+            self.memory.free(d.handle)
+        entry.segdescs = keep + new
+        entry.released.append(sec)
+        return values
+
+    def acquire_ownership(
+        self, name: str, sec: Section, *, transitional: bool = True
+    ) -> SegmentDesc:
+        """Initiation of ``U <=-`` / ``U <=``: claim ownership of an unowned
+        section.  The new segment is transitional until the transfer
+        completes (paper: 'Upon initiation of a receive of a section on a
+        processor, the section must be put in state transitional')."""
+        entry = self.entry(name)
+        for d, inter in entry.overlapping(sec):
+            raise OwnershipError(
+                f"P{self.pid + 1} acquires {name}{sec} overlapping owned "
+                f"segment {d.segment} (ownership can only be received if the "
+                "section was unowned)"
+            )
+        handle, _ = self.memory.allocate(sec.shape, entry.dtype)
+        desc = SegmentDesc(
+            sec,
+            SegmentState.TRANSITIONAL if transitional else SegmentState.ACCESSIBLE,
+            handle,
+            pending_receives=1 if transitional else 0,
+        )
+        entry.segdescs.append(desc)
+        return desc
+
+    def complete_ownership_receive(
+        self, name: str, sec: Section, data: np.ndarray | None
+    ) -> None:
+        """Completion of ``U <=-`` / ``U <=``: install the value (if any) and
+        mark the segment accessible."""
+        entry = self.entry(name)
+        target = None
+        for d in entry.segdescs:
+            if d.segment == sec:
+                target = d
+                break
+        if target is None:
+            raise OwnershipError(
+                f"P{self.pid + 1} completes ownership receive of {name}{sec} "
+                "with no matching initiation"
+            )
+        if data is not None:
+            self.memory.get(target.handle)[...] = np.asarray(data, dtype=entry.dtype).reshape(sec.shape)
+        target.pending_receives = 0
+        target.state = SegmentState.ACCESSIBLE
+
+    # ------------------------------------------------------------------ #
+
+    def owned_elements(self, name: str) -> int:
+        """Total elements of ``name`` currently owned here."""
+        return sum(d.segment.size for d in self.entry(name).segdescs)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [f"run-time symbol table of P{self.pid + 1}:"]
+        for e in self.variables():
+            lines.append(
+                f"  [{e.index}] {e.name} rank={e.rank} shape={e.global_shape} "
+                f"{e.partitioning} segshape={e.segment_shape} "
+                f"#segments={e.segment_count}"
+            )
+            for d in e.segdescs:
+                lines.append(f"      {d.segment} {d.state.value}")
+        return "\n".join(lines)

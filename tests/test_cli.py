@@ -1,0 +1,114 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+SIMPLE = """
+array A[1:8] dist (BLOCK) seg (1)
+array B[1:8] dist (CYCLIC) seg (1)
+scalar n = 8
+
+do i = 1, n
+  A[i] = A[i] + B[i]
+enddo
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    p = tmp_path / "simple.xdp"
+    p.write_text(SIMPLE)
+    return str(p)
+
+
+class TestCompile:
+    def test_compile_prints_program_and_report(self, program_file, capsys):
+        assert main(["compile", program_file, "--nprocs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "translated (owner-computes)" in out
+        # At -O2 the guards are gone: vectorized pair messages + localized loop.
+        assert "mylb(" in out and "message-vectorization" in out
+        assert "optimization report" in out
+
+    def test_compile_O0_keeps_paper_shape(self, program_file, capsys):
+        assert main(["compile", program_file, "-O", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "iown(" in out and "await(" in out
+
+    def test_compile_migrate(self, program_file, capsys):
+        assert main(["compile", program_file, "--strategy", "migrate"]) == 0
+        out = capsys.readouterr().out
+        assert "-=>" in out and "<=-" in out
+
+    def test_compile_no_binding(self, program_file, capsys):
+        assert main(["compile", program_file, "--no-binding", "-O", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "-> {" not in out
+
+    def test_compile_already_spmd(self, tmp_path, capsys):
+        p = tmp_path / "spmd.xdp"
+        p.write_text(
+            "array A[1:4] dist (BLOCK) seg (1)\n\n"
+            "iown(A[mypid]) : { A[mypid] = 1 }\n"
+        )
+        assert main(["compile", str(p)]) == 0
+        assert "translated" not in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_shows_summary_and_array(self, program_file, capsys):
+        rc = main([
+            "run", program_file, "--nprocs", "4",
+            "--init", "A=iota", "--init", "B=ones", "--show", "A",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "A =" in out
+        assert "2." in out  # 1+1
+
+    def test_run_interp_path(self, program_file, capsys):
+        assert main(["run", program_file, "--path", "interp"]) == 0
+
+    def test_run_blocking_binding(self, program_file, capsys):
+        assert main(["run", program_file, "--binding", "blocking"]) == 0
+
+    def test_run_trace(self, program_file, capsys):
+        assert main(["run", program_file, "--trace", "-O", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "send" in out
+
+    def test_bad_init_kind(self, program_file):
+        with pytest.raises(SystemExit):
+            main(["run", program_file, "--init", "A=bogus"])
+
+
+class TestFigures:
+    @pytest.mark.parametrize("which,marker", [
+        ("1", "rules governing execution"),
+        ("2", "symbol table"),
+        ("3", "Figure 3"),
+        ("4", "Figure 4"),
+    ])
+    def test_single_figure(self, which, marker, capsys):
+        assert main(["figures", which]) == 0
+        assert marker in capsys.readouterr().out
+
+    def test_all(self, capsys):
+        assert main(["figures", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out and "Figure 4" in out
+
+
+class TestFFT:
+    def test_fft_runs(self, capsys):
+        assert main(["fft", "--n", "4", "--nprocs", "4", "--stage", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "correct=True" in out
+
+    def test_fft_print_source(self, capsys):
+        assert main(["fft", "--print-source", "--stage", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Loop3: redistribute" in out

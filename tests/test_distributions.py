@@ -1,0 +1,302 @@
+"""Unit tests for processor grids and HPF-style distributions.
+
+Ground truth comes from the paper's own worked examples: Figure 2's arrays
+A and B, Figure 3's 4x8 array, and the section-3.1 iown() walk-through.
+"""
+
+import pytest
+
+from repro.core.errors import DistributionError
+from repro.core.sections import section
+from repro.distributions import (
+    Block,
+    BlockCyclic,
+    Collapsed,
+    Cyclic,
+    Distribution,
+    ProcessorGrid,
+    parse_dist_spec,
+)
+
+
+class TestProcessorGrid:
+    def test_linear(self):
+        g = ProcessorGrid((4,))
+        assert g.size == 4 and g.rank == 1
+        assert g.coords_of(2) == (2,)
+        assert g.pid_of((3,)) == 3
+
+    def test_2x2_column_major_matches_paper(self):
+        # Paper labels: P1=(0,0), P2=(1,0), P3=(0,1), P4=(1,1).
+        g = ProcessorGrid((2, 2), order="F")
+        assert g.coords_of(0) == (0, 0)
+        assert g.coords_of(1) == (1, 0)
+        assert g.coords_of(2) == (0, 1)
+        assert g.coords_of(3) == (1, 1)
+        assert g.label(2) == "P3"
+
+    def test_row_major(self):
+        g = ProcessorGrid((2, 3), order="C")
+        assert g.coords_of(0) == (0, 0)
+        assert g.coords_of(1) == (0, 1)
+        assert g.coords_of(3) == (1, 0)
+
+    def test_roundtrip(self):
+        for order in ("F", "C"):
+            g = ProcessorGrid((3, 2, 4), order=order)
+            for pid in g.pids():
+                assert g.pid_of(g.coords_of(pid)) == pid
+
+    def test_reshape(self):
+        g = ProcessorGrid((2, 2))
+        lin = g.reshaped((4,))
+        assert lin.size == 4 and lin.shape == (4,)
+        with pytest.raises(DistributionError):
+            g.reshaped((3,))
+
+    def test_bad_shape(self):
+        with pytest.raises(DistributionError):
+            ProcessorGrid((0, 2))
+        with pytest.raises(DistributionError):
+            ProcessorGrid((2,), order="X")
+
+    def test_out_of_range(self):
+        g = ProcessorGrid((2, 2))
+        with pytest.raises(DistributionError):
+            g.coords_of(4)
+        with pytest.raises(DistributionError):
+            g.pid_of((2, 0))
+        with pytest.raises(DistributionError):
+            g.pid_of((0,))
+
+
+class TestDimSpecs:
+    def test_block_even(self):
+        b = Block()
+        # 8 elements, 4 procs -> blocks of 2
+        assert b.owned(0, 1, 8, 4) == (section((1, 2)).dims[0],)
+        assert [b.owner_coord(i, 1, 8, 4) for i in range(1, 9)] == [
+            0, 0, 1, 1, 2, 2, 3, 3,
+        ]
+
+    def test_block_uneven(self):
+        b = Block()
+        # 10 elements, 4 procs -> ceil = 3: 3,3,3,1
+        sizes = [sum(t.size for t in b.owned(q, 1, 10, 4)) for q in range(4)]
+        assert sizes == [3, 3, 3, 1]
+
+    def test_block_empty_tail(self):
+        b = Block()
+        # 5 elements, 4 procs -> ceil = 2: 2,2,1,0
+        sizes = [sum(t.size for t in b.owned(q, 1, 5, 4)) for q in range(4)]
+        assert sizes == [2, 2, 1, 0]
+        assert b.owned(3, 1, 5, 4) == ()
+
+    def test_cyclic(self):
+        c = Cyclic()
+        assert [c.owner_coord(i, 1, 8, 2) for i in range(1, 9)] == [
+            0, 1, 0, 1, 0, 1, 0, 1,
+        ]
+        (t,) = c.owned(1, 1, 8, 2)
+        assert list(t) == [2, 4, 6, 8]
+
+    def test_block_cyclic(self):
+        bc = BlockCyclic(2)
+        # blocks of 2 dealt to 2 procs: q0 gets 1:2, 5:6; q1 gets 3:4, 7:8
+        owned0 = bc.owned(0, 1, 8, 2)
+        assert [list(t) for t in owned0] == [[1, 2], [5, 6]]
+        owned1 = bc.owned(1, 1, 8, 2)
+        assert [list(t) for t in owned1] == [[3, 4], [7, 8]]
+        assert bc.owner_coord(5, 1, 8, 2) == 0
+        assert bc.owner_coord(4, 1, 8, 2) == 1
+
+    def test_block_cyclic_bad_blocksize(self):
+        with pytest.raises(DistributionError):
+            BlockCyclic(0)
+
+    def test_collapsed(self):
+        c = Collapsed()
+        (t,) = c.owned(0, 1, 8, 1)
+        assert t.lo == 1 and t.hi == 8
+
+    def test_parse(self):
+        assert isinstance(parse_dist_spec("BLOCK"), Block)
+        assert isinstance(parse_dist_spec("cyclic"), Cyclic)
+        assert isinstance(parse_dist_spec(" * "), Collapsed)
+        bc = parse_dist_spec("CYCLIC(4)")
+        assert isinstance(bc, BlockCyclic) and bc.blocksize == 4
+        with pytest.raises(DistributionError):
+            parse_dist_spec("RANDOM")
+        with pytest.raises(DistributionError):
+            parse_dist_spec("CYCLIC(x)")
+
+    def test_spec_equality(self):
+        assert Block() == Block()
+        assert BlockCyclic(2) == BlockCyclic(2)
+        assert BlockCyclic(2) != BlockCyclic(3)
+        assert Block() != Cyclic()
+
+
+class TestDistributionFig2A:
+    """Array A[1:4,1:8] distributed (*, BLOCK) over a 2x2 grid (Figure 2)."""
+
+    @pytest.fixture
+    def dist(self):
+        return Distribution(
+            section((1, 4), (1, 8)),
+            (Collapsed(), Block()),
+            ProcessorGrid((2, 2)),
+        )
+
+    def test_linearised_dist_grid(self, dist):
+        assert dist.dist_grid_shape == (4,)
+
+    def test_each_proc_owns_4x2(self, dist):
+        for pid in range(4):
+            secs = dist.owned_sections(pid)
+            assert len(secs) == 1
+            assert secs[0].shape == (4, 2)
+        assert dist.local_count(0) == 8
+
+    def test_partition_is_exact(self, dist):
+        total = sum(dist.local_count(p) for p in range(4))
+        assert total == dist.index_space.size == 32
+
+    def test_owner(self, dist):
+        assert dist.owner((1, 1)) == 0
+        assert dist.owner((4, 2)) == 0
+        assert dist.owner((1, 3)) == 1
+        assert dist.owner((3, 8)) == 3
+
+    def test_owner_of_section(self, dist):
+        assert dist.owner_of_section(section((1, 4), (3, 4))) == 1
+        assert dist.owner_of_section(section((1, 4), (2, 3))) is None
+
+    def test_spec_str(self, dist):
+        assert dist.spec_str() == "(*, BLOCK)"
+
+
+class TestDistributionFig2B:
+    """Array B[1:16,1:16] distributed (BLOCK, CYCLIC) over a 2x2 grid."""
+
+    @pytest.fixture
+    def dist(self):
+        return Distribution(
+            section((1, 16), (1, 16)),
+            (Block(), Cyclic()),
+            ProcessorGrid((2, 2)),
+        )
+
+    def test_partition_shape(self, dist):
+        # Each processor owns 8 contiguous rows x 8 cyclic columns.
+        for pid in range(4):
+            secs = dist.owned_sections(pid)
+            assert len(secs) == 1
+            assert secs[0].shape == (8, 8)
+
+    def test_owner_respects_column_major_grid(self, dist):
+        # P1=(0,0): rows 1:8, odd columns.
+        assert dist.owner((1, 1)) == 0
+        assert dist.owner((1, 2)) == 2  # col coord 1 -> (0,1) -> pid 2 ("P3")
+        assert dist.owner((9, 1)) == 1  # row coord 1 -> (1,0) -> pid 1 ("P2")
+        assert dist.owner((16, 16)) == 3
+
+    def test_cyclic_cols_strided(self, dist):
+        sec = dist.owned_sections(0)[0]
+        assert sec.dims[1].step == 2
+        assert list(sec.dims[1])[:3] == [1, 3, 5]
+
+    def test_exact_cover(self, dist):
+        total = sum(dist.local_count(p) for p in range(4))
+        assert total == 256
+
+
+class TestDistributionSec31:
+    """C[1:4,1:8] (BLOCK, BLOCK) over 2x2: P3 owns rows 1:2, cols 5:8."""
+
+    def test_p3_region(self):
+        dist = Distribution(
+            section((1, 4), (1, 8)),
+            (Block(), Block()),
+            ProcessorGrid((2, 2)),
+        )
+        # pid 2 is the paper's P3 under column-major numbering.
+        (sec,) = dist.owned_sections(2)
+        assert sec == section((1, 2), (5, 8))
+
+
+class TestDistributionValidation:
+    def test_rank_mismatch(self):
+        with pytest.raises(DistributionError):
+            Distribution(section((1, 4)), (Block(), Block()), ProcessorGrid((2,)))
+
+    def test_fully_collapsed_rejected(self):
+        with pytest.raises(DistributionError):
+            Distribution(
+                section((1, 4), (1, 4)),
+                (Collapsed(), Collapsed()),
+                ProcessorGrid((2,)),
+            )
+
+    def test_ambiguous_dist_grid(self):
+        with pytest.raises(DistributionError):
+            Distribution(
+                section((1, 4), (1, 4), (1, 4)),
+                (Block(), Block(), Collapsed()),
+                ProcessorGrid((8,)),
+            )
+
+    def test_explicit_dist_grid(self):
+        d = Distribution(
+            section((1, 4), (1, 4), (1, 4)),
+            (Block(), Block(), Collapsed()),
+            ProcessorGrid((8,)),
+            dist_grid_shape=(4, 2),
+        )
+        assert d.local_count(0) == 1 * 2 * 4
+
+    def test_dist_grid_size_mismatch(self):
+        with pytest.raises(DistributionError):
+            Distribution(
+                section((1, 4), (1, 4)),
+                (Block(), Block()),
+                ProcessorGrid((2, 2)),
+                dist_grid_shape=(3, 2),
+            )
+
+    def test_out_of_bounds_owner(self):
+        d = Distribution(section((1, 8)), (Block(),), ProcessorGrid((2,)))
+        with pytest.raises(DistributionError):
+            d.owner((9,))
+        with pytest.raises(DistributionError):
+            d.owner((1, 1))
+
+    def test_strided_declared_bounds_rejected(self):
+        d = Distribution(section((1, 8, 2)), (Block(),), ProcessorGrid((2,)))
+        with pytest.raises(DistributionError):
+            d.owner((1,))
+
+
+class TestFFTDistribution:
+    """The section-4 FFT array A[1:4,1:4,1:4] on 4 processors."""
+
+    def test_initial_star_star_block(self):
+        dist = Distribution(
+            section((1, 4), (1, 4), (1, 4)),
+            (Collapsed(), Collapsed(), Block()),
+            ProcessorGrid((4,)),
+        )
+        # Processor i owns A[1:4, 1:4, i+1].
+        for pid in range(4):
+            (sec,) = dist.owned_sections(pid)
+            assert sec == section((1, 4), (1, 4), pid + 1)
+
+    def test_target_star_block_star(self):
+        dist = Distribution(
+            section((1, 4), (1, 4), (1, 4)),
+            (Collapsed(), Block(), Collapsed()),
+            ProcessorGrid((4,)),
+        )
+        for pid in range(4):
+            (sec,) = dist.owned_sections(pid)
+            assert sec == section((1, 4), pid + 1, (1, 4))

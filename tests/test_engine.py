@@ -1,0 +1,344 @@
+"""Unit/integration tests for the discrete-event SPMD engine, using
+hand-written node programs (generators of effects)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DeadlockError, OwnershipError, ProtocolError
+from repro.core.sections import section
+from repro.core.states import SegmentState
+from repro.distributions import Block, Distribution, ProcessorGrid, Segmentation
+from repro.machine import (
+    Compute,
+    Engine,
+    Log,
+    MachineModel,
+    RecvInit,
+    Send,
+    TransferKind,
+    WaitAccessible,
+)
+
+
+def linear_seg(name_extent: int, nprocs: int, seg: int = 1) -> Segmentation:
+    dist = Distribution(
+        section((1, name_extent)), (Block(),), ProcessorGrid((nprocs,))
+    )
+    return Segmentation(dist, (seg,))
+
+
+class TestComputeOnly:
+    def test_clocks_advance_independently(self):
+        eng = Engine(2)
+
+        def prog(ctx):
+            yield Compute(10.0 * (ctx.pid + 1))
+
+        stats = eng.run(prog)
+        assert stats.procs[0].finish_time == 10.0
+        assert stats.procs[1].finish_time == 20.0
+        assert stats.makespan == 20.0
+
+    def test_flop_accounting(self):
+        eng = Engine(1)
+
+        def prog(ctx):
+            yield Compute(5.0, flops=5)
+            yield Compute(3.0, flops=3)
+
+        stats = eng.run(prog)
+        assert stats.procs[0].compute_time == 8.0
+        assert stats.procs[0].flops == 8
+
+
+class TestValueTransfer:
+    def make_engine(self, **kw):
+        eng = Engine(2, MachineModel(o_send=1, o_recv=1, alpha=10, per_byte=0.0), **kw)
+        eng.declare("X", linear_seg(2, 2))
+        return eng
+
+    def test_directed_send_recv(self):
+        eng = self.make_engine()
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                ctx.symtab.write("X", section(1), 42.0)
+                yield Send(TransferKind.VALUE, "X", section(1), dests=(1,))
+            else:
+                yield RecvInit(
+                    TransferKind.VALUE, "X", section(1),
+                    into_var="X", into_sec=section(2),
+                )
+                yield WaitAccessible("X", section(2))
+
+        stats = eng.run(prog)
+        assert eng.symtabs[1].read("X", section(2))[0] == 42.0
+        assert stats.total_messages == 1
+        assert stats.unclaimed_messages == 0
+
+    def test_latency_respected(self):
+        eng = self.make_engine()
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                yield Compute(100.0)
+                yield Send(TransferKind.VALUE, "X", section(1), dests=(1,))
+            else:
+                yield RecvInit(
+                    TransferKind.VALUE, "X", section(1),
+                    into_var="X", into_sec=section(2),
+                )
+                yield WaitAccessible("X", section(2))
+
+        stats = eng.run(prog)
+        # P2: recv overhead 1; then idle until 100 (compute) + 1 (o_send) + 10 (alpha).
+        assert stats.procs[1].finish_time == pytest.approx(111.0)
+        assert stats.procs[1].idle_time == pytest.approx(110.0)
+
+    def test_unspecified_recipient(self):
+        eng = self.make_engine()
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                yield Send(TransferKind.VALUE, "X", section(1))  # E -> (unspecified)
+            else:
+                yield RecvInit(
+                    TransferKind.VALUE, "X", section(1),
+                    into_var="X", into_sec=section(2),
+                )
+                yield WaitAccessible("X", section(2))
+
+        stats = eng.run(prog)
+        assert stats.unclaimed_messages == 0
+
+    def test_send_before_recv_and_after(self):
+        """Matching works regardless of initiation order."""
+        eng = self.make_engine()
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                ctx.symtab.write("X", section(1), 7.0)
+                yield Send(TransferKind.VALUE, "X", section(1), dests=(1,))
+                yield Compute(50.0)
+            else:
+                yield Compute(30.0)  # recv initiated after message arrival
+                yield RecvInit(
+                    TransferKind.VALUE, "X", section(1),
+                    into_var="X", into_sec=section(2),
+                )
+                yield WaitAccessible("X", section(2))
+
+        eng.run(prog)
+        assert eng.symtabs[1].read("X", section(2))[0] == 7.0
+
+    def test_sending_unowned_raises(self):
+        eng = self.make_engine()
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                yield Send(TransferKind.VALUE, "X", section(2), dests=(1,))
+
+        with pytest.raises(OwnershipError):
+            eng.run(prog)
+
+    def test_size_mismatch_is_protocol_error(self):
+        eng = Engine(2, MachineModel())
+        eng.declare("X", linear_seg(4, 2, seg=2))
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                yield Send(TransferKind.VALUE, "X", section((1, 2)), dests=(1,))
+            else:
+                yield RecvInit(
+                    TransferKind.VALUE, "X", section((1, 2)),
+                    into_var="X", into_sec=section(3),
+                )
+
+        with pytest.raises(ProtocolError):
+            eng.run(prog)
+
+    def test_multicast_costs_per_destination(self):
+        eng = Engine(3, MachineModel(o_send=5, o_recv=1, alpha=10, per_byte=0))
+        eng.declare("X", linear_seg(3, 3))
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                yield Send(TransferKind.VALUE, "X", section(1), dests=(1, 2))
+            else:
+                yield RecvInit(
+                    TransferKind.VALUE, "X", section(1),
+                    into_var="X", into_sec=section(ctx.pid + 1),
+                )
+                yield WaitAccessible("X", section(ctx.pid + 1))
+
+        stats = eng.run(prog)
+        assert stats.procs[0].msgs_sent == 2
+        assert stats.procs[0].send_overhead == 10.0
+
+
+class TestOwnershipTransfer:
+    def make_engine(self):
+        eng = Engine(2, MachineModel(o_send=1, o_recv=1, alpha=10, per_byte=0.0))
+        eng.declare("A", linear_seg(2, 2))
+        return eng
+
+    def test_ownership_and_value_move(self):
+        eng = self.make_engine()
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                ctx.symtab.write("A", section(1), 3.5)
+                yield WaitAccessible("A", section(1))
+                yield Send(TransferKind.OWN_VALUE, "A", section(1))  # A[1] -=>
+            else:
+                yield RecvInit(TransferKind.OWN_VALUE, "A", section(1))  # A[1] <=-
+                yield WaitAccessible("A", section(1))
+
+        eng.run(prog)
+        assert not eng.symtabs[0].iown("A", section(1))
+        assert eng.symtabs[1].iown("A", section(1))
+        assert eng.symtabs[1].read("A", section(1))[0] == 3.5
+        # Sender's storage was reclaimed (its only element left).
+        assert eng.symtabs[0].memory.live_bytes == 0
+        assert eng.symtabs[0].memory.total_freed_bytes == 8
+
+    def test_ownership_only_move(self):
+        eng = self.make_engine()
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                yield WaitAccessible("A", section(1))
+                yield Send(TransferKind.OWNERSHIP, "A", section(1))  # A[1] =>
+            else:
+                yield RecvInit(TransferKind.OWNERSHIP, "A", section(1))  # A[1] <=
+                yield WaitAccessible("A", section(1))
+
+        stats = eng.run(prog)
+        assert eng.symtabs[1].iown("A", section(1))
+        # Header-only message.
+        assert stats.total_bytes == 16
+
+    def test_transitional_until_arrival(self):
+        eng = self.make_engine()
+        observed = {}
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                yield Compute(100.0)
+                yield WaitAccessible("A", section(1))
+                yield Send(TransferKind.OWN_VALUE, "A", section(1))
+            else:
+                yield RecvInit(TransferKind.OWN_VALUE, "A", section(1))
+                yield Compute(1.0)
+                observed["mid"] = ctx.symtab.state_of("A", section(1))
+                yield WaitAccessible("A", section(1))
+                observed["end"] = ctx.symtab.state_of("A", section(1))
+
+        eng.run(prog)
+        assert observed["mid"] is SegmentState.TRANSITIONAL
+        assert observed["end"] is SegmentState.ACCESSIBLE
+
+
+class TestLoadBalancing:
+    """Section 2.7: multiple outstanding sends claimed by idle processors."""
+
+    def test_first_come_first_served(self):
+        eng = Engine(3, MachineModel(o_send=1, o_recv=1, alpha=5, per_byte=0.0))
+        eng.declare("W", linear_seg(3, 3))
+        got = {}
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                ctx.symtab.write("W", section(1), 11.0)
+                yield Send(TransferKind.VALUE, "W", section(1))
+                ctx.symtab.write("W", section(1), 22.0)
+                yield Send(TransferKind.VALUE, "W", section(1))
+            else:
+                # P2 is busy; P3 is idle and claims first.
+                if ctx.pid == 1:
+                    yield Compute(1000.0)
+                yield RecvInit(
+                    TransferKind.VALUE, "W", section(1),
+                    into_var="W", into_sec=section(ctx.pid + 1),
+                )
+                yield WaitAccessible("W", section(ctx.pid + 1))
+                got[ctx.pid] = float(
+                    ctx.symtab.read("W", section(ctx.pid + 1))[0]
+                )
+
+        eng.run(prog)
+        # FIFO matching: pid2's receive is initiated first (t≈1) and gets
+        # the first value; pid1 receives the second.
+        assert got[2] == 11.0
+        assert got[1] == 22.0
+
+
+class TestDeadlockDetection:
+    def test_await_never_satisfied(self):
+        eng = Engine(2, MachineModel())
+        eng.declare("A", linear_seg(2, 2))
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                yield RecvInit(
+                    TransferKind.VALUE, "A", section(2),
+                    into_var="A", into_sec=section(1),
+                )
+                yield WaitAccessible("A", section(1))  # nobody ever sends
+
+        with pytest.raises(DeadlockError, match="awaiting"):
+            eng.run(prog)
+
+    def test_strict_flags_unmatched_traffic(self):
+        eng = Engine(2, MachineModel(), strict=True)
+        eng.declare("A", linear_seg(2, 2))
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                yield Send(TransferKind.VALUE, "A", section(1), dests=(1,))
+
+        with pytest.raises(ProtocolError, match="unclaimed"):
+            eng.run(prog)
+
+    def test_nonstrict_reports_unmatched(self):
+        eng = Engine(2, MachineModel())
+        eng.declare("A", linear_seg(2, 2))
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                yield Send(TransferKind.VALUE, "A", section(1), dests=(1,))
+
+        stats = eng.run(prog)
+        assert stats.unclaimed_messages == 1
+
+
+class TestTraceAndLogs:
+    def test_logs_collected(self):
+        eng = Engine(2)
+
+        def prog(ctx):
+            yield Log(f"hello from {ctx.pid}")
+
+        stats = eng.run(prog)
+        assert sorted(text for _, _, text in stats.logs) == [
+            "hello from 0", "hello from 1",
+        ]
+
+    def test_trace_events(self):
+        eng = Engine(1, trace=True)
+
+        def prog(ctx):
+            yield Compute(1.0, what="work")
+
+        stats = eng.run(prog)
+        kinds = [e.kind for e in stats.trace]
+        assert "compute" in kinds and "done" in kinds
+
+    def test_summary_renders(self):
+        eng = Engine(2)
+
+        def prog(ctx):
+            yield Compute(1.0)
+
+        text = eng.run(prog).summary()
+        assert "makespan" in text and "P2" in text

@@ -1,0 +1,223 @@
+"""Engine and end-to-end edge cases: self-messages, effect budgets,
+strict modes, exotic dtypes/bounds/distributions."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DeadlockError, OwnershipError, ProtocolError
+from repro.core.interp import Interpreter
+from repro.core.ir.parser import parse_program
+from repro.core.sections import section
+from repro.distributions import Block, Distribution, ProcessorGrid, Segmentation
+from repro.machine import (
+    Compute,
+    Engine,
+    MachineModel,
+    RecvInit,
+    Send,
+    TransferKind,
+    WaitAccessible,
+)
+
+FAST = MachineModel(o_send=1, o_recv=1, alpha=10, per_byte=0.0)
+
+
+def linear(extent, nprocs, seg=1):
+    dist = Distribution(section((1, extent)), (Block(),), ProcessorGrid((nprocs,)))
+    return Segmentation(dist, (seg,))
+
+
+class TestSelfMessages:
+    def test_value_send_to_self(self):
+        eng = Engine(2, FAST)
+        eng.declare("X", linear(4, 2, 2))
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                ctx.symtab.write("X", section(1), 5.0)
+                yield Send(TransferKind.VALUE, "X", section(1), dests=(0,))
+                yield RecvInit(
+                    TransferKind.VALUE, "X", section(1),
+                    into_var="X", into_sec=section(2),
+                )
+                yield WaitAccessible("X", section(2))
+
+        eng.run(prog)
+        assert eng.symtabs[0].read("X", section(2))[0] == 5.0
+
+    def test_ownership_roundtrip_self(self):
+        eng = Engine(1, FAST)
+        eng.declare("X", linear(2, 1, 1))
+
+        def prog(ctx):
+            yield WaitAccessible("X", section(1))
+            yield Send(TransferKind.OWN_VALUE, "X", section(1), dests=(0,))
+            yield RecvInit(TransferKind.OWN_VALUE, "X", section(1))
+            yield WaitAccessible("X", section(1))
+
+        eng.run(prog)
+        assert eng.symtabs[0].iown("X", section(1))
+
+
+class TestBudgetsAndErrors:
+    def test_effect_budget_exhaustion(self):
+        eng = Engine(1, FAST, max_effects=10)
+
+        def prog(ctx):
+            while True:
+                yield Compute(1.0)
+
+        with pytest.raises(DeadlockError, match="budget"):
+            eng.run(prog)
+
+    def test_unknown_effect_type(self):
+        eng = Engine(1, FAST)
+
+        def prog(ctx):
+            yield "not an effect"
+
+        with pytest.raises(TypeError):
+            eng.run(prog)
+
+    def test_acquiring_owned_section_fails(self):
+        eng = Engine(2, FAST)
+        eng.declare("X", linear(4, 2, 1))
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                yield RecvInit(TransferKind.OWN_VALUE, "X", section(1))
+
+        with pytest.raises(OwnershipError, match="overlapping owned"):
+            eng.run(prog)
+
+    def test_owner_send_of_unowned_fails(self):
+        eng = Engine(2, FAST)
+        eng.declare("X", linear(4, 2, 1))
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                yield Send(TransferKind.OWN_VALUE, "X", section(3))
+
+        with pytest.raises(OwnershipError):
+            eng.run(prog)
+
+
+class TestStrictEndToEnd:
+    def test_strict_rejects_unmatched_sends(self):
+        src = """
+array A[1:4] dist (BLOCK) seg (1)
+
+iown(A[1]) : { A[1] -> }
+"""
+        it = Interpreter(parse_program(src), 2, model=FAST, strict=True)
+        with pytest.raises(ProtocolError):
+            it.run()
+
+    def test_strict_rejects_transitional_read(self):
+        src = """
+array A[1:2] dist (BLOCK) seg (1)
+array R[1:2] dist (BLOCK) seg (1)
+
+mypid == 1 : {
+  A[1] <- A[2]
+  R[1] = A[1]
+}
+mypid == 2 : { A[2] -> {1} }
+"""
+        it = Interpreter(parse_program(src), 2, model=FAST, strict=True)
+        with pytest.raises(OwnershipError, match="transitional"):
+            it.run()
+
+    def test_nonstrict_allows_transitional_read(self):
+        src = """
+array A[1:2] dist (BLOCK) seg (1)
+array R[1:2] dist (BLOCK) seg (1)
+
+mypid == 1 : {
+  A[1] <- A[2]
+  R[1] = A[1]
+  await(A[1])
+}
+mypid == 2 : { A[2] -> {1} }
+"""
+        it = Interpreter(parse_program(src), 2, model=FAST)
+        stats = it.run()  # value unpredictable, execution legal
+        assert stats.unclaimed_messages == 0
+
+
+class TestExoticPrograms:
+    def test_complex_dtype_end_to_end(self):
+        src = """
+array Z[1:4] dist (BLOCK) seg (1) dtype complex128
+
+do i = 1, 4
+  iown(Z[i]) : { Z[i] = Z[i] * 2 }
+enddo
+"""
+        prog = parse_program(src)
+        it = Interpreter(prog, 2, model=FAST)
+        z0 = np.array([1 + 1j, 2 - 1j, 3j, -4 + 0j])
+        it.write_global("Z", z0)
+        it.run()
+        assert np.array_equal(it.read_global("Z"), 2 * z0)
+
+    def test_negative_bounds_end_to_end(self):
+        src = """
+array A[-3:4] dist (BLOCK) seg (1)
+
+do i = -3, 4
+  iown(A[i]) : { A[i] = i }
+enddo
+"""
+        it = Interpreter(parse_program(src), 2, model=FAST)
+        it.run()
+        assert np.array_equal(it.read_global("A"), np.arange(-3.0, 5.0))
+
+    def test_block_cyclic_program(self):
+        src = """
+array A[1:12] dist (CYCLIC(2)) seg (2)
+
+do i = 1, 12
+  iown(A[i]) : { A[i] = mypid }
+enddo
+"""
+        it = Interpreter(parse_program(src), 3, model=FAST)
+        it.run()
+        # CYCLIC(2) over 3 procs: 1,1,2,2,3,3,1,1,2,2,3,3
+        want = [1, 1, 2, 2, 3, 3, 1, 1, 2, 2, 3, 3]
+        assert list(it.read_global("A")) == want
+
+    def test_strided_section_transfer(self):
+        src = """
+array A[1:8] dist (BLOCK) seg (4)
+array R[1:8] dist (BLOCK) seg (4)
+
+mypid == 1 : { A[1:4] -> {2} }
+mypid == 2 : {
+  R[5:8] <- A[1:4]
+  await(R[5:8])
+  R[5:8:2] = R[5:8:2] * 10
+}
+"""
+        it = Interpreter(parse_program(src), 2, model=FAST)
+        it.write_global("A", np.arange(1.0, 9))
+        it.write_global("R", np.zeros(8))
+        it.run()
+        assert list(it.read_global("R")[4:]) == [10.0, 2.0, 30.0, 4.0]
+
+    def test_deep_loop_nest(self):
+        src = """
+array A[1:2,1:2,1:2] dist (*, *, BLOCK) seg (2,2,1)
+
+do i = 1, 2
+  do j = 1, 2
+    do k = 1, 2
+      iown(A[i,j,k]) : { A[i,j,k] = i * 100 + j * 10 + k }
+    enddo
+  enddo
+enddo
+"""
+        it = Interpreter(parse_program(src), 2, model=FAST)
+        it.run()
+        A = it.read_global("A")
+        assert A[0, 0, 0] == 111 and A[1, 1, 1] == 222

@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs to completion and prints its
+expected headline output (protects examples/ from bitrot)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = mod
+    try:
+        spec.loader.exec_module(mod)
+        mod.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("name,needle", [
+    ("quickstart", "optimized (aligned)"),
+    ("load_balancing", "dynamic pool vs static schedule"),
+    ("debugger_monitor", "followed the schedule exactly"),
+    ("redistribution", "3-D FFT result correct: True"),
+    ("overlap_polling", "accessible()-polling"),
+    ("memory_hierarchy", "double-buffer"),
+])
+def test_example_runs(name, needle, capsys):
+    out = run_example(name, capsys)
+    assert needle in out
+
+
+@pytest.mark.slow
+def test_fft3d_example(capsys):
+    out = run_example("fft3d", capsys)
+    assert "stage 2" in out
+    assert "True" in out and "False" not in out

@@ -1,0 +1,98 @@
+"""Additional pretty-printer tests: precedence, declarations, statements."""
+
+import pytest
+
+from repro.core.ir.nodes import (
+    ArrayDecl, ArrayRef, BinOp, Full, Index, IntConst, Range, ScalarDecl,
+    UnaryOp, VarRef,
+)
+from repro.core.ir.parser import parse_expression, parse_program, parse_statements
+from repro.core.ir.printer import print_expr, print_program, print_ref, print_stmt
+
+
+class TestPrecedenceParens:
+    @pytest.mark.parametrize("text", [
+        "(a + b) * c",
+        "a * (b + c)",
+        "a - (b - c)",
+        "(a or b) and c",
+        "not (a and b)",
+        "-(a + b)",
+        "(a + b) % 2",
+    ])
+    def test_needed_parens_survive(self, text):
+        e = parse_expression(text)
+        assert parse_expression(print_expr(e)) == e
+
+    @pytest.mark.parametrize("src,out", [
+        ("a + b + c", "a + b + c"),          # left assoc, no parens
+        ("a + (b + c)", "a + (b + c)"),      # right nesting preserved
+        ("a * b + c", "a * b + c"),
+        ("(a * b) + c", "a * b + c"),        # redundant parens dropped
+    ])
+    def test_minimal_parens(self, src, out):
+        assert print_expr(parse_expression(src)) == out
+
+
+class TestRefPrinting:
+    def test_all_subscript_kinds(self):
+        ref = ArrayRef("A", (
+            Index(VarRef("i")),
+            Full(),
+            Range(IntConst(1), IntConst(9), IntConst(2)),
+            Range(None, None, None),
+            Range(IntConst(3), None, None),
+        ))
+        assert print_ref(ref) == "A[i,*,1:9:2,:,3:]"
+
+
+class TestDeclPrinting:
+    def test_full_array_decl(self):
+        prog = parse_program(
+            "array B[1:16,1:16] dist (BLOCK, CYCLIC(2)) seg (4,2) "
+            "dtype complex128\n"
+        )
+        text = print_program(prog)
+        assert "dist (BLOCK, CYCLIC(2))" in text
+        assert "seg (4,2)" in text
+        assert "dtype complex128" in text
+
+    def test_universal_decl(self):
+        text = print_program(parse_program("array W[1:4] universal\n"))
+        assert "universal" in text and "dist" not in text
+
+    def test_default_dtype_omitted(self):
+        text = print_program(parse_program("array A[1:4] dist (BLOCK)\n"))
+        assert "dtype" not in text
+
+    def test_scalar_with_and_without_init(self):
+        text = print_program(parse_program("scalar a = 2\nscalar b\n"))
+        assert "scalar a = 2" in text
+        assert "scalar b" in text and "scalar b =" not in text
+
+
+class TestStatementPrinting:
+    def test_if_without_else(self):
+        (s,) = parse_statements("if x > 0 then\n  x = 1\nendif").stmts
+        text = "\n".join(print_stmt(s))
+        assert "else" not in text
+
+    def test_guard_block_layout(self):
+        (s,) = parse_statements("iown(A[1]) : { A[1] = 0 }").stmts
+        lines = print_stmt(s)
+        assert lines[0].endswith("{")
+        assert lines[-1] == "}"
+        assert lines[1].startswith("  ")
+
+    def test_send_with_dests(self):
+        (s,) = parse_statements("A[1] -=> {2, mypid + 1}").stmts
+        assert "\n".join(print_stmt(s)) == "A[1] -=> {2, mypid + 1}"
+
+    def test_nested_indentation(self):
+        block = parse_statements(
+            "do i = 1, 2\n  iown(A[i]) : {\n    A[i] = 0\n  }\nenddo"
+        )
+        lines = print_stmt(block.stmts[0])
+        assert lines[0] == "do i = 1, 2"
+        assert lines[1].startswith("  ")
+        assert lines[2].startswith("    ")

@@ -1,0 +1,119 @@
+"""Unit tests for redistribution planning (paper section 4 / Figure 4)."""
+
+import pytest
+
+from repro.core.errors import DistributionError
+from repro.core.sections import section
+from repro.distributions import (
+    Block,
+    Collapsed,
+    Cyclic,
+    Distribution,
+    ProcessorGrid,
+    Segmentation,
+    plan_redistribution,
+)
+
+
+@pytest.fixture
+def fft_dists():
+    """(*,*,BLOCK) -> (*,BLOCK,*) for A[1:4,1:4,1:4] on 4 processors."""
+    space = section((1, 4), (1, 4), (1, 4))
+    grid = ProcessorGrid((4,))
+    src = Distribution(space, (Collapsed(), Collapsed(), Block()), grid)
+    dst = Distribution(space, (Collapsed(), Block(), Collapsed()), grid)
+    return src, dst
+
+
+class TestFFTRedistribution:
+    def test_all_pairs_except_diagonal(self, fft_dists):
+        src, dst = fft_dists
+        plan = plan_redistribution(src, dst)
+        pairs = set(plan.pairs())
+        expected = {(i, j) for i in range(4) for j in range(4) if i != j}
+        assert pairs == expected
+
+    def test_element_conservation(self, fft_dists):
+        src, dst = fft_dists
+        plan = plan_redistribution(src, dst)
+        # Each processor keeps its diagonal 4x1x1 pencil: 4*4=16 stay put.
+        assert plan.stationary_elements == 16
+        assert plan.total_elements_moved == 64 - 16
+
+    def test_moved_sections_match_paper(self, fft_dists):
+        # Processor p sends A[1:4, n, p+1] to processor n-1 for n != p+1.
+        src, dst = fft_dists
+        plan = plan_redistribution(src, dst)
+        for m in plan.moves_from(0):
+            assert m.section.dims[2].lo == m.section.dims[2].hi == 1
+            n = m.section.dims[1].lo
+            assert m.dst == n - 1
+
+    def test_segment_granularity(self, fft_dists):
+        src, dst = fft_dists
+        seg = Segmentation(src, (4, 1, 1))
+        plan = plan_redistribution(src, dst, segmentation=seg)
+        # Each segment A[1:4, n, p] lands wholly on one receiver: whole
+        # segments move, 3 per sender.
+        assert plan.message_count == 12
+        for m in plan.moves:
+            assert m.section.shape == (4, 1, 1)
+
+
+class TestGeneralPlans:
+    def test_block_to_cyclic_1d(self):
+        space = section((1, 8))
+        grid = ProcessorGrid((2,))
+        src = Distribution(space, (Block(),), grid)
+        dst = Distribution(space, (Cyclic(),), grid)
+        plan = plan_redistribution(src, dst)
+        # P0 owns 1:4 then wants odds 1,3,5,7: sends {2,4}, receives {5,7}.
+        sent = [m for m in plan.moves if m.src == 0]
+        assert sum(m.elements for m in sent) == 2
+        assert plan.total_elements_moved == 4
+        assert plan.stationary_elements == 4
+
+    def test_identity_plan_is_empty(self):
+        space = section((1, 8))
+        grid = ProcessorGrid((2,))
+        d = Distribution(space, (Block(),), grid)
+        plan = plan_redistribution(d, d)
+        assert plan.message_count == 0
+        assert plan.stationary_elements == 8
+
+    def test_mismatched_spaces_rejected(self):
+        grid = ProcessorGrid((2,))
+        a = Distribution(section((1, 8)), (Block(),), grid)
+        b = Distribution(section((1, 10)), (Block(),), grid)
+        with pytest.raises(DistributionError):
+            plan_redistribution(a, b)
+
+    def test_mismatched_grids_rejected(self):
+        a = Distribution(section((1, 8)), (Block(),), ProcessorGrid((2,)))
+        b = Distribution(section((1, 8)), (Block(),), ProcessorGrid((4,)))
+        with pytest.raises(DistributionError):
+            plan_redistribution(a, b)
+
+    def test_foreign_segmentation_rejected(self):
+        grid = ProcessorGrid((2,))
+        a = Distribution(section((1, 8)), (Block(),), grid)
+        b = Distribution(section((1, 8)), (Cyclic(),), grid)
+        seg_of_b = Segmentation(b, (2,))
+        with pytest.raises(DistributionError):
+            plan_redistribution(a, b, segmentation=seg_of_b)
+
+    def test_segmented_plan_conserves_elements(self):
+        space = section((1, 16))
+        grid = ProcessorGrid((4,))
+        src = Distribution(space, (Block(),), grid)
+        dst = Distribution(space, (Cyclic(),), grid)
+        exact = plan_redistribution(src, dst)
+        segmented = plan_redistribution(src, dst, segmentation=Segmentation(src, (2,)))
+        assert exact.total_elements_moved == segmented.total_elements_moved
+
+    def test_moves_to_and_from(self, fft_dists):
+        src, dst = fft_dists
+        plan = plan_redistribution(src, dst)
+        for pid in range(4):
+            assert len(plan.moves_from(pid)) == 3
+            assert len(plan.moves_to(pid)) == 3

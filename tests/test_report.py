@@ -1,0 +1,111 @@
+"""Tests for the figure-regeneration module (paper Figures 1–4)."""
+
+import pytest
+
+from repro.core.sections import section
+from repro.distributions import (
+    Block,
+    Collapsed,
+    Distribution,
+    ProcessorGrid,
+    Segmentation,
+)
+from repro.report import (
+    figure1_check,
+    figure1_text,
+    figure2_table,
+    figure3_maps,
+    figure4_layouts,
+    ownership_map,
+    segment_map,
+)
+
+
+class TestFigure1:
+    def test_every_rule_passes(self):
+        rows = figure1_check()
+        failures = [r for r, _, ok in rows if not ok]
+        assert not failures, f"Figure-1 rules failing: {failures}"
+
+    def test_covers_all_statement_forms(self):
+        rules = {r for r, _, _ in figure1_check()}
+        for expected in ("mypid", "mylb/myub", "iown(X)", "accessible(X)",
+                         "await(X)", "E ->", "E -> S", "E =>", "E -=>",
+                         "states", "unowned"):
+            assert expected in rules
+
+    def test_text_render(self):
+        text = figure1_text()
+        assert "PASS" in text and "FAIL" not in text
+
+
+class TestFigure2:
+    def test_matches_paper_columns(self):
+        text = figure2_table()
+        # A: rank 2, (4,8), (*, BLOCK), segments (2,1), 4 of them.
+        assert "(4, 8)" in text and "(*, BLOCK)" in text and "(2, 1)" in text
+        # B: (16,16), (BLOCK, CYCLIC), segments (4,2), 8 of them.
+        assert "(16, 16)" in text and "(BLOCK, CYCLIC)" in text
+        assert "(4, 2)" in text
+
+    def test_segment_counts(self):
+        text = figure2_table()
+        a_line = next(l for l in text.splitlines() if " A " in l)
+        b_line = next(l for l in text.splitlines() if " B " in l)
+        assert a_line.rstrip().endswith("4")
+        assert b_line.rstrip().endswith("8")
+
+    def test_descriptors_rendered(self):
+        assert figure2_table().count("segdesc") == 12  # 4 + 8
+
+    def test_other_processor(self):
+        text = figure2_table(pid=2)
+        assert "P3" in text
+
+
+class TestFigure3:
+    def test_p3_highlighted(self):
+        text = figure3_maps()
+        assert "P3" in text
+        assert "(BLOCK, BLOCK), segments (2,1)" in text
+        assert "(*, BLOCK), segments (4,1)" in text
+
+    def test_panel_count(self):
+        assert figure3_maps().count("ownership:") == 4
+
+
+class TestFigure4:
+    def test_before_after(self):
+        text = figure4_layouts()
+        assert "before: (*, *, BLOCK)" in text
+        assert "after:  (*, BLOCK, *)" in text
+        # P1 owns plane 1 before and row-slab 1 after.
+        assert "[1:4,1,1], [1:4,2,1]" in text
+        assert "[1:4,1,1], [1:4,1,2]" in text
+
+
+class TestRenderers:
+    def test_ownership_map_values(self):
+        dist = Distribution(
+            section((1, 2), (1, 4)), (Collapsed(), Block()), ProcessorGrid((2,))
+        )
+        text = ownership_map(dist)
+        rows = text.splitlines()
+        assert len(rows) == 2
+        assert rows[0].split() == ["P1", "P1", "P2", "P2"]
+
+    def test_segment_map_marks_only_pid(self):
+        dist = Distribution(
+            section((1, 2), (1, 4)), (Collapsed(), Block()), ProcessorGrid((2,))
+        )
+        seg = Segmentation(dist, (2, 1))
+        text = segment_map(seg, 0)
+        assert "s1" in text and "." in text
+        assert "s3" not in text  # only two segments on P1
+
+    def test_rank_guard(self):
+        dist = Distribution(section((1, 8)), (Block(),), ProcessorGrid((2,)))
+        with pytest.raises(ValueError):
+            ownership_map(dist)
+        with pytest.raises(ValueError):
+            segment_map(Segmentation(dist, (2,)), 0)

@@ -1,0 +1,162 @@
+"""Unit tests for segmentation (paper section 3, Figures 2 and 3)."""
+
+import pytest
+
+from repro.core.errors import DistributionError
+from repro.core.sections import Triplet, disjoint_cover_equal, section
+from repro.distributions import (
+    Block,
+    Collapsed,
+    Cyclic,
+    Distribution,
+    ProcessorGrid,
+    Segmentation,
+    chunk_triplet,
+)
+
+
+class TestChunkTriplet:
+    def test_even_unit(self):
+        chunks = chunk_triplet(Triplet(1, 8), 2)
+        assert [(c.lo, c.hi) for c in chunks] == [(1, 2), (3, 4), (5, 6), (7, 8)]
+
+    def test_ragged_tail(self):
+        chunks = chunk_triplet(Triplet(1, 7), 3)
+        assert [(c.lo, c.hi) for c in chunks] == [(1, 3), (4, 6), (7, 7)]
+
+    def test_strided(self):
+        chunks = chunk_triplet(Triplet(1, 15, 2), 2)
+        assert [list(c) for c in chunks] == [[1, 3], [5, 7], [9, 11], [13, 15]]
+        assert all(c.step == 2 for c in chunks if c.size > 1)
+
+    def test_chunk_larger_than_extent(self):
+        chunks = chunk_triplet(Triplet(1, 3), 10)
+        assert len(chunks) == 1 and chunks[0] == Triplet(1, 3)
+
+    def test_invalid(self):
+        with pytest.raises(DistributionError):
+            chunk_triplet(Triplet(1, 4), 0)
+
+
+@pytest.fixture
+def fig2_A():
+    """A[1:4,1:8] (*, BLOCK) over 2x2, segment shape (2,1) -> 4 segments."""
+    dist = Distribution(
+        section((1, 4), (1, 8)), (Collapsed(), Block()), ProcessorGrid((2, 2))
+    )
+    return Segmentation(dist, (2, 1))
+
+
+@pytest.fixture
+def fig2_B():
+    """B[1:16,1:16] (BLOCK, CYCLIC) over 2x2, segment shape (4,2) -> 8 segments."""
+    dist = Distribution(
+        section((1, 16), (1, 16)), (Block(), Cyclic()), ProcessorGrid((2, 2))
+    )
+    return Segmentation(dist, (4, 2))
+
+
+class TestFigure2:
+    def test_A_segment_count(self, fig2_A):
+        # Figure 2: #segments = 4 for every processor.
+        for pid in range(4):
+            assert fig2_A.segment_count(pid) == 4
+
+    def test_A_segment_shape(self, fig2_A):
+        for pid in range(4):
+            for seg in fig2_A.segments(pid):
+                assert seg.shape == (2, 1)
+
+    def test_B_segment_count(self, fig2_B):
+        # Figure 2: 8 segments of shape (4,2) per processor.
+        for pid in range(4):
+            assert fig2_B.segment_count(pid) == 8
+
+    def test_B_segments_strided_columns(self, fig2_B):
+        for seg in fig2_B.segments(0):
+            assert seg.shape == (4, 2)
+            assert seg.dims[1].step == 2  # spans cyclically-owned columns
+
+    def test_segments_partition_local_region(self, fig2_B):
+        for pid in range(4):
+            (owned,) = fig2_B.distribution.owned_sections(pid)
+            assert disjoint_cover_equal(owned, fig2_B.segments(pid))
+
+    def test_nominal_sizes(self, fig2_A, fig2_B):
+        assert fig2_A.nominal_segment_size() == 2
+        assert fig2_B.nominal_segment_size() == 8
+
+
+class TestFigure3:
+    """4x8 array on a 2x2 grid: the four panels of Figure 3."""
+
+    def test_block_block_2x1(self):
+        dist = Distribution(
+            section((1, 4), (1, 8)), (Block(), Block()), ProcessorGrid((2, 2))
+        )
+        seg = Segmentation(dist, (2, 1))
+        # P3 (pid 2) owns rows 1:2, cols 5:8 -> four 2x1 segments.
+        segs = seg.segments(2)
+        assert [str(s) for s in segs] == [
+            "[1:2,5]", "[1:2,6]", "[1:2,7]", "[1:2,8]",
+        ]
+
+    def test_block_block_1x4(self):
+        dist = Distribution(
+            section((1, 4), (1, 8)), (Block(), Block()), ProcessorGrid((2, 2))
+        )
+        seg = Segmentation(dist, (1, 4))
+        segs = seg.segments(2)
+        assert [str(s) for s in segs] == ["[1,5:8]", "[2,5:8]"]
+
+    def test_star_block_2x1(self):
+        dist = Distribution(
+            section((1, 4), (1, 8)), (Collapsed(), Block()), ProcessorGrid((2, 2))
+        )
+        seg = Segmentation(dist, (2, 1))
+        # pid 2 ("P3") owns all rows of columns 5:6.
+        segs = seg.segments(2)
+        assert [str(s) for s in segs] == [
+            "[1:2,5]", "[1:2,6]", "[3:4,5]", "[3:4,6]",
+        ]
+
+    def test_star_block_4x1(self):
+        dist = Distribution(
+            section((1, 4), (1, 8)), (Collapsed(), Block()), ProcessorGrid((2, 2))
+        )
+        seg = Segmentation(dist, (4, 1))
+        segs = seg.segments(2)
+        assert [str(s) for s in segs] == ["[1:4,5]", "[1:4,6]"]
+
+
+class TestSegmentationMisc:
+    def test_rank_mismatch(self, fig2_A):
+        with pytest.raises(DistributionError):
+            Segmentation(fig2_A.distribution, (2,))
+
+    def test_bad_shape(self, fig2_A):
+        with pytest.raises(DistributionError):
+            Segmentation(fig2_A.distribution, (0, 1))
+
+    def test_segment_containing(self, fig2_A):
+        seg = fig2_A.segment_containing(0, (2, 1))
+        assert seg is not None and (2, 1) in seg
+        assert fig2_A.segment_containing(0, (1, 5)) is None  # P3's element
+
+    def test_all_segments_cover_array(self, fig2_B):
+        total = sum(seg.size for _, seg in fig2_B.all_segments())
+        assert total == 256
+
+    def test_fft_segments(self):
+        # Section 4: A[1:4,1:4,1:4], (*,*,BLOCK) on 4 procs, segments of 4
+        # consecutive elements -> shape (4,1,1) gives the paper's columns.
+        dist = Distribution(
+            section((1, 4), (1, 4), (1, 4)),
+            (Collapsed(), Collapsed(), Block()),
+            ProcessorGrid((4,)),
+        )
+        seg = Segmentation(dist, (4, 1, 1))
+        segs = seg.segments(1)
+        assert len(segs) == 4
+        assert all(s.shape == (4, 1, 1) for s in segs)
+        assert str(segs[0]) == "[1:4,1,2]"

@@ -1,0 +1,262 @@
+"""Unit tests for the run-time symbol table (paper section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import OwnershipError
+from repro.core.sections import section
+from repro.core.states import SegmentState
+from repro.distributions import (
+    Block,
+    Collapsed,
+    Distribution,
+    ProcessorGrid,
+    Segmentation,
+)
+from repro.runtime import MAXINT, MININT, RuntimeSymbolTable
+
+
+@pytest.fixture
+def seg_C():
+    """C[1:4,1:8] (BLOCK, BLOCK) over 2x2, 2x1 segments (section 3.1)."""
+    dist = Distribution(
+        section((1, 4), (1, 8)), (Block(), Block()), ProcessorGrid((2, 2))
+    )
+    return Segmentation(dist, (2, 1))
+
+
+@pytest.fixture
+def p3(seg_C):
+    """P3's table (pid 2) with C declared."""
+    st = RuntimeSymbolTable(2)
+    st.declare("C", seg_C)
+    return st
+
+
+class TestDeclaration:
+    def test_entry_fields(self, p3):
+        e = p3.entry("C")
+        assert e.index == 1
+        assert e.rank == 2
+        assert e.global_shape == (4, 8)
+        assert e.partitioning == "(BLOCK, BLOCK)"
+        assert e.segment_shape == (2, 1)
+        assert e.segment_count == 4
+
+    def test_segments_accessible_initially(self, p3):
+        assert all(
+            d.state is SegmentState.ACCESSIBLE for d in p3.entry("C").segdescs
+        )
+
+    def test_storage_allocated(self, p3):
+        # 4 segments x 2 elements x 8 bytes
+        assert p3.memory.live_bytes == 64
+        assert p3.memory.live_chunks == 4
+
+    def test_double_declare_rejected(self, p3, seg_C):
+        with pytest.raises(OwnershipError):
+            p3.declare("C", seg_C)
+
+    def test_unknown_variable(self, p3):
+        from repro.core.errors import UnknownVariableError
+
+        with pytest.raises(UnknownVariableError):
+            p3.iown("Z", section(1, 1))
+        assert "C" in p3 and "Z" not in p3
+
+
+class TestIownSection31:
+    """The paper's walk-through: P3 executes iown(C[1,5:7])."""
+
+    def test_paper_example_true(self, p3):
+        assert p3.iown("C", section(1, (5, 7)))
+
+    def test_not_owned_elsewhere(self, p3):
+        assert not p3.iown("C", section(1, (1, 3)))  # P1's columns
+        assert not p3.iown("C", section((3, 4), (5, 8)))  # P4's rows
+
+    def test_partial_overlap_false(self, p3):
+        # Spans P3's and P1's columns.
+        assert not p3.iown("C", section(1, (4, 6)))
+
+    def test_whole_partition(self, p3):
+        assert p3.iown("C", section((1, 2), (5, 8)))
+
+    def test_other_processor_view(self, seg_C):
+        p1 = RuntimeSymbolTable(0)
+        p1.declare("C", seg_C)
+        assert p1.iown("C", section(1, (1, 4)))
+        assert not p1.iown("C", section(1, (5, 7)))
+
+
+class TestBounds:
+    def test_mylb_myub(self, p3):
+        assert p3.mylb("C", 1) == 1 and p3.myub("C", 1) == 2
+        assert p3.mylb("C", 2) == 5 and p3.myub("C", 2) == 8
+
+    def test_restricted_query(self, p3):
+        assert p3.mylb("C", 2, section((1, 2), (6, 8))) == 6
+
+    def test_unowned_gives_sentinels(self, p3):
+        assert p3.mylb("C", 1, section((3, 4), (1, 4))) == MAXINT
+        assert p3.myub("C", 1, section((3, 4), (1, 4))) == MININT
+
+
+class TestReadWrite:
+    def test_roundtrip_across_segments(self, p3):
+        sec = section((1, 2), (5, 8))
+        vals = np.arange(8, dtype=np.float64).reshape(2, 4)
+        p3.write("C", sec, vals)
+        assert np.array_equal(p3.read("C", sec), vals)
+
+    def test_subsection_read(self, p3):
+        p3.write("C", section((1, 2), (5, 8)), np.arange(8).reshape(2, 4))
+        got = p3.read("C", section(2, (5, 7, 2)))
+        assert got.shape == (1, 2)
+        assert list(got[0]) == [4.0, 6.0]
+
+    def test_scalar_broadcast_write(self, p3):
+        p3.write("C", section((1, 2), (5, 8)), 7.5)
+        assert np.all(p3.read("C", section((1, 2), (5, 8))) == 7.5)
+
+    def test_read_unowned_raises(self, p3):
+        with pytest.raises(OwnershipError):
+            p3.read("C", section(1, (1, 8)))
+
+    def test_write_unowned_raises(self, p3):
+        with pytest.raises(OwnershipError):
+            p3.write("C", section((3, 4), (5, 8)), 0.0)
+
+
+class TestValueReceiveStates:
+    def test_begin_makes_transitional(self, p3):
+        sec = section((1, 2), 5)
+        p3.begin_value_receive("C", sec)
+        assert p3.state_of("C", sec) is SegmentState.TRANSITIONAL
+        assert not p3.accessible("C", sec)
+        assert p3.iown("C", sec)  # still owned
+
+    def test_complete_restores_accessible(self, p3):
+        sec = section((1, 2), 5)
+        p3.begin_value_receive("C", sec)
+        p3.complete_value_receive("C", sec, np.array([[1.0], [2.0]]))
+        assert p3.accessible("C", sec)
+        assert list(p3.read("C", sec).ravel()) == [1.0, 2.0]
+
+    def test_nested_receives(self, p3):
+        sec = section((1, 2), 5)
+        p3.begin_value_receive("C", sec)
+        p3.begin_value_receive("C", sec)
+        p3.complete_value_receive("C", sec, 1.0)
+        assert p3.state_of("C", sec) is SegmentState.TRANSITIONAL
+        p3.complete_value_receive("C", sec, 2.0)
+        assert p3.accessible("C", sec)
+
+    def test_receive_into_unowned_raises(self, p3):
+        with pytest.raises(OwnershipError):
+            p3.begin_value_receive("C", section(1, (1, 2)))
+
+    def test_strict_read_of_transitional(self, seg_C):
+        st = RuntimeSymbolTable(2, strict=True)
+        st.declare("C", seg_C)
+        st.begin_value_receive("C", section((1, 2), 5))
+        with pytest.raises(OwnershipError):
+            st.read("C", section((1, 2), 5))
+
+    def test_nonstrict_read_of_transitional_allowed(self, p3):
+        p3.begin_value_receive("C", section((1, 2), 5))
+        # Unpredictable value, but no run-time check (paper section 2.1).
+        p3.read("C", section((1, 2), 5))
+
+
+class TestOwnershipTransfer:
+    def test_release_whole_segment(self, p3):
+        sec = section((1, 2), 5)
+        p3.write("C", sec, np.array([[3.0], [4.0]]))
+        before = p3.memory.live_bytes
+        vals = p3.release_ownership("C", sec, with_value=True)
+        assert list(vals.ravel()) == [3.0, 4.0]
+        assert not p3.iown("C", sec)
+        assert p3.entry("C").segment_count == 3
+        assert p3.memory.live_bytes == before - 16
+
+    def test_release_without_value(self, p3):
+        assert p3.release_ownership("C", section((1, 2), 6), with_value=False) is None
+        assert not p3.iown("C", section(1, 6))
+
+    def test_release_splits_segment(self, p3):
+        # Release only element (1,5) of the (1:2,5) segment.
+        p3.write("C", section((1, 2), 5), np.array([[9.0], [8.0]]))
+        p3.release_ownership("C", section(1, 5), with_value=True)
+        assert not p3.iown("C", section(1, 5))
+        assert p3.iown("C", section(2, 5))
+        assert p3.read("C", section(2, 5))[0, 0] == 8.0
+        assert p3.entry("C").segment_count == 4  # 3 intact + 1 split remainder
+
+    def test_release_across_segments(self, p3):
+        p3.release_ownership("C", section((1, 2), (5, 6)), with_value=False)
+        assert p3.entry("C").segment_count == 2
+        assert p3.owned_elements("C") == 4
+
+    def test_release_unowned_raises(self, p3):
+        with pytest.raises(OwnershipError):
+            p3.release_ownership("C", section(1, (1, 2)), with_value=True)
+
+    def test_release_transitional_raises(self, p3):
+        p3.begin_value_receive("C", section((1, 2), 5))
+        with pytest.raises(OwnershipError):
+            p3.release_ownership("C", section((1, 2), 5), with_value=True)
+
+    def test_acquire_then_complete(self, p3):
+        sec = section((3, 4), 1)  # P2's territory, unowned by P3
+        desc = p3.acquire_ownership("C", sec)
+        assert desc.state is SegmentState.TRANSITIONAL
+        assert p3.iown("C", sec)
+        assert not p3.accessible("C", sec)
+        p3.complete_ownership_receive("C", sec, np.array([[1.5], [2.5]]))
+        assert p3.accessible("C", sec)
+        assert list(p3.read("C", sec).ravel()) == [1.5, 2.5]
+
+    def test_acquire_owned_raises(self, p3):
+        with pytest.raises(OwnershipError):
+            p3.acquire_ownership("C", section(1, 5))
+
+    def test_ownership_only_receive_has_undefined_value(self, p3):
+        sec = section((3, 4), 1)
+        p3.acquire_ownership("C", sec)
+        p3.complete_ownership_receive("C", sec, None)  # '<=': no value moved
+        assert p3.accessible("C", sec)
+
+    def test_complete_without_initiation_raises(self, p3):
+        with pytest.raises(OwnershipError):
+            p3.complete_ownership_receive("C", section((3, 4), 1), None)
+
+    def test_roundtrip_release_acquire(self, p3):
+        sec = section((1, 2), 5)
+        p3.write("C", sec, 5.0)
+        vals = p3.release_ownership("C", sec, with_value=True)
+        p3.acquire_ownership("C", sec)
+        p3.complete_ownership_receive("C", sec, vals)
+        assert p3.accessible("C", sec)
+        assert np.all(p3.read("C", sec) == 5.0)
+
+    def test_storage_reuse_accounting(self, p3):
+        """Section 2.6: released storage is reclaimed for acquired sections."""
+        peak0 = p3.memory.peak_bytes
+        p3.release_ownership("C", section((1, 2), (5, 8)), with_value=False)
+        assert p3.memory.live_bytes == 0
+        p3.acquire_ownership("C", section((3, 4), (1, 4)))
+        assert p3.memory.live_bytes == 64
+        assert p3.memory.peak_bytes == peak0  # footprint never grew
+
+
+class TestFullyCollapsedDim:
+    def test_star_block_table(self):
+        dist = Distribution(
+            section((1, 4), (1, 8)), (Collapsed(), Block()), ProcessorGrid((2, 2))
+        )
+        st = RuntimeSymbolTable(0)
+        st.declare("A", Segmentation(dist, (2, 1)))
+        assert st.entry("A").segment_count == 4
+        assert st.iown("A", section((1, 4), (1, 2)))
+        assert not st.iown("A", section((1, 4), (1, 3)))

@@ -1,0 +1,133 @@
+"""Stateful property test of the run-time symbol table.
+
+A hypothesis rule-based machine drives one processor's table through
+random sequences of writes, reads, sub-section ownership releases and
+re-acquisitions, checking after every step against a simple point-set +
+dict model:
+
+* ``iown`` answers exactly the model's membership;
+* reads of accessible data return the last written values;
+* ``mylb``/``myub`` agree with the model's min/max;
+* the memory accountant's live bytes equal 8x the owned element count.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core.sections import Section, Triplet, group_into_triplets, section
+from repro.distributions import Block, Distribution, ProcessorGrid, Segmentation
+from repro.runtime import MAXINT, MININT, RuntimeSymbolTable
+
+N = 24  # extent of the 1-D test array
+PID = 0
+
+
+def _subsections(lo: int, hi: int):
+    """Strategy for non-empty subsections of lo..hi (unit or strided)."""
+    return st.tuples(
+        st.integers(lo, hi), st.integers(0, hi - lo), st.integers(1, 3)
+    ).map(
+        lambda t: Section((Triplet(t[0], min(hi, t[0] + t[1]), t[2]),))
+    )
+
+
+class SymtabMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.st = RuntimeSymbolTable(PID)
+        dist = Distribution(section((1, N)), (Block(),), ProcessorGrid((2,)))
+        self.st.declare("X", Segmentation(dist, (4,)))
+        # Model: owned points and their values.
+        self.owned: set[int] = set(range(1, N // 2 + 1))
+        self.values: dict[int, float] = {i: 0.0 for i in self.owned}
+        self.counter = 0.0
+
+    # ------------------------------------------------------------------ #
+
+    def _owned_subsection(self, sec: Section) -> bool:
+        return set(p[0] for p in sec) <= self.owned
+
+    @rule(sec=_subsections(1, N))
+    def write_owned(self, sec):
+        if not self._owned_subsection(sec):
+            return
+        self.counter += 1.0
+        vals = np.full(sec.shape, self.counter)
+        self.st.write("X", sec, vals)
+        for (p,) in sec:
+            self.values[p] = self.counter
+
+    @rule(sec=_subsections(1, N))
+    def read_matches_model(self, sec):
+        if not self._owned_subsection(sec):
+            return
+        got = self.st.read("X", sec)
+        want = np.array([self.values[p] for (p,) in sec]).reshape(sec.shape)
+        assert np.array_equal(got, want)
+
+    @rule(sec=_subsections(1, N), with_value=st.booleans())
+    def release(self, sec, with_value):
+        pts = {p[0] for p in sec}
+        if not pts <= self.owned:
+            return
+        vals = self.st.release_ownership("X", sec, with_value=with_value)
+        if with_value:
+            want = np.array([self.values[p] for (p,) in sec]).reshape(sec.shape)
+            assert np.array_equal(vals, want)
+        self.owned -= pts
+        for p in pts:
+            del self.values[p]
+
+    @rule(sec=_subsections(1, N), data=st.floats(-10, 10))
+    def acquire(self, sec, data):
+        pts = {p[0] for p in sec}
+        if pts & self.owned:
+            return
+        self.st.acquire_ownership("X", sec)
+        self.st.complete_ownership_receive(
+            "X", sec, np.full(sec.shape, data)
+        )
+        self.owned |= pts
+        for p in pts:
+            self.values[p] = data
+
+    # ------------------------------------------------------------------ #
+
+    @invariant()
+    def iown_matches_model(self):
+        # Spot-check a few sections each step (full check is O(N^2)).
+        for lo, hi in ((1, 4), (5, 12), (13, N), (1, N)):
+            sec = section((lo, hi))
+            want = set(range(lo, hi + 1)) <= self.owned
+            assert self.st.iown("X", sec) == want
+
+    @invariant()
+    def bounds_match_model(self):
+        if self.owned:
+            assert self.st.mylb("X", 1) == min(self.owned)
+            assert self.st.myub("X", 1) == max(self.owned)
+        else:
+            assert self.st.mylb("X", 1) == MAXINT
+            assert self.st.myub("X", 1) == MININT
+
+    @invariant()
+    def memory_accounting_matches(self):
+        assert self.st.owned_elements("X") == len(self.owned)
+        assert self.st.memory.live_bytes == 8 * len(self.owned)
+
+    @invariant()
+    def segments_are_disjoint(self):
+        seen: set[int] = set()
+        for d in self.st.entry("X").segdescs:
+            for (p,) in d.segment:
+                assert p not in seen, "overlapping segment descriptors"
+                seen.add(p)
+        assert seen == self.owned
+
+
+TestSymtabStateful = SymtabMachine.TestCase
+TestSymtabStateful.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,72 @@
+"""Tests for the utilization renderer and additional app robustness cases."""
+
+import numpy as np
+import pytest
+
+from repro.apps import run_fft3d, run_jacobi, run_workqueue
+from repro.machine import MachineModel
+from repro.machine.stats import ProcStats, RunStats
+from repro.report import utilization_bars, utilization_summary
+
+FAST = MachineModel(o_send=1, o_recv=1, alpha=10, per_byte=0.0)
+
+
+class TestUtilization:
+    def make_stats(self):
+        return RunStats(
+            procs=[
+                ProcStats(0, compute_time=50, idle_time=50, finish_time=100),
+                ProcStats(1, compute_time=100, finish_time=100),
+            ],
+            makespan=100.0,
+        )
+
+    def test_bars_render(self):
+        text = utilization_bars(self.make_stats(), width=20)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("P1 |")
+        assert "#" in lines[0] and "." in lines[0]
+        assert lines[1].count("#") == 20  # fully busy
+
+    def test_busy_percent(self):
+        text = utilization_bars(self.make_stats())
+        assert "busy  50.0%" in text
+        assert "busy 100.0%" in text
+
+    def test_summary_fractions(self):
+        s = utilization_summary(self.make_stats())
+        assert s["compute"] == pytest.approx(0.75)
+        assert s["idle"] == pytest.approx(0.25)
+        assert s["overhead"] == 0.0
+
+    def test_empty_stats(self):
+        assert utilization_bars(RunStats()) == ""
+
+    def test_real_run(self):
+        r = run_fft3d(4, 4, 1, model=FAST)
+        text = utilization_bars(r.stats)
+        assert text.count("|") == 8  # 4 rows, two bars each
+
+
+class TestAppRobustness:
+    @pytest.mark.parametrize("n,nprocs", [(12, 4), (8, 8), (6, 2), (16, 2)])
+    def test_fft_sizes(self, n, nprocs):
+        assert run_fft3d(n, nprocs, 2, model=FAST).correct
+
+    @pytest.mark.parametrize("nprocs", [2, 3, 8])
+    def test_jacobi_processor_counts(self, nprocs):
+        r = run_jacobi(48, nprocs, 2, "halo-overlap", model=FAST)
+        assert r.correct
+
+    def test_jacobi_single_sweep(self):
+        assert run_jacobi(16, 4, 1, "halo", model=FAST).correct
+
+    def test_workqueue_minimal(self):
+        r = run_workqueue(3, 2, scheme="dynamic", costs=np.ones(3), model=FAST)
+        assert sum(r.jobs_per_worker.values()) == 3
+
+    def test_workqueue_many_workers_few_jobs(self):
+        r = run_workqueue(2, 6, scheme="dynamic", costs=np.ones(2) * 50, model=FAST)
+        assert sum(r.jobs_per_worker.values()) == 2
+        assert r.stats.unmatched_receives == 0

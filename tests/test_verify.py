@@ -1,0 +1,125 @@
+"""Unit tests for the IR verifier (static XDP obligations)."""
+
+import pytest
+
+from repro.core.errors import VerificationError
+from repro.core.ir.parser import parse_program
+from repro.core.ir.verify import verify_program
+
+
+def check(src: str):
+    verify_program(parse_program(src))
+
+
+class TestDeclarations:
+    def test_valid_program(self):
+        check(
+            "array A[1:4] dist (BLOCK) seg (1)\n"
+            "array W[1:4] universal\n"
+            "scalar n = 4\n\n"
+            "do i = 1, n\n  iown(A[i]) : { A[i] = W[i] }\nenddo\n"
+        )
+
+    def test_duplicate_decl(self):
+        with pytest.raises(VerificationError, match="duplicate"):
+            check("array A[1:4] dist (BLOCK)\nscalar A\n")
+
+    def test_undistributed_array(self):
+        from repro.core.ir.nodes import ArrayDecl, Block, Program
+
+        with pytest.raises(VerificationError, match="neither universal nor"):
+            verify_program(
+                Program((ArrayDecl("A", ((1, 4),)),), Block())
+            )
+
+    def test_empty_bounds(self):
+        from repro.core.ir.nodes import ArrayDecl, Block, Program
+
+        with pytest.raises(VerificationError, match="empty bounds"):
+            verify_program(
+                Program((ArrayDecl("A", ((4, 1),), dist="(BLOCK)"),), Block())
+            )
+
+    def test_segment_rank_mismatch(self):
+        from repro.core.ir.nodes import ArrayDecl, Block, Program
+
+        with pytest.raises(VerificationError, match="segment shape"):
+            verify_program(
+                Program(
+                    (ArrayDecl("A", ((1, 4),), dist="(BLOCK)",
+                               segment_shape=(1, 1)),),
+                    Block(),
+                )
+            )
+
+
+class TestReferences:
+    def test_undeclared_array(self):
+        with pytest.raises(VerificationError, match="not a declared array"):
+            check("array A[1:4] dist (BLOCK)\n\nB[1] = 0\n")
+
+    def test_rank_mismatch(self):
+        with pytest.raises(VerificationError, match="rank"):
+            check("array A[1:4,1:4] dist (BLOCK, BLOCK)\n\nA[1] = 0\n")
+
+    def test_undeclared_scalar(self):
+        with pytest.raises(VerificationError, match="undeclared scalar"):
+            check("array A[1:4] dist (BLOCK)\n\nA[1] = x\n")
+
+    def test_loop_variable_is_bound(self):
+        check("array A[1:4] dist (BLOCK)\n\ndo i = 1, 4\n  A[i] = i\nenddo\n")
+
+    def test_loop_shadowing_rejected(self):
+        with pytest.raises(VerificationError, match="shadows"):
+            check(
+                "array A[1:4] dist (BLOCK)\n\n"
+                "do i = 1, 2\n  do i = 1, 2\n    A[i] = 0\n  enddo\nenddo\n"
+            )
+
+
+class TestXDPRestrictions:
+    def test_send_of_universal_rejected(self):
+        with pytest.raises(VerificationError, match="universally owned"):
+            check("array W[1:4] universal\n\nW[1] ->\n")
+
+    def test_recv_into_universal_rejected(self):
+        with pytest.raises(VerificationError, match="universally owned"):
+            check("array W[1:4] universal\n\nW[1] <=-\n")
+
+    def test_recv_source_must_be_exclusive(self):
+        with pytest.raises(VerificationError, match="universally owned"):
+            check(
+                "array A[1:4] dist (BLOCK)\narray W[1:4] universal\n\n"
+                "A[1] <- W[1]\n"
+            )
+
+    def test_intrinsic_arg_must_be_exclusive(self):
+        with pytest.raises(VerificationError, match="universally owned"):
+            check(
+                "array A[1:4] dist (BLOCK)\narray W[1:4] universal\n\n"
+                "iown(W[1]) : { A[1] = 0 }\n"
+            )
+
+    def test_await_statement_on_universal_rejected(self):
+        with pytest.raises(VerificationError, match="universally owned"):
+            check("array W[1:4] universal\n\nawait(W[1])\n")
+
+    def test_all_transfer_forms_on_exclusive_ok(self):
+        check(
+            "array A[1:4] dist (BLOCK)\n\n"
+            "A[1] ->\nA[1] -> {1, 2}\nA[2] =>\nA[2] -=>\n"
+            "A[1] <- A[3]\nA[3] <=\nA[3] <=-\n"
+        )
+
+    def test_pipeline_output_verifies(self):
+        from repro.core.opt import optimize
+        from repro.core.translate import translate
+
+        src = (
+            "array A[1:8] dist (BLOCK) seg (1)\n"
+            "array B[1:8] dist (CYCLIC) seg (1)\n\n"
+            "do i = 1, 8\n  A[i] = A[i] + B[i]\nenddo\n"
+        )
+        prog = translate(parse_program(src), 4)
+        verify_program(prog)
+        verify_program(optimize(prog, 4).program)

@@ -1,0 +1,135 @@
+"""Unit tests for the IR traversal/rewriting utilities."""
+
+from repro.core.ir.nodes import (
+    ArrayRef, Assign, BinOp, Block, DoLoop, Full, Guarded, Index, IntConst,
+    Iown, Mypid, Range, RecvStmt, SendStmt, VarRef, XferOp,
+)
+from repro.core.ir.parser import parse_expression, parse_statements
+from repro.core.ir.printer import print_expr, print_stmt
+from repro.core.ir.visitor import (
+    array_refs,
+    free_scalars,
+    loop_depth,
+    map_block,
+    map_expr,
+    substitute,
+    substitute_stmt,
+    walk_exprs,
+    walk_stmts,
+)
+
+
+class TestMapExpr:
+    def test_bottom_up_rebuild(self):
+        e = parse_expression("A[i] + B[i+1] * 2")
+
+        def bump(x):
+            if isinstance(x, IntConst):
+                return IntConst(x.value + 10)
+            return x
+
+        out = map_expr(e, bump)
+        assert print_expr(out) == "A[i] + B[i + 11] * 12"
+
+    def test_identity_preserves_structure(self):
+        e = parse_expression("iown(A[1:4:2,*]) and mylb(B[*], 1) < 5")
+        assert map_expr(e, lambda x: x) == e
+
+
+class TestSubstitute:
+    def test_scalar_to_mypid(self):
+        e = parse_expression("A[p] + p * 2")
+        out = substitute(e, {"p": Mypid()})
+        assert print_expr(out) == "A[mypid] + mypid * 2"
+
+    def test_substitute_in_subscripts_and_guards(self):
+        (s,) = parse_statements("iown(A[k]) : { A[k] = A[k] + k }").stmts
+        out = substitute_stmt(s, {"k": Mypid()})
+        text = "\n".join(print_stmt(out))
+        assert "iown(A[mypid])" in text
+        assert "A[mypid] = A[mypid] + mypid" in text
+
+    def test_loop_rebinding_stops_substitution(self):
+        (s,) = parse_statements(
+            "do k = 1, n\n  A[k] = k + m\nenddo"
+        ).stmts
+        out = substitute_stmt(s, {"k": IntConst(9), "m": IntConst(7), "n": IntConst(3)})
+        text = "\n".join(print_stmt(out))
+        # k is rebound by the loop: body keeps k; m and the bound substitute.
+        assert "do k = 1, 3" in text
+        assert "A[k] = k + 7" in text
+
+    def test_transfer_statements(self):
+        (s,) = parse_statements("A[j] -> {j + 1}").stmts
+        out = substitute_stmt(s, {"j": IntConst(2)})
+        assert "\n".join(print_stmt(out)) == "A[2] -> {2 + 1}"
+
+
+class TestWalkers:
+    SRC = """
+do i = 1, 4
+  iown(A[i]) : {
+    T[mypid] <- B[i]
+    await(T[mypid])
+    A[i] = A[i] + T[mypid]
+  }
+enddo
+"""
+
+    def test_walk_stmts_counts(self):
+        block = parse_statements(self.SRC)
+        kinds = [type(s).__name__ for s in walk_stmts(block)]
+        assert kinds.count("DoLoop") == 1
+        assert kinds.count("Guarded") == 1
+        assert kinds.count("RecvStmt") == 1
+        assert kinds.count("Assign") == 1
+
+    def test_array_refs_collects_all_positions(self):
+        block = parse_statements(self.SRC)
+        names = sorted({r.var for r in array_refs(block)})
+        assert names == ["A", "B", "T"]
+
+    def test_array_refs_on_expression(self):
+        refs = list(array_refs(parse_expression("A[1] + iown(B[2])")))
+        assert {r.var for r in refs} == {"A", "B"}
+
+    def test_free_scalars(self):
+        block = parse_statements(self.SRC)
+        assert free_scalars(block) == set()  # i bound by the loop
+        (bare,) = parse_statements("x = y + z").stmts
+        assert free_scalars(bare) == {"x", "y", "z"}
+
+    def test_free_scalars_nested_binding(self):
+        block = parse_statements(
+            "do i = 1, n\n  do j = 1, i\n    A[j] = i + k\n  enddo\nenddo"
+        )
+        assert free_scalars(block) == {"n", "k"}
+
+    def test_walk_exprs_preorder(self):
+        e = parse_expression("a + b * c")
+        kinds = [type(x).__name__ for x in walk_exprs(e)]
+        assert kinds[0] == "BinOp"
+        assert kinds.count("VarRef") == 3
+
+    def test_loop_depth(self):
+        block = parse_statements(
+            "do i = 1, 2\n  do j = 1, 2\n    A[i] = j\n  enddo\nenddo\n"
+            "do k = 1, 2\n  A[k] = 0\nenddo"
+        )
+        assert loop_depth(block) == 2
+
+
+class TestMapBlock:
+    def test_delete_and_splice(self):
+        block = parse_statements("A[1] = 0\nB[1] = 1\nA[2] = 2")
+
+        def f(s):
+            if isinstance(s, Assign) and s.target.var == "B":
+                return None  # delete
+            if isinstance(s, Assign) and s.target.subs == (Index(IntConst(2)),):
+                return [s, s]  # duplicate
+            return s
+
+        out = map_block(block, f)
+        assert len(out) == 3
+        assert out.stmts[1] == out.stmts[2]
