@@ -1,0 +1,385 @@
+"""Engine-scaling benchmark harness (``repro bench``).
+
+The ROADMAP's north star is an engine that runs "as fast as the hardware
+allows" at large processor counts; this module measures that.  It drives
+two effect-layer node programs across a sweep of processor counts:
+
+* **workqueue** — the paper's section-2.7 dynamic load-balancing pool
+  (:mod:`repro.apps.workqueue`).  All traffic shares one message name, so
+  it stresses FIFO matching on a single hot ``(kind, name)`` key plus the
+  scheduler itself.
+* **fft** — an effect-layer distillation of the section-4 3-D FFT
+  redistribution: every processor pipelines per-column compute with a
+  directed all-to-all transpose (each column's transfer is injected as
+  soon as it is produced, the paper's stage-2 overlap), then awaits and
+  consumes its incoming slabs.  Every transfer has a distinct name, so it
+  stresses the indexed matching tables and completion batching.
+
+Speedups are measured **live** against :class:`SeedReferenceEngine`, a
+faithful re-implementation of the seed engine's hot path (O(P) runnable
+scan per effect, O(n) deque scans per match).  Measuring the baseline on
+the same machine at the same moment makes the recorded speedup
+machine-independent, unlike comparing wall-clock numbers across hosts.
+Both engines must produce *identical virtual results* (makespan, message
+counts) — the bench asserts this, so it doubles as a semantics regression
+check on the scheduler/matching rewrite.
+
+Results are recorded to ``BENCH_engine.json`` by ``repro bench`` (or the
+``benchmarks/test_bench_p1_engine_scaling.py`` harness) and compared with
+``repro bench --diff BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections import deque
+from dataclasses import asdict, dataclass
+
+from ..core.errors import BudgetExhaustedError
+from ..core.sections import section
+from ..distributions import Block, Distribution, ProcessorGrid, Segmentation
+from ..machine.effects import Compute, RecvInit, Send, WaitAccessible
+from ..machine.engine import Engine, ProcessorContext
+from ..machine.message import TransferKind
+from ..machine.model import MachineModel
+from ..machine.stats import RunStats
+from .workqueue import make_job_costs, run_workqueue
+
+__all__ = [
+    "SeedReferenceEngine",
+    "run_fft_pipeline",
+    "run_engine_bench",
+    "format_bench",
+    "diff_bench",
+    "BenchCase",
+]
+
+#: Model used by all bench cases (fixed so virtual results are comparable).
+BENCH_MODEL = MachineModel(o_send=1.0, o_recv=1.0, alpha=10.0, per_byte=0.0)
+
+
+class SeedReferenceEngine(Engine):
+    """The seed engine's hot path, kept as a live perf baseline.
+
+    Reproduces the pre-rewrite behavior exactly: every scheduling step
+    rescans all processors for the min-clock runnable one, and message
+    matching scans per-key deques linearly.  Virtual-time semantics are
+    identical to :class:`~repro.machine.engine.Engine`; only the
+    algorithmic complexity differs.  Do not use outside benchmarking.
+    """
+
+    def run(self, program) -> RunStats:
+        self._reset_run_state()
+        procs = []
+        for pid in range(self.nprocs):
+            ctx = ProcessorContext(pid, self.symtabs[pid], self.nprocs)
+            procs.append(self._make_proc(pid, ctx, program(ctx)))
+        self._procs = procs
+
+        budget = self.max_effects
+        while True:
+            runnable = [p for p in procs if p.runnable]
+            if not runnable:
+                if all(p.done for p in procs):
+                    break
+                blocked = [p for p in procs if p.blocked_on is not None]
+                if not self._try_unblock(blocked):
+                    self._report_deadlock(blocked)
+                continue
+            proc = min(runnable, key=lambda p: (p.clock, p.pid))
+            budget -= 1
+            if budget < 0:
+                raise BudgetExhaustedError(
+                    f"effect budget ({self.max_effects}) exhausted"
+                )
+            self._effects += 1
+            self._step(proc)
+
+        return self._collect_stats(procs)
+
+    @staticmethod
+    def _make_proc(pid, ctx, gen):
+        from ..machine.engine import _Proc
+
+        return _Proc(pid, ctx, gen)
+
+    def _route(self, msg) -> None:
+        key = (msg.kind, msg.name)
+        queue = self._pending.get(key)
+        if queue:
+            for i, recv in enumerate(queue):
+                if msg.dst is None or msg.dst == recv.pid:
+                    del queue[i]
+                    self._match(msg, recv)
+                    return
+        self._unclaimed.setdefault(key, deque()).append(msg)
+
+    def _do_recv_init(self, proc, eff) -> None:
+        from ..machine.engine import _PendingRecv
+        from ..machine.message import MessageName
+
+        st = proc.ctx.symtab
+        proc.clock += self.model.o_recv
+        proc.stats.recv_overhead += self.model.o_recv
+        into_var, into_sec = eff.destination()
+        name = MessageName(eff.var, eff.sec)
+        if eff.kind is TransferKind.VALUE:
+            st.begin_value_receive(into_var, into_sec)
+        else:
+            st.acquire_ownership(into_var, into_sec, transitional=True)
+        recv = _PendingRecv(
+            seq=next(self._seq),
+            pid=proc.pid,
+            init_time=proc.clock,
+            kind=eff.kind,
+            name=name,
+            into_var=into_var,
+            into_sec=into_sec,
+        )
+        self._emit(proc.clock, proc.pid, "recv-init", f"{eff.kind.value} {name}")
+        key = (eff.kind, name)
+        pool = self._unclaimed.get(key)
+        if pool:
+            for i, msg in enumerate(pool):
+                if msg.dst is None or msg.dst == proc.pid:
+                    del pool[i]
+                    self._match(msg, recv)
+                    return
+        self._pending.setdefault(key, deque()).append(recv)
+
+    def _apply_due_completions(self, proc) -> None:
+        while proc.completions and proc.completions[0].time <= proc.clock:
+            c = heapq.heappop(proc.completions)
+            c.apply()
+            proc.stats.bytes_received += c.nbytes
+
+    def _report_deadlock(self, blocked) -> None:  # pragma: no cover
+        # The indexed report iterates _RecvIndex objects; adapt for deques.
+        from ..core.errors import DeadlockError
+
+        raise DeadlockError("deadlock (seed reference engine)")
+
+
+# ---------------------------------------------------------------------- #
+# the FFT-pipeline node program
+# ---------------------------------------------------------------------- #
+
+
+def _linear_seg(extent: int, nprocs: int) -> Segmentation:
+    dist = Distribution(section((1, extent)), (Block(),), ProcessorGrid((nprocs,)))
+    return Segmentation(dist, (1,))
+
+
+def run_fft_pipeline(
+    nprocs: int,
+    *,
+    col_cost: float = 10.0,
+    consume_cost: float = 5.0,
+    model: MachineModel | None = None,
+    engine_cls: type[Engine] = Engine,
+) -> RunStats:
+    """Pipelined all-to-all transpose modeled on the section-4 FFT stage 2.
+
+    Processor ``p`` owns the ``p``-th block of ``A`` and ``B`` (extent
+    ``P*P``, one element per segment).  It computes each of its ``P``
+    columns in turn and immediately injects a directed transfer of the
+    just-finished column to its transpose owner, then awaits and consumes
+    the ``P - 1`` slabs addressed to it.  Receives are all posted up
+    front (initiation/completion split, paper section 2.5) so transfer
+    latency overlaps the remaining compute — the stage-2 pipelining.
+    """
+    engine = engine_cls(nprocs, model if model is not None else BENCH_MODEL)
+    extent = nprocs * nprocs
+    engine.declare("A", _linear_seg(extent, nprocs))
+    engine.declare("B", _linear_seg(extent, nprocs))
+
+    def prog(ctx: ProcessorContext):
+        P = ctx.nprocs
+        base = ctx.pid * P
+        # Post every receive up front: one incoming slab per peer.
+        for src in range(P):
+            if src == ctx.pid:
+                continue
+            sent_elem = section(src * P + ctx.pid + 1)
+            yield RecvInit(
+                TransferKind.VALUE, "A", sent_elem,
+                into_var="B", into_sec=section(base + src + 1),
+            )
+        # Compute each column; ship it to its transpose owner immediately.
+        for j in range(P):
+            yield Compute(col_cost, flops=int(col_cost))
+            if j == ctx.pid:
+                continue  # the diagonal column stays local
+            elem = section(base + j + 1)
+            ctx.symtab.write("A", elem, float(base + j))
+            yield Send(TransferKind.VALUE, "A", elem, dests=(j,))
+        # Consume incoming slabs as they complete.
+        for src in range(P):
+            if src == ctx.pid:
+                continue
+            slab = section(base + src + 1)
+            yield WaitAccessible("B", slab)
+            yield Compute(consume_cost, flops=int(consume_cost))
+
+    return engine.run(prog)
+
+
+# ---------------------------------------------------------------------- #
+# the bench runner
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class BenchCase:
+    """One (program, nprocs, engine) measurement."""
+
+    program: str
+    nprocs: int
+    engine: str
+    wall_s: float
+    effects: int
+    effects_per_sec: float
+    makespan: float
+    messages: int
+
+
+def _run_case(
+    program: str,
+    nprocs: int,
+    engine_name: str,
+    engine_cls: type[Engine],
+    *,
+    jobs_per_proc: int,
+) -> BenchCase:
+    t0 = time.perf_counter()
+    if program == "workqueue":
+        njobs = jobs_per_proc * nprocs
+        costs = make_job_costs(njobs, skew=4.0, seed=7)
+        stats = run_workqueue(
+            njobs, nprocs, scheme="dynamic", costs=costs,
+            model=BENCH_MODEL, engine_cls=engine_cls,
+        ).stats
+    elif program == "fft":
+        stats = run_fft_pipeline(nprocs, engine_cls=engine_cls)
+    else:
+        raise ValueError(f"unknown bench program {program!r}")
+    wall = time.perf_counter() - t0
+    return BenchCase(
+        program=program,
+        nprocs=nprocs,
+        engine=engine_name,
+        wall_s=round(wall, 4),
+        effects=stats.effects_processed,
+        effects_per_sec=round(stats.effects_processed / wall) if wall > 0 else 0,
+        makespan=stats.makespan,
+        messages=stats.total_messages,
+    )
+
+
+def run_engine_bench(
+    nprocs_list: tuple[int, ...] = (8, 64, 256),
+    programs: tuple[str, ...] = ("workqueue", "fft"),
+    *,
+    jobs_per_proc: int = 16,
+    seed_reference: bool = True,
+    seed_fft_max_procs: int = 64,
+) -> dict:
+    """Run the scaling sweep; return a JSON-serializable results dict.
+
+    The seed-reference baseline is skipped for the FFT transpose above
+    ``seed_fft_max_procs`` processors (its O(P) scan over O(P^2) effects
+    makes the baseline itself cubic — the very pathology the rewrite
+    removes).  When both engines run a case, their virtual results must
+    agree exactly; a mismatch raises.
+    """
+    # Untimed warmup: the first engine run in a process pays one-time
+    # numpy/code-path initialization that would otherwise be billed to
+    # whichever case happens to run first.
+    for engine_cls in (Engine, SeedReferenceEngine) if seed_reference else (Engine,):
+        _run_case("workqueue", 2, "warmup", engine_cls, jobs_per_proc=2)
+
+    cases: list[BenchCase] = []
+    speedups: dict[str, float] = {}
+    for program in programs:
+        for nprocs in nprocs_list:
+            new = _run_case(
+                program, nprocs, "indexed", Engine, jobs_per_proc=jobs_per_proc
+            )
+            cases.append(new)
+            if not seed_reference:
+                continue
+            if program == "fft" and nprocs > seed_fft_max_procs:
+                continue
+            old = _run_case(
+                program, nprocs, "seed-reference", SeedReferenceEngine,
+                jobs_per_proc=jobs_per_proc,
+            )
+            cases.append(old)
+            if (old.makespan, old.messages, old.effects) != (
+                new.makespan, new.messages, new.effects
+            ):
+                raise AssertionError(
+                    f"engine semantics diverged on {program}@{nprocs}: "
+                    f"seed {(old.makespan, old.messages, old.effects)} vs "
+                    f"indexed {(new.makespan, new.messages, new.effects)}"
+                )
+            if old.effects_per_sec:
+                speedups[f"{program}@{nprocs}"] = round(
+                    new.effects_per_sec / old.effects_per_sec, 2
+                )
+    return {
+        "schema": 1,
+        "config": {
+            "nprocs": list(nprocs_list),
+            "programs": list(programs),
+            "jobs_per_proc": jobs_per_proc,
+            "model": asdict(BENCH_MODEL),
+        },
+        "cases": [asdict(c) for c in cases],
+        "speedups": speedups,
+    }
+
+
+def format_bench(results: dict) -> str:
+    """Human-readable table of one results dict."""
+    lines = [
+        f"{'program':10s} {'P':>4s} {'engine':14s} {'wall_s':>8s} "
+        f"{'effects':>9s} {'eff/sec':>10s} {'makespan':>10s}"
+    ]
+    for c in results["cases"]:
+        lines.append(
+            f"{c['program']:10s} {c['nprocs']:4d} {c['engine']:14s} "
+            f"{c['wall_s']:8.3f} {c['effects']:9d} {c['effects_per_sec']:10d} "
+            f"{c['makespan']:10.0f}"
+        )
+    if results.get("speedups"):
+        pairs = ", ".join(f"{k}: {v}x" for k, v in results["speedups"].items())
+        lines.append(f"speedup vs seed engine — {pairs}")
+    return "\n".join(lines)
+
+
+def diff_bench(old: dict, new: dict) -> str:
+    """Compare two results dicts (e.g. committed BENCH_engine.json vs now)."""
+    index = {
+        (c["program"], c["nprocs"], c["engine"]): c for c in old.get("cases", [])
+    }
+    lines = [
+        f"{'case':32s} {'old eff/s':>10s} {'new eff/s':>10s} {'ratio':>7s}"
+    ]
+    for c in new["cases"]:
+        key = (c["program"], c["nprocs"], c["engine"])
+        prev = index.get(key)
+        label = f"{c['program']}@{c['nprocs']} ({c['engine']})"
+        if prev is None:
+            lines.append(f"{label:32s} {'-':>10s} {c['effects_per_sec']:10d}")
+            continue
+        ratio = (
+            c["effects_per_sec"] / prev["effects_per_sec"]
+            if prev["effects_per_sec"] else float("inf")
+        )
+        lines.append(
+            f"{label:32s} {prev['effects_per_sec']:10d} "
+            f"{c['effects_per_sec']:10d} {ratio:6.2f}x"
+        )
+    return "\n".join(lines)

@@ -84,11 +84,13 @@ def run_workqueue(
     scheme: str = "dynamic",
     costs: np.ndarray | None = None,
     model: MachineModel | None = None,
+    engine_cls: type[Engine] = Engine,
 ) -> WorkQueueResult:
     """Run ``njobs`` jobs on ``nprocs - 1`` workers plus one master.
 
     ``scheme="dynamic"`` is the paper's pool; ``scheme="static"`` deals the
     same jobs round-robin in advance (each worker knows its fixed job ids).
+    ``engine_cls`` lets the bench harness substitute a reference engine.
     """
     if nprocs < 2:
         raise ValueError("need at least one master and one worker")
@@ -97,7 +99,7 @@ def run_workqueue(
     job_costs = costs if costs is not None else make_job_costs(njobs)
     if len(job_costs) != njobs:
         raise ValueError("costs length must equal njobs")
-    engine = Engine(nprocs, model if model is not None else MachineModel())
+    engine = engine_cls(nprocs, model if model is not None else MachineModel())
     _declare(engine, nprocs)
     claimed: dict[int, int] = {p: 0 for p in range(1, nprocs)}
 

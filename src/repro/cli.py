@@ -18,6 +18,11 @@ Commands
 ``fft``
     Run the section-4 3-D FFT at a chosen stage/size and report.
 
+``bench``
+    Run the engine-scaling benchmark (workqueue + FFT-pipeline node
+    programs over a processor sweep, measured live against the seed
+    reference engine) and record/diff ``BENCH_engine.json``.
+
 Examples
 --------
 
@@ -27,11 +32,14 @@ Examples
     python -m repro run examples/simple.xdp --nprocs 4 --show A
     python -m repro figures all
     python -m repro fft --n 8 --nprocs 4 --stage 2
+    python -m repro bench --nprocs 8,64,256 --out BENCH_engine.json
+    python -m repro bench --nprocs 8,64 --diff BENCH_engine.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -167,6 +175,28 @@ def _cmd_fft(args: argparse.Namespace) -> int:
     return 0 if r.correct else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .apps.enginebench import diff_bench, format_bench, run_engine_bench
+
+    nprocs = tuple(int(x) for x in args.nprocs.split(","))
+    programs = tuple(args.programs.split(","))
+    results = run_engine_bench(
+        nprocs,
+        programs,
+        jobs_per_proc=args.jobs_per_proc,
+        seed_reference=not args.no_seed_reference,
+    )
+    print(format_bench(results))
+    if args.diff:
+        old = json.loads(Path(args.diff).read_text())
+        print(f"\nvs {args.diff}:")
+        print(diff_bench(old, results))
+        return 0
+    Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -216,6 +246,22 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--path", default="vm", choices=("vm", "interp"))
     t.add_argument("--print-source", action="store_true")
     t.set_defaults(fn=_cmd_fft)
+
+    b = sub.add_parser("bench", help="run the engine scaling benchmark")
+    b.add_argument("--nprocs", default="8,64,256",
+                   help="comma-separated processor counts")
+    b.add_argument("--programs", default="workqueue,fft",
+                   help="comma-separated bench programs (workqueue, fft)")
+    b.add_argument("--jobs-per-proc", type=int, default=16,
+                   help="workqueue jobs per processor")
+    b.add_argument("--no-seed-reference", action="store_true",
+                   help="skip the (slow) seed-engine baseline runs")
+    b.add_argument("--out", default="BENCH_engine.json",
+                   help="where to record results")
+    b.add_argument("--diff", metavar="FILE",
+                   help="compare against a recorded results file "
+                        "instead of writing")
+    b.set_defaults(fn=_cmd_bench)
 
     return parser
 

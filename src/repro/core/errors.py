@@ -14,6 +14,7 @@ __all__ = [
     "UnknownVariableError",
     "ProtocolError",
     "DeadlockError",
+    "BudgetExhaustedError",
     "DistributionError",
     "CompilationError",
 ]
@@ -70,6 +71,17 @@ class DeadlockError(XDPError):
     """Raised by the discrete-event engine when every live processor is
     blocked and no message is in flight.  XDP itself does not guarantee
     freedom from deadlock (paper section 1); the engine reports it."""
+
+
+class BudgetExhaustedError(DeadlockError):
+    """Raised by the discrete-event engine when a run exceeds its
+    ``max_effects`` budget.
+
+    This is a *resource limit*, not a proven deadlock: the program may
+    simply be long-running (raise ``max_effects``) or livelocked.  It
+    subclasses :class:`DeadlockError` for backward compatibility with
+    callers that caught the budget case under that name.
+    """
 
 
 class DistributionError(XDPError):

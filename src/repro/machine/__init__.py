@@ -4,7 +4,7 @@ effects, per-processor memory, statistics, and the discrete-event engine."""
 from .effects import Compute, Effect, Log, RecvInit, Send, WaitAccessible
 from .engine import HEADER_BYTES, Engine, NodeProgram, ProcessorContext
 from ..runtime.memory import LocalMemory
-from .message import Message, MessageName, TransferKind
+from .message import Message, MessageName, MessagePool, TransferKind
 from .model import MachineModel
 from .stats import ProcStats, RunStats, TraceEvent
 
@@ -22,6 +22,7 @@ __all__ = [
     "LocalMemory",
     "Message",
     "MessageName",
+    "MessagePool",
     "TransferKind",
     "MachineModel",
     "ProcStats",

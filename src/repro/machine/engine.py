@@ -26,6 +26,42 @@ owning processor reads its table and it cannot run before that time.  Data
 written "early" into a transitional section is unobservable except through
 reads of transitional state, whose value the paper already declares
 unpredictable.
+
+Scheduling and matching internals (see docs/ENGINE.md)
+------------------------------------------------------
+
+The hot path is designed to scale with the processor count ``P`` and the
+number of in-flight messages ``n``:
+
+* **Scheduler**: runnable processors sit in a min-heap keyed on
+  ``(clock, pid)``.  Each scheduling decision is an O(log P) pop/push
+  rather than an O(P) rescan of all processors.  The heap holds exactly
+  one entry per runnable processor (blocked/done processors are absent and
+  re-pushed on wake-up); a defensive staleness check skips any entry whose
+  recorded clock no longer matches the processor.
+* **Matching**: unclaimed messages and pending receives are indexed per
+  ``(kind, name)`` tag.  Messages split into per-destination queues plus
+  an unspecified-recipient queue (:class:`~repro.machine.message.MessagePool`);
+  pending receives keep both a global FIFO and per-processor FIFOs with
+  lazy deletion.  Both claim directions — message-finds-receive and
+  receive-finds-message — are O(1) while preserving the global
+  FIFO-by-seq discipline, because seq numbers are allocated in engine
+  order and each queue is individually seq-sorted.
+* **Completions**: when a processor resumes, all completions due at or
+  before its clock are applied in one partition-and-sort pass instead of
+  repeated heap pops; the heap is only rebuilt when some completions
+  remain in the future.
+
+**Multicast model**: a send with several destinations is *serialized
+injection* — the sender pays ``o_send`` per destination on its own clock
+before each copy enters the network, so later destinations observe later
+send and arrival times (one network interface injecting copies
+back-to-back).  This is intentional and pinned by tests.
+
+**Reuse**: an :class:`Engine` may run several programs in sequence; every
+``run()`` starts from fresh message pools, trace, logs, and seq numbers.
+Symbol tables (declared variables, their ownership and data) deliberately
+persist across runs so programs can be chained over the same arrays.
 """
 
 from __future__ import annotations
@@ -33,17 +69,22 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from dataclasses import dataclass
-from typing import Callable, Generator, Iterable
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Iterable, Iterator
 
 import numpy as np
 
-from ..core.errors import DeadlockError, OwnershipError, ProtocolError
+from ..core.errors import (
+    BudgetExhaustedError,
+    DeadlockError,
+    OwnershipError,
+    ProtocolError,
+)
 from ..core.sections import Section
 from ..runtime.symtab import RuntimeSymbolTable
 from .effects import Compute, Effect, Log, RecvInit, Send, WaitAccessible
 from ..runtime.memory import LocalMemory
-from .message import Message, MessageName, TransferKind
+from .message import Message, MessageName, MessagePool, TransferKind
 from .model import MachineModel
 from .stats import ProcStats, RunStats, TraceEvent
 
@@ -62,6 +103,61 @@ class _PendingRecv:
     name: MessageName
     into_var: str
     into_sec: Section
+    claimed: bool = field(default=False, compare=False)
+
+
+class _RecvIndex:
+    """Pending receives for one ``(kind, name)`` tag, claimable two ways.
+
+    An arriving *unspecified-destination* message must match the earliest
+    pending receive overall; a *directed* message must match the earliest
+    pending receive posted by its destination.  Each receive therefore
+    appears in two FIFO queues — the global one and its processor's — and
+    a claim through either marks it ``claimed`` so the other queue skips
+    the husk lazily.  Both claim paths are amortized O(1).
+    """
+
+    __slots__ = ("fifo", "by_pid", "live")
+
+    def __init__(self) -> None:
+        self.fifo: deque[_PendingRecv] = deque()
+        self.by_pid: dict[int, deque[_PendingRecv]] = {}
+        self.live = 0
+
+    def __len__(self) -> int:
+        return self.live
+
+    def __iter__(self) -> Iterator[_PendingRecv]:
+        """Unclaimed pending receives in seq order (diagnostics only)."""
+        return (r for r in self.fifo if not r.claimed)
+
+    def add(self, recv: _PendingRecv) -> None:
+        self.fifo.append(recv)
+        self.by_pid.setdefault(recv.pid, deque()).append(recv)
+        self.live += 1
+
+    @staticmethod
+    def _pop_live(queue: deque[_PendingRecv] | None) -> _PendingRecv | None:
+        while queue:
+            recv = queue.popleft()
+            if not recv.claimed:
+                recv.claimed = True
+                return recv
+        return None
+
+    def claim_any(self) -> _PendingRecv | None:
+        """Pop the earliest unclaimed receive regardless of processor."""
+        recv = self._pop_live(self.fifo)
+        if recv is not None:
+            self.live -= 1
+        return recv
+
+    def claim_for(self, pid: int) -> _PendingRecv | None:
+        """Pop the earliest unclaimed receive posted by ``pid``."""
+        recv = self._pop_live(self.by_pid.get(pid))
+        if recv is not None:
+            self.live -= 1
+        return recv
 
 
 @dataclass
@@ -134,11 +230,22 @@ class Engine:
             RuntimeSymbolTable(pid, LocalMemory(pid), strict=strict)
             for pid in range(nprocs)
         ]
+        self._reset_run_state()
+
+    def _reset_run_state(self) -> None:
+        """Fresh per-run state, so an Engine instance is safe to reuse.
+
+        A second ``run()`` must not observe the previous run's unclaimed
+        messages, pending receives, trace, or logs (symbol tables persist
+        by design — see the module docstring's reuse rule).
+        """
         self._seq = itertools.count()
-        self._unclaimed: dict[tuple[TransferKind, MessageName], deque[Message]] = {}
-        self._pending: dict[tuple[TransferKind, MessageName], deque[_PendingRecv]] = {}
+        self._unclaimed: dict[tuple[TransferKind, MessageName], MessagePool] = {}
+        self._pending: dict[tuple[TransferKind, MessageName], _RecvIndex] = {}
         self._trace: list[TraceEvent] = []
         self._logs: list[tuple[float, int, str]] = []
+        self._effects = 0
+        self._runq: list[tuple[float, int]] = []
 
     # ------------------------------------------------------------------ #
     # public API
@@ -155,32 +262,63 @@ class Engine:
 
     def run(self, program: NodeProgram) -> RunStats:
         """Load ``program`` onto every processor and run to completion."""
+        self._reset_run_state()
         procs = []
         for pid in range(self.nprocs):
             ctx = ProcessorContext(pid, self.symtabs[pid], self.nprocs)
             procs.append(_Proc(pid, ctx, program(ctx)))
         self._procs = procs
 
+        # The run queue holds one (clock, pid) entry per runnable
+        # processor; heap order reproduces the min-(clock, pid) schedule
+        # of the original full-scan loop in O(log P) per step.
+        runq = self._runq = [(p.clock, p.pid) for p in procs]
+        # Already sorted (all clocks 0, pids ascending) — valid heap.
+
         budget = self.max_effects
         while True:
-            runnable = [p for p in procs if p.runnable]
-            if not runnable:
+            proc = self._next_runnable()
+            if proc is None:
                 if all(p.done for p in procs):
                     break
                 blocked = [p for p in procs if p.blocked_on is not None]
                 if not self._try_unblock(blocked):
                     self._report_deadlock(blocked)
                 continue
-            proc = min(runnable, key=lambda p: (p.clock, p.pid))
             budget -= 1
             if budget < 0:
-                raise DeadlockError(
-                    f"effect budget ({self.max_effects}) exhausted — "
-                    "runaway program or livelock"
+                raise BudgetExhaustedError(
+                    f"effect budget ({self.max_effects}) exhausted — this is "
+                    "a resource limit, not a proven deadlock: raise "
+                    "max_effects for long programs, or suspect a runaway "
+                    "program or livelock"
                 )
+            self._effects += 1
             self._step(proc)
+            if proc.runnable:
+                heapq.heappush(runq, (proc.clock, proc.pid))
 
         return self._collect_stats(procs)
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+
+    def _next_runnable(self) -> _Proc | None:
+        """Pop the runnable processor with the smallest (clock, pid)."""
+        runq = self._runq
+        procs = self._procs
+        while runq:
+            clock, pid = heapq.heappop(runq)
+            proc = procs[pid]
+            # Stale entries (processor stepped/blocked/finished since the
+            # push, or its clock moved) are discarded lazily.
+            if proc.runnable and proc.clock == clock:
+                return proc
+        return None
+
+    def _push_runnable(self, proc: _Proc) -> None:
+        heapq.heappush(self._runq, (proc.clock, proc.pid))
 
     # ------------------------------------------------------------------ #
     # core stepping
@@ -236,6 +374,13 @@ class Engine:
                 eff.var, eff.sec, with_value=eff.kind is TransferKind.OWN_VALUE
             )
 
+        # Multicast is *serialized injection*: the sender's clock (and its
+        # send overhead) accumulates o_send per destination BEFORE each
+        # copy is stamped, so the i-th destination's send_time and
+        # arrive_time are o_send * i later than the first — one network
+        # interface injecting the copies back-to-back.  Pinned by
+        # tests/test_engine.py::TestValueTransfer::test_multicast_serialized_injection;
+        # do not "optimize" this into a single timestamp.
         dests: Iterable[int | None] = eff.dests if eff.dests is not None else (None,)
         for dst in dests:
             proc.clock += self.model.o_send
@@ -258,14 +403,21 @@ class Engine:
 
     def _route(self, msg: Message) -> None:
         key = (msg.kind, msg.name)
-        queue = self._pending.get(key)
-        if queue:
-            for i, recv in enumerate(queue):
-                if msg.dst is None or msg.dst == recv.pid:
-                    del queue[i]
-                    self._match(msg, recv)
-                    return
-        self._unclaimed.setdefault(key, deque()).append(msg)
+        index = self._pending.get(key)
+        if index is not None:
+            recv = (
+                index.claim_any() if msg.dst is None
+                else index.claim_for(msg.dst)
+            )
+            if recv is not None:
+                if not index.live:
+                    del self._pending[key]
+                self._match(msg, recv)
+                return
+        pool = self._unclaimed.get(key)
+        if pool is None:
+            pool = self._unclaimed[key] = MessagePool()
+        pool.add(msg)
 
     # ------------------------------------------------------------------ #
     # receives
@@ -293,13 +445,17 @@ class Engine:
         self._emit(proc.clock, proc.pid, "recv-init", f"{eff.kind.value} {name}")
         key = (eff.kind, name)
         pool = self._unclaimed.get(key)
-        if pool:
-            for i, msg in enumerate(pool):
-                if msg.dst is None or msg.dst == proc.pid:
-                    del pool[i]
-                    self._match(msg, recv)
-                    return
-        self._pending.setdefault(key, deque()).append(recv)
+        if pool is not None:
+            msg = pool.claim_for(proc.pid)
+            if msg is not None:
+                if not pool.live:
+                    del self._unclaimed[key]
+                self._match(msg, recv)
+                return
+        index = self._pending.get(key)
+        if index is None:
+            index = self._pending[key] = _RecvIndex()
+        index.add(recv)
 
     def _match(self, msg: Message, recv: _PendingRecv) -> None:
         ctime = max(recv.init_time, msg.arrive_time)
@@ -339,10 +495,28 @@ class Engine:
     # ------------------------------------------------------------------ #
 
     def _apply_due_completions(self, proc: _Proc) -> None:
-        while proc.completions and proc.completions[0].time <= proc.clock:
-            c = heapq.heappop(proc.completions)
+        """Apply every completion due at or before the processor's clock.
+
+        Batched: one partition pass splits due from future completions,
+        the due ones are applied in (time, seq) order, and the heap is
+        rebuilt only if future completions remain — instead of one
+        O(log n) sift per applied completion.
+        """
+        comps = proc.completions
+        if not comps or comps[0].time > proc.clock:
+            return
+        clock = proc.clock
+        due: list[_Completion] = []
+        later: list[_Completion] = []
+        for c in comps:
+            (due if c.time <= clock else later).append(c)
+        due.sort()
+        for c in due:
             c.apply()
             proc.stats.bytes_received += c.nbytes
+        if later:
+            heapq.heapify(later)
+        proc.completions = later
 
     def _do_wait(self, proc: _Proc, eff: WaitAccessible) -> None:
         st = proc.ctx.symtab
@@ -367,7 +541,11 @@ class Engine:
         self._emit(proc.clock, proc.pid, "block", f"{eff.var}{eff.sec}")
 
     def _try_unblock(self, blocked: list[_Proc]) -> bool:
-        """Re-examine blocked processors after state changed; True if any woke."""
+        """Re-examine blocked processors after state changed; True if any woke.
+
+        A woken processor is re-queued in the scheduler heap (blocked
+        processors have no run-queue entry).
+        """
         woke = False
         for proc in blocked:
             var, sec = proc.blocked_on
@@ -383,6 +561,7 @@ class Engine:
                     proc.blocked_on = None
                     proc.send_value = True
                     self._emit(proc.clock, proc.pid, "awake", f"{var}{sec}")
+                    self._push_runnable(proc)
                     woke = True
                     break
         return woke
@@ -398,8 +577,8 @@ class Engine:
         n_unclaimed = sum(len(q) for q in self._unclaimed.values())
         n_pending = sum(len(q) for q in self._pending.values())
         lines.append(f"  {n_unclaimed} unclaimed messages, {n_pending} unmatched receives")
-        for key, q in self._pending.items():
-            for r in q:
+        for key, index in self._pending.items():
+            for r in index:
                 lines.append(f"    P{r.pid + 1} waits for {key[0].value} {key[1]}")
         raise DeadlockError("\n".join(lines))
 
@@ -427,6 +606,7 @@ class Engine:
             total_bytes=sum(p.stats.bytes_sent for p in procs),
             unclaimed_messages=sum(len(q) for q in self._unclaimed.values()),
             unmatched_receives=sum(len(q) for q in self._pending.values()),
+            effects_processed=self._effects,
             logs=self._logs,
             trace=self._trace,
         )

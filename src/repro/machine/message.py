@@ -12,13 +12,15 @@ balancing.
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 from ..core.sections import Section
 
-__all__ = ["TransferKind", "MessageName", "Message"]
+__all__ = ["TransferKind", "MessageName", "Message", "MessagePool"]
 
 
 class TransferKind(enum.Enum):
@@ -72,3 +74,52 @@ class Message:
             f"msg#{self.seq} {self.kind.value} {self.name} "
             f"P{self.src + 1}->{to} @{self.send_time:.1f}->{self.arrive_time:.1f}"
         )
+
+
+class MessagePool:
+    """Unclaimed messages for one ``(kind, name)`` tag, indexed for O(1) claim.
+
+    Directed messages (``dst`` set) and unspecified-recipient messages
+    (``dst is None``) are kept in separate FIFO queues — directed ones
+    further keyed by destination — so a processor claiming a message never
+    scans past traffic addressed to someone else.  Because ``seq`` numbers
+    are allocated in engine order, every queue is individually seq-sorted
+    and a claim only has to compare the two queue heads to preserve the
+    global FIFO-by-seq matching discipline of paper section 2.7.
+    """
+
+    __slots__ = ("by_dst", "anydst", "live")
+
+    def __init__(self) -> None:
+        self.by_dst: dict[int, deque[Message]] = {}
+        self.anydst: deque[Message] = deque()
+        self.live = 0
+
+    def __len__(self) -> int:
+        return self.live
+
+    def __iter__(self) -> Iterator[Message]:
+        """All unclaimed messages, in seq order (diagnostics only)."""
+        return iter(sorted(
+            [*self.anydst, *(m for q in self.by_dst.values() for m in q)],
+            key=lambda m: m.seq,
+        ))
+
+    def add(self, msg: Message) -> None:
+        if msg.dst is None:
+            self.anydst.append(msg)
+        else:
+            self.by_dst.setdefault(msg.dst, deque()).append(msg)
+        self.live += 1
+
+    def claim_for(self, pid: int) -> Message | None:
+        """Pop the earliest-seq message claimable by ``pid``, if any."""
+        directed = self.by_dst.get(pid)
+        if directed:
+            if not self.anydst or directed[0].seq < self.anydst[0].seq:
+                self.live -= 1
+                return directed.popleft()
+        if self.anydst:
+            self.live -= 1
+            return self.anydst.popleft()
+        return None

@@ -56,6 +56,9 @@ class RunStats:
     total_bytes: int = 0
     unclaimed_messages: int = 0
     unmatched_receives: int = 0
+    #: Number of effects the engine scheduled — the discrete-event "work"
+    #: of the run, and the numerator of the bench harness's effects/sec.
+    effects_processed: int = 0
     logs: list[tuple[float, int, str]] = field(default_factory=list)
     trace: list[TraceEvent] = field(default_factory=list)
 
@@ -75,7 +78,7 @@ class RunStats:
         """Compact human-readable table of the run."""
         lines = [
             f"makespan: {self.makespan:.2f}  messages: {self.total_messages}"
-            f"  bytes: {self.total_bytes}",
+            f"  bytes: {self.total_bytes}  effects: {self.effects_processed}",
             " pid   compute      send      recv      idle    finish  msgs(out/in)",
         ]
         for p in self.procs:

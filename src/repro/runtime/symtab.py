@@ -37,6 +37,7 @@ Design choices documented against the paper:
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -89,6 +90,18 @@ class VariableEntry:
     dtype: np.dtype
     segdescs: list[SegmentDesc] = field(default_factory=list)
     released: list[Section] = field(default_factory=list)
+    # Dim-0 interval index over segdescs, rebuilt lazily after geometry
+    # changes (see invalidate_index).  Only consulted past a size
+    # threshold; small tables scan linearly, which is faster.
+    _index_descs: list[SegmentDesc] = field(
+        default_factory=list, repr=False, compare=False
+    )
+    _index_los: list[int] = field(default_factory=list, repr=False, compare=False)
+    _index_maxspan: int = field(default=0, repr=False, compare=False)
+    _index_dirty: bool = field(default=True, repr=False, compare=False)
+
+    #: Below this many segments a linear scan beats the index.
+    INDEX_THRESHOLD = 8
 
     @property
     def global_shape(self) -> tuple[int, ...]:
@@ -98,12 +111,63 @@ class VariableEntry:
     def segment_count(self) -> int:
         return len(self.segdescs)
 
-    def overlapping(self, sec: Section) -> Iterator[tuple[SegmentDesc, Section]]:
-        """Yield ``(descriptor, intersection)`` for segments meeting ``sec``."""
-        for d in self.segdescs:
-            inter = d.segment.intersect(sec)
-            if inter is not None:
-                yield d, inter
+    def invalidate_index(self) -> None:
+        """Must be called whenever segment *geometry* changes (segments
+        added, removed, or rebound) — state-only changes don't need it."""
+        self._index_dirty = True
+
+    def _rebuild_index(self) -> None:
+        order = sorted(self.segdescs, key=lambda d: d.segment.dims[0].lo)
+        self._index_descs = order
+        self._index_los = [d.segment.dims[0].lo for d in order]
+        self._index_maxspan = max(
+            (d.segment.dims[0].hi - d.segment.dims[0].lo for d in order),
+            default=0,
+        )
+        self._index_dirty = False
+
+    def _candidates(self, sec: Section) -> list[SegmentDesc]:
+        """A superset of the descriptors whose dim-0 bounds meet ``sec``'s.
+
+        Descriptors are sorted by dim-0 lower bound; any descriptor with
+        ``lo > query.hi`` cannot overlap, and any with
+        ``lo < query.lo - maxspan`` has ``hi < query.lo`` so cannot either.
+        The slice between those two bisection points therefore contains
+        every true overlap (plus possibly a few bbox-rejected extras).
+        """
+        if self._index_dirty:
+            self._rebuild_index()
+        q0 = sec.dims[0]
+        start = bisect_left(self._index_los, q0.lo - self._index_maxspan)
+        stop = bisect_right(self._index_los, q0.hi)
+        return self._index_descs[start:stop]
+
+    def overlapping(self, sec: Section) -> list[tuple[SegmentDesc, Section]]:
+        """``(descriptor, intersection)`` for segments meeting ``sec``.
+
+        The hot path of every intrinsic and transfer transition.  A cheap
+        per-dimension bounding-box test rejects non-overlapping segments
+        before the exact (extended-Euclid) triplet intersection runs, and
+        large tables are pre-filtered through the dim-0 interval index so
+        point/blocked queries touch O(log n + answer) descriptors instead
+        of all n.
+        """
+        descs = (
+            self._candidates(sec)
+            if len(self.segdescs) >= self.INDEX_THRESHOLD
+            else self.segdescs
+        )
+        qdims = sec.dims
+        out: list[tuple[SegmentDesc, Section]] = []
+        for d in descs:
+            for qd, sd in zip(qdims, d.segment.dims):
+                if qd.lo > sd.hi or sd.lo > qd.hi:
+                    break
+            else:
+                inter = d.segment.intersect(sec)
+                if inter is not None:
+                    out.append((d, inter))
+        return out
 
 
 class RuntimeSymbolTable:
@@ -138,6 +202,7 @@ class RuntimeSymbolTable:
         for seg in segmentation.segments(self.pid):
             handle, _ = self.memory.allocate(seg.shape, entry.dtype)
             entry.segdescs.append(SegmentDesc(seg, SegmentState.ACCESSIBLE, handle))
+        entry.invalidate_index()
         return entry
 
     def declare_empty(
@@ -250,9 +315,20 @@ class RuntimeSymbolTable:
         allowed (its value is unpredictable) unless ``strict`` is set.
         """
         entry = self.entry(name)
+        over = entry.overlapping(sec)
+        # Exact-hit fast path: the query is a whole segment.  Avoids the
+        # generic per-dimension position arithmetic and np.ix_ gather —
+        # the dominant cost of fine-grained (segment-sized) transfers.
+        if len(over) == 1 and over[0][0].segment == sec:
+            d = over[0][0]
+            if d.state is SegmentState.TRANSITIONAL and self.strict:
+                raise OwnershipError(
+                    f"P{self.pid + 1} read of transitional section {name}{sec}"
+                )
+            return self.memory.get(d.handle).copy()
         out = np.zeros(sec.shape, dtype=entry.dtype)
         covered = 0
-        for d, inter in entry.overlapping(sec):
+        for d, inter in over:
             if d.state is SegmentState.TRANSITIONAL and self.strict:
                 raise OwnershipError(
                     f"P{self.pid + 1} read of transitional section {name}{inter}"
@@ -274,8 +350,13 @@ class RuntimeSymbolTable:
         vals = np.asarray(values, dtype=entry.dtype)
         if vals.shape not in ((), sec.shape):
             vals = vals.reshape(sec.shape)
+        over = entry.overlapping(sec)
+        # Exact-hit fast path mirroring read(): whole-segment scatter.
+        if len(over) == 1 and over[0][0].segment == sec:
+            self.memory.get(over[0][0].handle)[...] = vals
+            return
         covered = 0
-        for d, inter in entry.overlapping(sec):
+        for d, inter in over:
             chunk = self.memory.get(d.handle)
             pos = self._positions(sec, inter)
             src = vals if vals.shape == () else vals[np.ix_(*pos)]
@@ -351,6 +432,7 @@ class RuntimeSymbolTable:
                 new.append(SegmentDesc(piece, SegmentState.ACCESSIBLE, handle))
             self.memory.free(d.handle)
         entry.segdescs = keep + new
+        entry.invalidate_index()
         entry.released.append(sec)
         return values
 
@@ -376,6 +458,7 @@ class RuntimeSymbolTable:
             pending_receives=1 if transitional else 0,
         )
         entry.segdescs.append(desc)
+        entry.invalidate_index()
         return desc
 
     def complete_ownership_receive(
@@ -385,7 +468,7 @@ class RuntimeSymbolTable:
         mark the segment accessible."""
         entry = self.entry(name)
         target = None
-        for d in entry.segdescs:
+        for d, _ in entry.overlapping(sec):
             if d.segment == sec:
                 target = d
                 break

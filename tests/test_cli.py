@@ -112,3 +112,46 @@ class TestFFT:
         assert main(["fft", "--print-source", "--stage", "0"]) == 0
         out = capsys.readouterr().out
         assert "Loop3: redistribute" in out
+
+
+class TestBench:
+    def test_bench_writes_json(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "bench.json"
+        assert main([
+            "bench", "--nprocs", "2,4", "--programs", "workqueue",
+            "--jobs-per-proc", "2", "--out", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "speedup vs seed engine" in out
+        data = json.loads(out_file.read_text())
+        assert data["schema"] == 1
+        engines = {c["engine"] for c in data["cases"]}
+        assert engines == {"indexed", "seed-reference"}
+        assert "workqueue@2" in data["speedups"]
+
+    def test_bench_diff_mode(self, tmp_path, capsys):
+        out_file = tmp_path / "bench.json"
+        assert main([
+            "bench", "--nprocs", "2", "--programs", "workqueue",
+            "--jobs-per-proc", "2", "--no-seed-reference",
+            "--out", str(out_file),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "bench", "--nprocs", "2", "--programs", "workqueue",
+            "--jobs-per-proc", "2", "--no-seed-reference",
+            "--diff", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"vs {out_file}" in out
+        assert "old eff/s" in out and "x" in out
+
+    def test_bench_fft_program(self, tmp_path, capsys):
+        out_file = tmp_path / "bench.json"
+        assert main([
+            "bench", "--nprocs", "4", "--programs", "fft",
+            "--out", str(out_file),
+        ]) == 0
+        assert "fft" in capsys.readouterr().out

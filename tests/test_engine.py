@@ -4,7 +4,12 @@ hand-written node programs (generators of effects)."""
 import numpy as np
 import pytest
 
-from repro.core.errors import DeadlockError, OwnershipError, ProtocolError
+from repro.core.errors import (
+    BudgetExhaustedError,
+    DeadlockError,
+    OwnershipError,
+    ProtocolError,
+)
 from repro.core.sections import section
 from repro.core.states import SegmentState
 from repro.distributions import Block, Distribution, ProcessorGrid, Segmentation
@@ -175,6 +180,34 @@ class TestValueTransfer:
         assert stats.procs[0].msgs_sent == 2
         assert stats.procs[0].send_overhead == 10.0
 
+    def test_multicast_serialized_injection(self):
+        """Pin the serialized-injection multicast model: each destination
+        pays o_send on the sender's clock before its copy is stamped, so
+        the i-th destination's arrival is o_send later than the (i-1)-th.
+        The scheduler rewrite must not collapse this into one timestamp."""
+        eng = Engine(3, MachineModel(o_send=5, o_recv=1, alpha=10, per_byte=0))
+        eng.declare("X", linear_seg(3, 3))
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                yield Send(TransferKind.VALUE, "X", section(1), dests=(1, 2))
+            else:
+                yield RecvInit(
+                    TransferKind.VALUE, "X", section(1),
+                    into_var="X", into_sec=section(ctx.pid + 1),
+                )
+                yield WaitAccessible("X", section(ctx.pid + 1))
+
+        stats = eng.run(prog)
+        # Copy for P2 injected at t=5, arrives 15; copy for P3 injected at
+        # t=10, arrives 20.  Receivers wake exactly at arrival.
+        assert stats.procs[1].finish_time == pytest.approx(15.0)
+        assert stats.procs[2].finish_time == pytest.approx(20.0)
+        assert (
+            stats.procs[2].finish_time - stats.procs[1].finish_time
+            == pytest.approx(eng.model.o_send)
+        )
+
 
 class TestOwnershipTransfer:
     def make_engine(self):
@@ -310,6 +343,88 @@ class TestDeadlockDetection:
 
         stats = eng.run(prog)
         assert stats.unclaimed_messages == 1
+
+
+class TestEngineReuse:
+    """A second run() on the same Engine must start from fresh per-run
+    state: no stale unclaimed messages, pending receives, trace, or logs
+    from the previous run (symbol tables persist by design)."""
+
+    def make_engine(self, **kw):
+        eng = Engine(2, MachineModel(o_send=1, o_recv=1, alpha=10, per_byte=0.0), **kw)
+        eng.declare("X", linear_seg(2, 2))
+        return eng
+
+    def test_second_run_does_not_see_stale_messages(self):
+        eng = self.make_engine()
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                yield Send(TransferKind.VALUE, "X", section(1), dests=(1,))
+
+        s1 = eng.run(prog)
+        s2 = eng.run(prog)
+        # Without the reset the second run would report 2 unclaimed.
+        assert s1.unclaimed_messages == 1
+        assert s2.unclaimed_messages == 1
+
+    def test_second_run_does_not_accumulate_logs_and_trace(self):
+        eng = self.make_engine(trace=True)
+
+        def prog(ctx):
+            yield Log(f"hello from {ctx.pid}")
+
+        s1 = eng.run(prog)
+        s2 = eng.run(prog)
+        assert len(s1.logs) == len(s2.logs) == 2
+        assert len(s1.trace) == len(s2.trace)
+
+    def test_stale_receive_cannot_claim_new_run_message(self):
+        eng = self.make_engine()
+
+        def recv_only(ctx):
+            if ctx.pid == 1:
+                yield RecvInit(
+                    TransferKind.VALUE, "X", section(1),
+                    into_var="X", into_sec=section(2),
+                )
+
+        def send_only(ctx):
+            if ctx.pid == 0:
+                yield Send(TransferKind.VALUE, "X", section(1), dests=(1,))
+
+        s1 = eng.run(recv_only)
+        assert s1.unmatched_receives == 1
+        s2 = eng.run(send_only)
+        # The first run's pending receive is gone: the send goes unclaimed.
+        assert s2.unmatched_receives == 0
+        assert s2.unclaimed_messages == 1
+
+    def test_effect_counter_resets_between_runs(self):
+        eng = self.make_engine()
+
+        def prog(ctx):
+            yield Compute(1.0)
+
+        s1 = eng.run(prog)
+        s2 = eng.run(prog)
+        assert s1.effects_processed == s2.effects_processed > 0
+
+
+class TestBudgetError:
+    def test_budget_raises_distinct_error_type(self):
+        eng = Engine(1, MachineModel(), max_effects=10)
+
+        def prog(ctx):
+            while True:
+                yield Compute(1.0)
+
+        with pytest.raises(BudgetExhaustedError, match="resource limit"):
+            eng.run(prog)
+
+    def test_budget_error_still_catchable_as_deadlock(self):
+        # Compatibility: callers that caught DeadlockError keep working.
+        assert issubclass(BudgetExhaustedError, DeadlockError)
 
 
 class TestTraceAndLogs:

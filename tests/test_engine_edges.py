@@ -102,6 +102,119 @@ class TestBudgetsAndErrors:
             eng.run(prog)
 
 
+class TestMatchingFairness:
+    """FIFO-by-seq matching must survive the indexed-matching rewrite when
+    directed and unspecified-destination messages share one MessageName.
+
+    The indexed engine keeps directed and pool messages (and per-processor
+    vs global pending receives) in separate queues; these tests pin the
+    requirement that claims still happen in global seq order."""
+
+    def make_engine(self):
+        eng = Engine(3, FAST)
+        # W[1] lives on the master; R gives each processor two slots.
+        eng.declare("W", linear(3, 3))
+        eng.declare("R", linear(6, 3, 2))
+        return eng
+
+    def test_mixed_directed_and_pool_messages_claim_in_seq_order(self):
+        eng = self.make_engine()
+        got = {}
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                for value, dests in ((11.0, None), (22.0, (2,)), (33.0, None)):
+                    ctx.symtab.write("W", section(1), value)
+                    yield Send(TransferKind.VALUE, "W", section(1), dests=dests)
+            elif ctx.pid == 1:
+                for slot in (3, 4):
+                    yield Compute(10.0)
+                    yield RecvInit(
+                        TransferKind.VALUE, "W", section(1),
+                        into_var="R", into_sec=section(slot),
+                    )
+                    yield WaitAccessible("R", section(slot))
+                    got[1, slot] = float(ctx.symtab.read("R", section(slot))[0])
+            else:
+                yield Compute(20.0)
+                yield RecvInit(
+                    TransferKind.VALUE, "W", section(1),
+                    into_var="R", into_sec=section(5),
+                )
+                yield WaitAccessible("R", section(5))
+                got[2, 5] = float(ctx.symtab.read("R", section(5))[0])
+
+        eng.run(prog)
+        # P2's first receive claims the seq-earliest pool message (11); the
+        # directed message (22) waits for P3 even though 33 arrived later.
+        assert got[1, 3] == 11.0
+        assert got[2, 5] == 22.0
+        assert got[1, 4] == 33.0
+
+    def test_pool_message_beats_later_directed_message(self):
+        eng = self.make_engine()
+        got = {}
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                ctx.symtab.write("W", section(1), 11.0)
+                yield Send(TransferKind.VALUE, "W", section(1))  # pool
+                ctx.symtab.write("W", section(1), 22.0)
+                yield Send(TransferKind.VALUE, "W", section(1), dests=(1,))
+            elif ctx.pid == 1:
+                for slot in (3, 4):
+                    yield Compute(30.0)
+                    yield RecvInit(
+                        TransferKind.VALUE, "W", section(1),
+                        into_var="R", into_sec=section(slot),
+                    )
+                    yield WaitAccessible("R", section(slot))
+                    got[slot] = float(ctx.symtab.read("R", section(slot))[0])
+
+        eng.run(prog)
+        # Both messages are claimable by P2; seq order wins, so the pool
+        # message (sent first) is claimed before the directed one.
+        assert got[3] == 11.0
+        assert got[4] == 22.0
+
+    def test_pending_receives_claimed_in_seq_order_by_late_messages(self):
+        eng = self.make_engine()
+        got = {}
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                yield Compute(100.0)  # all receives are pending by now
+                for value, dests in ((11.0, None), (22.0, (2,)), (33.0, None)):
+                    ctx.symtab.write("W", section(1), value)
+                    yield Send(TransferKind.VALUE, "W", section(1), dests=dests)
+            elif ctx.pid == 1:
+                for slot in (3, 4):
+                    yield RecvInit(
+                        TransferKind.VALUE, "W", section(1),
+                        into_var="R", into_sec=section(slot),
+                    )
+                    yield Compute(5.0)
+                for slot in (3, 4):
+                    yield WaitAccessible("R", section(slot))
+                    got[1, slot] = float(ctx.symtab.read("R", section(slot))[0])
+            else:
+                yield Compute(10.0)
+                yield RecvInit(
+                    TransferKind.VALUE, "W", section(1),
+                    into_var="R", into_sec=section(5),
+                )
+                yield WaitAccessible("R", section(5))
+                got[2, 5] = float(ctx.symtab.read("R", section(5))[0])
+
+        eng.run(prog)
+        # Pool message 11 matches the seq-earliest pending receive (P2's
+        # first); directed 22 skips to P3's receive; pool 33 falls through
+        # to P2's second — FIFO within each claim path, by global seq.
+        assert got[1, 3] == 11.0
+        assert got[2, 5] == 22.0
+        assert got[1, 4] == 33.0
+
+
 class TestStrictEndToEnd:
     def test_strict_rejects_unmatched_sends(self):
         src = """

@@ -260,3 +260,47 @@ class TestFullyCollapsedDim:
         assert st.entry("A").segment_count == 4
         assert st.iown("A", section((1, 4), (1, 2)))
         assert not st.iown("A", section((1, 4), (1, 3)))
+
+
+class TestSegmentIndex:
+    """The dim-0 interval index used by overlapping() past INDEX_THRESHOLD
+    segments must give the same answers as the linear scan, and must be
+    invalidated by every geometry change (release / acquire / declare)."""
+
+    def make_table(self, extent=64, nprocs=1):
+        dist = Distribution(
+            section((1, extent)), (Block(),), ProcessorGrid((nprocs,))
+        )
+        st = RuntimeSymbolTable(0)
+        st.declare("A", Segmentation(dist, (1,)))  # extent one-element segments
+        return st
+
+    def test_indexed_queries_match_linear_semantics(self):
+        st = self.make_table(64)
+        e = st.entry("A")
+        assert e.segment_count > e.INDEX_THRESHOLD
+        assert st.iown("A", section(17))
+        assert st.iown("A", section((5, 60)))
+        assert not st.iown("A", section((60, 70)))
+        assert st.accessible("A", section((1, 64)))
+        st.write("A", section(9), 4.5)
+        assert st.read("A", section(9))[0] == 4.5
+        # Strided query crosses many one-element segments.
+        st.write("A", section((2, 64, 2)), np.arange(32.0))
+        assert st.read("A", section((10, 12, 2))).tolist() == [4.0, 5.0]
+
+    def test_index_invalidated_by_release_and_acquire(self):
+        st = self.make_table(64)
+        st.iown("A", section(1))  # force an index build
+        st.release_ownership("A", section((17, 24)), with_value=False)
+        assert not st.iown("A", section(20))
+        assert st.iown("A", section((1, 16)))
+        st.acquire_ownership("A", section((17, 24)), transitional=False)
+        assert st.iown("A", section(20))
+        assert st.accessible("A", section((1, 64)))
+
+    def test_mylb_myub_with_index(self):
+        st = self.make_table(64)
+        st.release_ownership("A", section((1, 8)), with_value=False)
+        assert st.mylb("A", 1) == 9
+        assert st.myub("A", 1) == 64
