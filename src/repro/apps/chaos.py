@@ -1,0 +1,323 @@
+"""Chaos harness: replay node programs under seeded fault schedules.
+
+The engine's fault layer (docs/FAULTS.md) promises two things:
+
+1. **Determinism** — with a fixed seed, a faulty run is bit-reproducible:
+   same makespan, same counters, same per-processor finish times.
+2. **Transparency of reliable delivery** — under any loss/duplication/
+   delay schedule (no crashes), a node program running over the
+   ack/retransmit layer produces *virtual results* — the data it
+   computed — identical to the fault-free run.  Timing may differ (the
+   network really was worse); answers may not.
+
+This module asserts both, by replaying the paper's two stress programs —
+the section-2.7 dynamic **workqueue** and the section-4 **FFT-pipeline**
+transpose — under a battery of seeded fault schedules and comparing
+timing-insensitive result digests against the fault-free baseline:
+
+* workqueue — (jobs issued, jobs executed, total flops of executed jobs,
+  logical message count): every job must run exactly once *somewhere*,
+  whatever the faults did to who ran it;
+* fft — the final contents of every processor's ``B`` slab: the
+  transpose must deliver exactly the right values to the right owners.
+
+An optional crash schedule demonstrates graceful degradation: the run
+raises :class:`~repro.core.errors.DegradedRunError` with partial stats
+and a checkpoint of surviving symbol tables instead of hanging.
+
+CLI: ``python -m repro chaos --seed 7 --procs 8`` (exit 1 on mismatch) —
+the CI chaos-smoke job runs exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import DegradedRunError
+from ..core.sections import section
+from ..machine.engine import Engine
+from ..machine.faults import Crash, FaultModel, FaultSpec, Stall
+from ..machine.model import MachineModel
+from ..machine.reliable import ReliableTransport
+from ..machine.stats import RunStats
+from .enginebench import BENCH_MODEL, run_fft_pipeline
+from .workqueue import make_job_costs, run_workqueue
+
+__all__ = [
+    "CHAOS_MODEL",
+    "CHAOS_TRANSPORT",
+    "default_schedules",
+    "crash_schedule",
+    "run_chaos",
+    "format_chaos",
+]
+
+#: Model shared by all chaos runs (same as the bench model, so virtual
+#: results line up with the scaling benchmark's).
+CHAOS_MODEL: MachineModel = BENCH_MODEL
+
+#: Retransmit protocol used by every reliable chaos run.
+CHAOS_TRANSPORT = ReliableTransport(rto=200.0, backoff=2.0, max_retries=8)
+
+
+def default_schedules() -> list[tuple[str, FaultModel]]:
+    """The no-crash battery: every schedule must be result-transparent."""
+    return [
+        ("loss", FaultModel.lossy(drop=0.2)),
+        ("duplication", FaultModel.lossy(duplicate=0.3)),
+        ("jitter", FaultModel.lossy(delay=0.5, max_jitter=250.0)),
+        (
+            "lossy-mix",
+            FaultModel.lossy(drop=0.15, duplicate=0.15, delay=0.3, max_jitter=100.0),
+        ),
+        (
+            "stalls+loss",
+            FaultModel(
+                default=FaultSpec(drop=0.1),
+                stalls=(
+                    Stall(pid=1, at=50.0, duration=500.0),
+                    Stall(pid=2, at=100.0, duration=250.0),
+                ),
+            ),
+        ),
+    ]
+
+
+def crash_schedule(nprocs: int) -> FaultModel:
+    """Fail-stop the last processor mid-run (plus background loss).
+
+    The crash fires early (t=30) so it lands inside even the shortest
+    program's execution window at the bench model's latencies.
+    """
+    return FaultModel(
+        default=FaultSpec(drop=0.1),
+        crashes=(Crash(pid=nprocs - 1, at=30.0),),
+    )
+
+
+@dataclass
+class _Run:
+    """One program execution: its stats, result digest, and fingerprint."""
+
+    stats: RunStats
+    digest: tuple
+    #: Everything determinism covers: the digest plus full virtual timing.
+    fingerprint: tuple = field(default=())
+
+
+def _execute(
+    program: str,
+    nprocs: int,
+    *,
+    seed: int,
+    jobs_per_proc: int,
+    faults: FaultModel | None,
+    reliable: ReliableTransport | None,
+) -> _Run:
+    captured: dict[str, Engine] = {}
+
+    def factory(n: int, model: MachineModel) -> Engine:
+        eng = Engine(n, model, seed=seed, faults=faults, reliable=reliable)
+        captured["engine"] = eng
+        return eng
+
+    if program == "workqueue":
+        njobs = jobs_per_proc * nprocs
+        costs = make_job_costs(njobs, skew=4.0, seed=seed)
+        result = run_workqueue(
+            njobs, nprocs, scheme="dynamic", costs=costs,
+            model=CHAOS_MODEL, engine_cls=factory,
+        )
+        stats = result.stats
+        digest = (
+            "workqueue",
+            njobs,
+            sum(result.jobs_per_worker.values()),
+            int(sum(p.flops for p in stats.procs)),
+            stats.total_messages,
+        )
+    elif program == "fft":
+        stats = run_fft_pipeline(nprocs, model=CHAOS_MODEL, engine_cls=factory)
+        eng = captured["engine"]
+        slabs = tuple(
+            tuple(
+                eng.symtabs[p]
+                .read("B", section((p * nprocs + 1, p * nprocs + nprocs)))
+                .ravel()
+                .tolist()
+            )
+            for p in range(nprocs)
+        )
+        digest = ("fft", nprocs, slabs)
+    else:
+        raise ValueError(f"unknown chaos program {program!r}")
+    fingerprint = (
+        digest,
+        stats.makespan,
+        stats.effects_processed,
+        stats.retransmits,
+        stats.msgs_dropped,
+        stats.dups_suppressed,
+        stats.acks,
+        tuple(p.finish_time for p in stats.procs),
+        tuple(p.stall_time for p in stats.procs),
+    )
+    return _Run(stats=stats, digest=digest, fingerprint=fingerprint)
+
+
+def run_chaos(
+    programs: tuple[str, ...] = ("workqueue", "fft"),
+    nprocs_list: tuple[int, ...] = (8,),
+    *,
+    seed: int = 7,
+    jobs_per_proc: int = 8,
+    schedules: list[tuple[str, FaultModel]] | None = None,
+    include_crash: bool = False,
+) -> dict:
+    """Run the battery; return a JSON-serializable report (``ok`` key).
+
+    For every (program, nprocs): one fault-free baseline, then each fault
+    schedule through the reliable transport — asserting result-digest
+    equality with the baseline — and the first schedule twice, asserting
+    bit-identical fingerprints (determinism).  With ``include_crash``,
+    also demonstrates the degraded path.
+    """
+    sched = schedules if schedules is not None else default_schedules()
+    cases: list[dict] = []
+    determinism: list[dict] = []
+    degraded: list[dict] = []
+    ok = True
+    for program in programs:
+        for nprocs in nprocs_list:
+            base = _execute(
+                program, nprocs, seed=seed, jobs_per_proc=jobs_per_proc,
+                faults=None, reliable=None,
+            )
+            for name, fm in sched:
+                faulty = _execute(
+                    program, nprocs, seed=seed, jobs_per_proc=jobs_per_proc,
+                    faults=fm, reliable=CHAOS_TRANSPORT,
+                )
+                case_ok = faulty.digest == base.digest
+                ok = ok and case_ok
+                cases.append({
+                    "program": program,
+                    "nprocs": nprocs,
+                    "schedule": name,
+                    "ok": case_ok,
+                    "detail": "results == fault-free" if case_ok else (
+                        f"DIGEST MISMATCH: {faulty.digest!r} != {base.digest!r}"
+                    ),
+                    "makespan": faulty.stats.makespan,
+                    "baseline_makespan": base.stats.makespan,
+                    "retransmits": faulty.stats.retransmits,
+                    "acks": faulty.stats.acks,
+                    "dups_suppressed": faulty.stats.dups_suppressed,
+                    "stall_time": faulty.stats.total_stall_time,
+                })
+            name, fm = sched[0]
+            again = _execute(
+                program, nprocs, seed=seed, jobs_per_proc=jobs_per_proc,
+                faults=fm, reliable=CHAOS_TRANSPORT,
+            )
+            first = next(
+                c for c in cases
+                if c["program"] == program and c["nprocs"] == nprocs
+                and c["schedule"] == name
+            )
+            replay = _execute(
+                program, nprocs, seed=seed, jobs_per_proc=jobs_per_proc,
+                faults=fm, reliable=CHAOS_TRANSPORT,
+            )
+            det_ok = again.fingerprint == replay.fingerprint and (
+                again.stats.makespan == first["makespan"]
+            )
+            ok = ok and det_ok
+            determinism.append({
+                "program": program,
+                "nprocs": nprocs,
+                "schedule": name,
+                "ok": det_ok,
+            })
+            if include_crash:
+                degraded.append(
+                    _demonstrate_crash(
+                        program, nprocs, seed=seed, jobs_per_proc=jobs_per_proc
+                    )
+                )
+                ok = ok and degraded[-1]["ok"]
+    return {
+        "seed": seed,
+        "jobs_per_proc": jobs_per_proc,
+        "ok": ok,
+        "cases": cases,
+        "determinism": determinism,
+        "degraded": degraded,
+    }
+
+
+def _demonstrate_crash(
+    program: str, nprocs: int, *, seed: int, jobs_per_proc: int
+) -> dict:
+    """A crash schedule must surface as DegradedRunError, not a hang."""
+    fm = crash_schedule(nprocs)
+    try:
+        _execute(
+            program, nprocs, seed=seed, jobs_per_proc=jobs_per_proc,
+            faults=fm, reliable=CHAOS_TRANSPORT,
+        )
+    except DegradedRunError as exc:
+        return {
+            "program": program,
+            "nprocs": nprocs,
+            "ok": True,
+            "crashed": list(exc.crashed),
+            "survivors": len(exc.checkpoint),
+            "partial_makespan": exc.stats.makespan if exc.stats else None,
+        }
+    return {
+        "program": program,
+        "nprocs": nprocs,
+        "ok": False,
+        "crashed": [],
+        "survivors": nprocs,
+        "partial_makespan": None,
+    }
+
+
+def format_chaos(report: dict) -> str:
+    """Human-readable table of one chaos report."""
+    lines = [
+        f"{'program':10s} {'P':>4s} {'schedule':14s} {'result':8s} "
+        f"{'makespan':>10s} {'baseline':>10s} {'rexmit':>7s} {'dup-sup':>8s}"
+    ]
+    for c in report["cases"]:
+        lines.append(
+            f"{c['program']:10s} {c['nprocs']:4d} {c['schedule']:14s} "
+            f"{'OK' if c['ok'] else 'FAIL':8s} {c['makespan']:10.0f} "
+            f"{c['baseline_makespan']:10.0f} {c['retransmits']:7d} "
+            f"{c['dups_suppressed']:8d}"
+        )
+        if not c["ok"]:
+            lines.append(f"    {c['detail']}")
+    for d in report["determinism"]:
+        lines.append(
+            f"determinism {d['program']}@{d['nprocs']} ({d['schedule']}): "
+            f"{'bit-identical' if d['ok'] else 'DIVERGED'}"
+        )
+    for d in report["degraded"]:
+        lines.append(
+            f"crash {d['program']}@{d['nprocs']}: "
+            + (
+                f"degraded gracefully (crashed P{d['crashed'][0] + 1}, "
+                f"{d['survivors']} survivors checkpointed)"
+                if d["ok"]
+                else "FAILED to degrade"
+            )
+        )
+    verdict = "OK" if report["ok"] else "FAIL"
+    lines.append(
+        f"chaos: {verdict} — seed {report['seed']}, "
+        f"{len(report['cases'])} fault cases"
+    )
+    return "\n".join(lines)

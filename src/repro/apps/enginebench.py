@@ -36,13 +36,15 @@ import time
 from collections import deque
 from dataclasses import asdict, dataclass
 
-from ..core.errors import BudgetExhaustedError
+from ..core.errors import BudgetExhaustedError, OwnershipError
 from ..core.sections import section
 from ..distributions import Block, Distribution, ProcessorGrid, Segmentation
 from ..machine.effects import Compute, RecvInit, Send, WaitAccessible
-from ..machine.engine import Engine, ProcessorContext
-from ..machine.message import TransferKind
+from ..machine.engine import HEADER_BYTES, Engine, ProcessorContext
+from ..machine.faults import FaultModel
+from ..machine.message import Message, MessageName, TransferKind
 from ..machine.model import MachineModel
+from ..machine.reliable import ReliableTransport
 from ..machine.stats import RunStats
 from .workqueue import make_job_costs, run_workqueue
 
@@ -50,6 +52,7 @@ __all__ = [
     "SeedReferenceEngine",
     "run_fft_pipeline",
     "run_engine_bench",
+    "measure_faults_overhead",
     "format_bench",
     "diff_bench",
     "BenchCase",
@@ -159,6 +162,125 @@ class SeedReferenceEngine(Engine):
         from ..core.errors import DeadlockError
 
         raise DeadlockError("deadlock (seed reference engine)")
+
+
+class _PreFaultSendEngine(Engine):
+    """The send path exactly as it was before the fault layer existed.
+
+    Used only by :func:`measure_faults_overhead` to price the fault
+    hook: the one branch the fault-free hot path gained is the
+    ``self.faults is None`` test at the tail of ``_do_send``.  This
+    subclass restores the unconditional ``_route`` so the two can be
+    timed against each other on the same machine at the same moment.
+    """
+
+    def _do_send(self, proc, eff) -> None:
+        st = proc.ctx.symtab
+        name = MessageName(eff.var, eff.sec)
+        if eff.kind is TransferKind.VALUE:
+            if not st.iown(eff.var, eff.sec):
+                raise OwnershipError(
+                    f"P{proc.pid + 1} sends unowned section {name}"
+                )
+            payload = st.read(eff.var, eff.sec)
+        else:
+            payload = st.release_ownership(
+                eff.var, eff.sec, with_value=eff.kind is TransferKind.OWN_VALUE
+            )
+        dests = eff.dests if eff.dests is not None else (None,)
+        for dst in dests:
+            proc.clock += self.model.o_send
+            proc.stats.send_overhead += self.model.o_send
+            nbytes = HEADER_BYTES + (0 if payload is None else payload.nbytes)
+            msg = Message(
+                seq=next(self._seq),
+                kind=eff.kind,
+                name=name,
+                payload=None if payload is None else payload.copy(),
+                src=proc.pid,
+                dst=dst,
+                send_time=proc.clock,
+                arrive_time=proc.clock + self.model.message_cost(nbytes),
+            )
+            proc.stats.msgs_sent += 1
+            proc.stats.bytes_sent += nbytes
+            self._emit(proc.clock, proc.pid, "send", str(msg))
+            self._route(msg)
+
+
+def measure_faults_overhead(
+    nprocs: int = 64, *, jobs_per_proc: int = 16, repeats: int = 5
+) -> dict:
+    """Price the fault-injection hook on the fault-free hot path.
+
+    Runs the P=``nprocs`` dynamic workqueue three ways, ``repeats``
+    times each, keeping the minimum wall (the least-noisy estimate):
+
+    * ``prefault`` — :class:`_PreFaultSendEngine`, the send tail with no
+      fault hook at all (the pre-fault-layer engine);
+    * ``disabled`` — the production :class:`Engine` with no FaultModel
+      (the shipped default: one ``is None`` branch per send);
+    * ``inert`` — the production engine with ``FaultModel.none()`` plus
+      a reliable transport, i.e. the full protocol machinery engaged on
+      a fault-free network.
+
+    All three must produce identical makespans (asserted).  The headline
+    number is ``overhead_disabled_pct`` — the acceptance bar is < 5%.
+    """
+    njobs = jobs_per_proc * nprocs
+    costs = make_job_costs(njobs, skew=4.0, seed=7)
+
+    def one(engine_cls) -> tuple[float, float]:
+        t0 = time.perf_counter()
+        stats = run_workqueue(
+            njobs, nprocs, scheme="dynamic", costs=costs,
+            model=BENCH_MODEL, engine_cls=engine_cls,
+        ).stats
+        return time.perf_counter() - t0, stats.makespan
+
+    def inert_factory(n, model):
+        return Engine(
+            n, model, seed=7, faults=FaultModel.none(),
+            reliable=ReliableTransport(),
+        )
+
+    one(Engine)  # warmup (untimed result discarded)
+    # Interleave the variants so drift (thermal, allocator growth) hits
+    # all three equally; keep the minimum wall of each.
+    walls = {"prefault": float("inf"), "disabled": float("inf"),
+             "inert": float("inf")}
+    makespans = {}
+    for _ in range(repeats):
+        for key, cls in (
+            ("prefault", _PreFaultSendEngine),
+            ("disabled", Engine),
+            ("inert", inert_factory),
+        ):
+            w, m = one(cls)
+            walls[key] = min(walls[key], w)
+            makespans[key] = m
+    pre_w, dis_w, inert_w = (
+        walls["prefault"], walls["disabled"], walls["inert"]
+    )
+    pre_m, dis_m, inert_m = (
+        makespans["prefault"], makespans["disabled"], makespans["inert"]
+    )
+    if not (pre_m == dis_m == inert_m):
+        raise AssertionError(
+            f"faults-off semantics diverged: makespans "
+            f"prefault={pre_m} disabled={dis_m} inert={inert_m}"
+        )
+    return {
+        "program": "workqueue",
+        "nprocs": nprocs,
+        "jobs_per_proc": jobs_per_proc,
+        "repeats": repeats,
+        "wall_prefault_s": round(pre_w, 4),
+        "wall_disabled_s": round(dis_w, 4),
+        "wall_inert_s": round(inert_w, 4),
+        "overhead_disabled_pct": round((dis_w - pre_w) / pre_w * 100, 2),
+        "overhead_inert_pct": round((inert_w - pre_w) / pre_w * 100, 2),
+    }
 
 
 # ---------------------------------------------------------------------- #
@@ -338,6 +460,9 @@ def run_engine_bench(
         },
         "cases": [asdict(c) for c in cases],
         "speedups": speedups,
+        "faults_off": measure_faults_overhead(
+            min(64, max(nprocs_list)), jobs_per_proc=jobs_per_proc
+        ),
     }
 
 
@@ -356,6 +481,13 @@ def format_bench(results: dict) -> str:
     if results.get("speedups"):
         pairs = ", ".join(f"{k}: {v}x" for k, v in results["speedups"].items())
         lines.append(f"speedup vs seed engine — {pairs}")
+    fo = results.get("faults_off")
+    if fo:
+        lines.append(
+            f"faults-off overhead @P{fo['nprocs']} — disabled "
+            f"{fo['overhead_disabled_pct']:+.1f}% vs pre-fault send path, "
+            f"inert protocol {fo['overhead_inert_pct']:+.1f}%"
+        )
     return "\n".join(lines)
 
 

@@ -23,6 +23,12 @@ Commands
     programs over a processor sweep, measured live against the seed
     reference engine) and record/diff ``BENCH_engine.json``.
 
+``chaos``
+    Replay the workqueue and FFT-pipeline programs under seeded fault
+    schedules (loss, duplication, jitter, stalls) through the reliable
+    transport, asserting that results match the fault-free run and that
+    same-seed replays are bit-identical.  Exits 1 on any mismatch.
+
 Examples
 --------
 
@@ -34,6 +40,7 @@ Examples
     python -m repro fft --n 8 --nprocs 4 --stage 2
     python -m repro bench --nprocs 8,64,256 --out BENCH_engine.json
     python -m repro bench --nprocs 8,64 --diff BENCH_engine.json
+    python -m repro chaos --seed 7 --procs 8
 """
 
 from __future__ import annotations
@@ -197,6 +204,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .apps.chaos import format_chaos, run_chaos
+
+    report = run_chaos(
+        programs=tuple(args.programs.split(",")),
+        nprocs_list=tuple(int(x) for x in args.procs.split(",")),
+        seed=args.seed,
+        jobs_per_proc=args.jobs_per_proc,
+        include_crash=args.crash,
+    )
+    print(format_chaos(report))
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0 if report["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -262,6 +286,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="compare against a recorded results file "
                         "instead of writing")
     b.set_defaults(fn=_cmd_bench)
+
+    x = sub.add_parser("chaos", help="fault-injection battery on the engine")
+    x.add_argument("--seed", type=int, default=7,
+                   help="fault-schedule seed (fixed seed => bit-identical run)")
+    x.add_argument("--procs", default="8",
+                   help="comma-separated processor counts")
+    x.add_argument("--programs", default="workqueue,fft",
+                   help="comma-separated programs (workqueue, fft)")
+    x.add_argument("--jobs-per-proc", type=int, default=8,
+                   help="workqueue jobs per processor")
+    x.add_argument("--crash", action="store_true",
+                   help="also demonstrate fail-stop degraded runs")
+    x.add_argument("--json", metavar="FILE",
+                   help="also write the full report as JSON")
+    x.set_defaults(fn=_cmd_chaos)
 
     return parser
 

@@ -4,8 +4,10 @@ effects, per-processor memory, statistics, and the discrete-event engine."""
 from .effects import Compute, Effect, Log, RecvInit, Send, WaitAccessible
 from .engine import HEADER_BYTES, Engine, NodeProgram, ProcessorContext
 from ..runtime.memory import LocalMemory
+from .faults import Crash, FaultModel, FaultSpec, Stall
 from .message import Message, MessageName, MessagePool, TransferKind
 from .model import MachineModel
+from .reliable import Delivery, ReliableTransport
 from .stats import ProcStats, RunStats, TraceEvent
 
 __all__ = [
@@ -20,11 +22,17 @@ __all__ = [
     "NodeProgram",
     "HEADER_BYTES",
     "LocalMemory",
+    "Crash",
+    "FaultModel",
+    "FaultSpec",
+    "Stall",
     "Message",
     "MessageName",
     "MessagePool",
     "TransferKind",
     "MachineModel",
+    "Delivery",
+    "ReliableTransport",
     "ProcStats",
     "RunStats",
     "TraceEvent",

@@ -59,15 +59,28 @@ send and arrival times (one network interface injecting copies
 back-to-back).  This is intentional and pinned by tests.
 
 **Reuse**: an :class:`Engine` may run several programs in sequence; every
-``run()`` starts from fresh message pools, trace, logs, and seq numbers.
-Symbol tables (declared variables, their ownership and data) deliberately
-persist across runs so programs can be chained over the same arrays.
+``run()`` starts from fresh message pools, trace, logs, and seq numbers —
+including after a run that *raised* (deadlock, exhausted budget, failed
+transport).  Symbol tables (declared variables, their ownership and data)
+deliberately persist across runs so programs can be chained over the same
+arrays.
+
+**Faults** (see docs/FAULTS.md): an optional
+:class:`~repro.machine.faults.FaultModel` makes the transport lossy
+(drop/duplicate/jitter per tag) and the processors mortal (stalls,
+fail-stop crashes); an optional
+:class:`~repro.machine.reliable.ReliableTransport` restores
+perfect-transport semantics over the lossy network via ack/timeout/
+retransmit so node programs run unchanged.  All stochastic behavior draws
+from one ``random.Random(seed)`` reset at the start of every run, so a
+run is bit-reproducible from its seed (recorded in ``RunStats.seed``).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import random
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Iterable, Iterator
@@ -77,21 +90,29 @@ import numpy as np
 from ..core.errors import (
     BudgetExhaustedError,
     DeadlockError,
+    DegradedRunError,
     OwnershipError,
     ProtocolError,
+    TransportError,
 )
 from ..core.sections import Section
+from ..core.states import SegmentState
 from ..runtime.symtab import RuntimeSymbolTable
 from .effects import Compute, Effect, Log, RecvInit, Send, WaitAccessible
 from ..runtime.memory import LocalMemory
+from .faults import FaultModel
 from .message import Message, MessageName, MessagePool, TransferKind
 from .model import MachineModel
+from .reliable import ReliableTransport
 from .stats import ProcStats, RunStats, TraceEvent
 
 __all__ = ["Engine", "ProcessorContext", "NodeProgram"]
 
 #: Fixed per-message header bytes (the transmitted name tag).
 HEADER_BYTES = 16
+
+# Verdicts of the per-processor fault check at scheduling time.
+_STEP, _REQUEUE, _CRASHED = "step", "requeue", "crashed"
 
 
 @dataclass
@@ -189,7 +210,7 @@ NodeProgram = Callable[[ProcessorContext], Generator[Effect, object, None]]
 
 class _Proc:
     __slots__ = (
-        "pid", "ctx", "gen", "clock", "blocked_on", "done",
+        "pid", "ctx", "gen", "clock", "blocked_on", "done", "crashed",
         "completions", "stats", "send_value",
     )
 
@@ -200,13 +221,14 @@ class _Proc:
         self.clock = 0.0
         self.blocked_on: tuple[str, Section] | None = None
         self.done = False
+        self.crashed = False
         self.completions: list[_Completion] = []  # heap
         self.stats = ProcStats(pid)
         self.send_value: object = None  # value sent into the generator on resume
 
     @property
     def runnable(self) -> bool:
-        return not self.done and self.blocked_on is None
+        return not self.done and not self.crashed and self.blocked_on is None
 
 
 class Engine:
@@ -220,12 +242,23 @@ class Engine:
         strict: bool = False,
         trace: bool = False,
         max_effects: int = 10_000_000,
+        seed: int = 0,
+        faults: FaultModel | None = None,
+        reliable: ReliableTransport | None = None,
     ):
         self.nprocs = nprocs
         self.model = model if model is not None else MachineModel()
         self.strict = strict
         self.trace_enabled = trace
         self.max_effects = max_effects
+        #: One seed governs every stochastic behavior of a run (fault
+        #: schedules included); the run rng is rebuilt from it each run.
+        self.seed = seed
+        self.faults = faults
+        self.reliable = reliable
+        if reliable is not None and faults is None:
+            # Reliable layer over a perfect network: inert but exercised.
+            self.faults = FaultModel.none()
         self.symtabs = [
             RuntimeSymbolTable(pid, LocalMemory(pid), strict=strict)
             for pid in range(nprocs)
@@ -236,8 +269,9 @@ class Engine:
         """Fresh per-run state, so an Engine instance is safe to reuse.
 
         A second ``run()`` must not observe the previous run's unclaimed
-        messages, pending receives, trace, or logs (symbol tables persist
-        by design — see the module docstring's reuse rule).
+        messages, pending receives, trace, or logs — nor any of its fault
+        state — even when that run raised (symbol tables persist by
+        design; see the module docstring's reuse rule).
         """
         self._seq = itertools.count()
         self._unclaimed: dict[tuple[TransferKind, MessageName], MessagePool] = {}
@@ -246,6 +280,22 @@ class Engine:
         self._logs: list[tuple[float, int, str]] = []
         self._effects = 0
         self._runq: list[tuple[float, int]] = []
+        self._rng = random.Random(self.seed)
+        self._crashed: list[int] = []
+        self._dropped = 0
+        self._duplicated = 0
+        self._retransmits = 0
+        self._acks = 0
+        self._dups_suppressed = 0
+        # Per-pid schedules of the not-yet-fired processor faults.
+        self._stall_sched: dict[int, deque] = {}
+        self._crash_sched: dict[int, float] = {}
+        if self.faults is not None:
+            for s in sorted(self.faults.stalls, key=lambda s: s.at):
+                self._stall_sched.setdefault(s.pid, deque()).append(s)
+            for c in self.faults.crashes:
+                at = self._crash_sched.get(c.pid)
+                self._crash_sched[c.pid] = c.at if at is None else min(at, c.at)
 
     # ------------------------------------------------------------------ #
     # public API
@@ -261,30 +311,74 @@ class Engine:
             st.declare_empty(name, index_space, **kw)
 
     def run(self, program: NodeProgram) -> RunStats:
-        """Load ``program`` onto every processor and run to completion."""
+        """Load ``program`` onto every processor and run to completion.
+
+        Raises :class:`DegradedRunError` — carrying the partial stats and
+        a checkpoint of surviving symbol tables — when the fault model
+        crashed any processor.  After *any* raising run the engine remains
+        reusable: the next ``run()`` starts from clean per-run state.
+        """
         self._reset_run_state()
         procs = []
         for pid in range(self.nprocs):
             ctx = ProcessorContext(pid, self.symtabs[pid], self.nprocs)
             procs.append(_Proc(pid, ctx, program(ctx)))
         self._procs = procs
+        try:
+            self._run_loop(procs)
+        except BaseException:
+            self._close_generators(procs)
+            raise
+        stats = self._collect_stats(procs)
+        if self._crashed:
+            self._close_generators(procs)
+            crashed = tuple(self._crashed)
+            raise DegradedRunError(
+                "degraded run: processor(s) "
+                + ", ".join(f"P{p + 1}" for p in crashed)
+                + f" fail-stopped; {self.nprocs - len(crashed)} of "
+                f"{self.nprocs} survive (partial stats and surviving "
+                "symbol-table checkpoint attached)",
+                stats=stats,
+                crashed=crashed,
+                checkpoint={
+                    p.pid: self.symtabs[p.pid] for p in procs if not p.crashed
+                },
+            )
+        return stats
 
+    def _run_loop(self, procs: list[_Proc]) -> None:
         # The run queue holds one (clock, pid) entry per runnable
         # processor; heap order reproduces the min-(clock, pid) schedule
         # of the original full-scan loop in O(log P) per step.
         runq = self._runq = [(p.clock, p.pid) for p in procs]
         # Already sorted (all clocks 0, pids ascending) — valid heap.
 
+        proc_faults = self.faults is not None and self.faults.has_proc_faults
         budget = self.max_effects
         while True:
             proc = self._next_runnable()
             if proc is None:
-                if all(p.done for p in procs):
+                if all(p.done or p.crashed for p in procs):
                     break
-                blocked = [p for p in procs if p.blocked_on is not None]
-                if not self._try_unblock(blocked):
-                    self._report_deadlock(blocked)
+                blocked = [
+                    p for p in procs if not p.crashed and p.blocked_on is not None
+                ]
+                if self._try_unblock(blocked):
+                    continue
+                # Quiescence: virtual time has passed every event that
+                # could wake the blocked processors, so any crash still
+                # scheduled for them fires now (claim-time consult).
+                if proc_faults and self._crash_stragglers(blocked):
+                    continue
+                if self._crashed:
+                    break  # survivors can make no progress: degrade
+                self._report_deadlock(blocked)
                 continue
+            if proc_faults:
+                verdict = self._apply_proc_faults(proc)
+                if verdict is not _STEP:
+                    continue  # crashed, or stalled and re-queued
             budget -= 1
             if budget < 0:
                 raise BudgetExhaustedError(
@@ -298,7 +392,20 @@ class Engine:
             if proc.runnable:
                 heapq.heappush(runq, (proc.clock, proc.pid))
 
-        return self._collect_stats(procs)
+    @staticmethod
+    def _close_generators(procs: list[_Proc]) -> None:
+        """Tear down still-suspended node programs after an aborted run.
+
+        Leaving generators suspended would let them resume in a later
+        run's context (or emit GeneratorExit warnings at GC time); the
+        engine's reuse guarantee includes runs that raised.
+        """
+        for p in procs:
+            if not p.done:
+                try:
+                    p.gen.close()
+                except Exception:  # pragma: no cover - defensive
+                    pass
 
     # ------------------------------------------------------------------ #
     # scheduling
@@ -319,6 +426,73 @@ class Engine:
 
     def _push_runnable(self, proc: _Proc) -> None:
         heapq.heappush(self._runq, (proc.clock, proc.pid))
+
+    # ------------------------------------------------------------------ #
+    # processor faults (stalls, fail-stop crashes)
+    # ------------------------------------------------------------------ #
+
+    def _apply_proc_faults(self, proc: _Proc) -> str:
+        """Consult the fault model for ``proc`` before stepping it.
+
+        Fail-stop granularity is the effect boundary: a crash scheduled at
+        virtual time ``at`` fires the first time the processor is picked
+        with ``clock >= at``.  A stall advances the clock and *re-queues*
+        the processor instead of stepping it, so the min-(clock, pid)
+        schedule stays correct after the jump.
+        """
+        crash_at = self._crash_sched.get(proc.pid)
+        if crash_at is not None and crash_at <= proc.clock:
+            self._crash(proc)
+            return _CRASHED
+        stalls = self._stall_sched.get(proc.pid)
+        if stalls and stalls[0].at <= proc.clock:
+            stall = stalls.popleft()
+            proc.clock += stall.duration
+            proc.stats.stall_time += stall.duration
+            self._emit(
+                proc.clock, proc.pid, "stall",
+                f"+{stall.duration:.2f} (scheduled at t={stall.at:.2f})",
+            )
+            self._push_runnable(proc)
+            return _REQUEUE
+        return _STEP
+
+    def _crash(self, proc: _Proc) -> None:
+        """Fail-stop ``proc``: it never executes again, its undelivered
+        completions are lost, its pending receives are withdrawn (so a
+        dead node cannot swallow pooled messages meant for the living),
+        and its data degrades to *transitional* — unpredictable in the
+        paper's terms, which ``strict`` mode turns into
+        :class:`OwnershipError` on read."""
+        proc.crashed = True
+        proc.blocked_on = None
+        proc.completions = []
+        proc.stats.finish_time = proc.clock
+        self._crashed.append(proc.pid)
+        del self._crash_sched[proc.pid]
+        try:
+            proc.gen.close()
+        except Exception:  # pragma: no cover - defensive
+            pass
+        for entry in proc.ctx.symtab.variables():
+            for d in entry.segdescs:
+                d.state = SegmentState.TRANSITIONAL
+        for key in list(self._pending):
+            index = self._pending[key]
+            while index.claim_for(proc.pid) is not None:
+                pass
+            if not index.live:
+                del self._pending[key]
+        self._emit(proc.clock, proc.pid, "crash", f"fail-stop at t={proc.clock:.2f}")
+
+    def _crash_stragglers(self, blocked: list[_Proc]) -> bool:
+        """At quiescence, fire pending crashes of blocked processors."""
+        crashed = False
+        for proc in blocked:
+            if proc.pid in self._crash_sched:
+                self._crash(proc)
+                crashed = True
+        return crashed
 
     # ------------------------------------------------------------------ #
     # core stepping
@@ -399,7 +573,86 @@ class Engine:
             proc.stats.msgs_sent += 1
             proc.stats.bytes_sent += nbytes
             self._emit(proc.clock, proc.pid, "send", str(msg))
+            if self.faults is None:
+                self._route(msg)
+            else:
+                self._inject_faulty(msg, nbytes)
+
+    def _inject_faulty(self, msg: Message, nbytes: int) -> None:
+        """Injection-time fault-model consult for one transmitted copy.
+
+        With a reliable transport configured, the ack/timeout/retransmit
+        exchange is played out analytically (see reliable.py): the copy
+        always reaches the pool — at the first surviving transmission's
+        arrival time — or the retransmit budget dies and a
+        :class:`TransportError` surfaces.  Without it, the raw lossy
+        transport applies: a dropped copy vanishes, a duplicated copy is
+        routed twice (the duplicate can mismatch a later receive — the
+        paper's section-2.7 'unpredictable results', which the engine
+        reports as :class:`ProtocolError`), a delayed copy arrives late.
+        """
+        spec = self.faults.spec_for(msg.name)
+        rng = self._rng
+        if self.reliable is not None:
+            outcome = self.reliable.transmit(
+                send_time=msg.send_time,
+                latency=self.model.message_cost(nbytes),
+                ack_latency=self.model.ack_cost(),
+                spec=spec,
+                rng=rng,
+            )
+            if outcome.delivery is None:
+                raise TransportError(
+                    f"transport failure: {msg} lost after {outcome.attempts} "
+                    f"transmissions (retransmit budget "
+                    f"{self.reliable.max_retries} exhausted)",
+                    name=msg.name,
+                    src=msg.src,
+                    dst=msg.dst,
+                    attempts=outcome.attempts,
+                )
+            self._retransmits += outcome.retransmits
+            self._dups_suppressed += len(outcome.duplicates)
+            if outcome.acked_at is not None:
+                self._acks += 1
+            if outcome.retransmits:
+                self._emit(
+                    outcome.delivery, msg.src, "retransmit",
+                    f"{msg} delivered on attempt {outcome.attempts}",
+                )
+            for dup_at in outcome.duplicates:
+                self._emit(dup_at, msg.src, "dup-suppressed", str(msg))
+            msg.arrive_time = outcome.delivery
+            msg.attempt = outcome.attempts
             self._route(msg)
+            return
+        # Raw lossy transport: faults reach the program.
+        if spec.drop and rng.random() < spec.drop:
+            self._dropped += 1
+            self._emit(msg.send_time, msg.src, "drop", str(msg))
+            return
+        if spec.delay and rng.random() < spec.delay:
+            msg.arrive_time += rng.random() * spec.max_jitter
+        self._route(msg)
+        if spec.duplicate and rng.random() < spec.duplicate:
+            dup = Message(
+                seq=next(self._seq),
+                kind=msg.kind,
+                name=msg.name,
+                payload=None if msg.payload is None else msg.payload.copy(),
+                src=msg.src,
+                dst=msg.dst,
+                send_time=msg.send_time,
+                arrive_time=msg.arrive_time,
+                attempt=1,
+            )
+            if spec.delay and rng.random() < spec.delay:
+                dup.arrive_time = msg.send_time + (
+                    self.model.message_cost(nbytes) + rng.random() * spec.max_jitter
+                )
+            self._duplicated += 1
+            self._emit(dup.send_time, dup.src, "dup", str(dup))
+            self._route(dup)
 
     def _route(self, msg: Message) -> None:
         key = (msg.kind, msg.name)
@@ -567,6 +820,18 @@ class Engine:
         return woke
 
     def _report_deadlock(self, blocked: list[_Proc]) -> None:
+        """Raise a :class:`DeadlockError` whose text alone diagnoses the
+        cycle: per-pid awaited sections *and* pending-receive tags, plus
+        the full unclaimed :class:`MessagePool` contents — under faults a
+        deadlock is usually a dropped message, and its absence from the
+        pool listing is the tell."""
+        pending_by_pid: dict[int, list[str]] = {}
+        for (kind, name), index in self._pending.items():
+            for r in index:
+                pending_by_pid.setdefault(r.pid, []).append(
+                    f"{kind.value} {name} (into {r.into_var}{r.into_sec}, "
+                    f"posted t={r.init_time:.2f})"
+                )
         lines = ["deadlock: every live processor is blocked"]
         for p in blocked:
             var, sec = p.blocked_on
@@ -574,12 +839,29 @@ class Engine:
                 f"  P{p.pid + 1} at t={p.clock:.2f} awaiting {var}{sec} "
                 f"(state {p.ctx.symtab.state_of(var, sec).value})"
             )
+            for tag in pending_by_pid.pop(p.pid, ()):
+                lines.append(f"    pending receive: {tag}")
+        for pid in sorted(pending_by_pid):
+            lines.append(f"  P{pid + 1} (not blocked):")
+            for tag in pending_by_pid[pid]:
+                lines.append(f"    pending receive: {tag}")
         n_unclaimed = sum(len(q) for q in self._unclaimed.values())
         n_pending = sum(len(q) for q in self._pending.values())
-        lines.append(f"  {n_unclaimed} unclaimed messages, {n_pending} unmatched receives")
-        for key, index in self._pending.items():
-            for r in index:
-                lines.append(f"    P{r.pid + 1} waits for {key[0].value} {key[1]}")
+        lines.append(
+            f"  {n_unclaimed} unclaimed messages, {n_pending} unmatched receives"
+        )
+        if n_unclaimed:
+            lines.append("  unclaimed message pool:")
+            for _, pool in sorted(
+                self._unclaimed.items(), key=lambda kv: (kv[0][0].value, str(kv[0][1]))
+            ):
+                for m in pool:
+                    lines.append(f"    {m}")
+        if self._dropped:
+            lines.append(
+                f"  note: the fault model dropped {self._dropped} message(s) "
+                "this run (raw transport, no reliable layer)"
+            )
         raise DeadlockError("\n".join(lines))
 
     # ------------------------------------------------------------------ #
@@ -592,8 +874,12 @@ class Engine:
 
     def _collect_stats(self, procs: list[_Proc]) -> RunStats:
         # Apply any leftover completions (non-blocking receives the program
-        # never awaited) so final data is as-delivered.
+        # never awaited) so final data is as-delivered.  A crashed
+        # processor's queued completions are lost with it.
         for p in procs:
+            if p.crashed:
+                p.completions = []
+                continue
             while p.completions:
                 c = heapq.heappop(p.completions)
                 c.apply()
@@ -607,10 +893,21 @@ class Engine:
             unclaimed_messages=sum(len(q) for q in self._unclaimed.values()),
             unmatched_receives=sum(len(q) for q in self._pending.values()),
             effects_processed=self._effects,
+            seed=self.seed,
+            msgs_dropped=self._dropped,
+            msgs_duplicated=self._duplicated,
+            retransmits=self._retransmits,
+            acks=self._acks,
+            dups_suppressed=self._dups_suppressed,
+            crashed=tuple(self._crashed),
             logs=self._logs,
             trace=self._trace,
         )
-        if self.strict and (stats.unclaimed_messages or stats.unmatched_receives):
+        # A degraded run reports through DegradedRunError; unmatched
+        # traffic is then expected, not a protocol violation.
+        if self.strict and not self._crashed and (
+            stats.unclaimed_messages or stats.unmatched_receives
+        ):
             raise ProtocolError(
                 f"program ended with {stats.unclaimed_messages} unclaimed "
                 f"messages and {stats.unmatched_receives} unmatched receives "

@@ -1,0 +1,138 @@
+"""Seeded, deterministic fault injection for the simulated machine.
+
+The paper assumes a perfect transport: every ``send`` arrives, every
+processor survives (section 2.7 only defines *mismatched* sends/receives
+as errors).  Real distributed-memory targets are lossy and mortal, so the
+engine can be handed a :class:`FaultModel` describing
+
+* per-tag message faults — drop, duplication and delay-jitter
+  probabilities keyed by the message's variable name (the paper's
+  footnote-2 tag), with a default spec for everything else;
+* scheduled processor **stalls** (the processor loses ``duration`` units
+  of virtual time once its clock passes ``at``); and
+* scheduled fail-stop **crashes** (the processor stops executing, its
+  data degrades to *transitional* — unpredictable in the paper's terms —
+  and the run ends in a
+  :class:`~repro.core.errors.DegradedRunError`).
+
+Determinism: a ``FaultModel`` is pure data and draws nothing itself.
+All randomness comes from the engine's single seeded ``random.Random``
+(the ``seed`` constructor argument), consumed in engine order — which is
+itself deterministic — so any run is bit-reproducible from
+``(program, seed, fault model)``.  Two engines with the same seed and
+fault model replay identical fault schedules.
+
+Pids are 0-based engine pids (``P1`` is pid 0), matching ``Send.dests``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .message import MessageName
+
+__all__ = ["FaultSpec", "Stall", "Crash", "FaultModel"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Message-fault probabilities for one tag (all independent per copy).
+
+    ``drop``
+        Probability that a transmitted copy is lost in the network.  With
+        the reliable layer this also applies to each acknowledgement leg.
+    ``duplicate``
+        Probability that a delivered copy is delivered twice.
+    ``delay`` / ``max_jitter``
+        With probability ``delay`` a delivered copy suffers extra latency
+        drawn uniformly from ``[0, max_jitter)``.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    max_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "delay"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} probability {p} outside [0, 1]")
+        if self.max_jitter < 0.0:
+            raise ValueError(f"max_jitter {self.max_jitter} must be >= 0")
+        if self.delay > 0.0 and self.max_jitter == 0.0:
+            raise ValueError("delay probability set but max_jitter is 0")
+
+    @property
+    def active(self) -> bool:
+        """True if this spec can perturb a message at all."""
+        return bool(self.drop or self.duplicate or self.delay)
+
+
+@dataclass(frozen=True)
+class Stall:
+    """Processor ``pid`` loses ``duration`` virtual-time units once its
+    clock reaches ``at`` (applied at the next effect boundary)."""
+
+    pid: int
+    at: float
+    duration: float
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Processor ``pid`` fail-stops once its clock reaches ``at``.
+
+    Fail-stop granularity is the effect boundary: the processor finishes
+    the effect in flight, then never executes again.  A processor blocked
+    past its crash time crashes when the engine reaches quiescence (no
+    runnable processor), since virtual time has then advanced past every
+    event that could have woken it first.
+    """
+
+    pid: int
+    at: float
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """A complete fault schedule the engine consults at injection time
+    (message faults) and at claim/scheduling time (stalls and crashes).
+
+    ``per_tag`` overrides ``default`` for messages whose tag's *variable
+    name* matches the key; section-level granularity is deliberately not
+    modeled — the variable is the unit real networks would map to a
+    channel.
+    """
+
+    default: FaultSpec = FaultSpec()
+    per_tag: Mapping[str, FaultSpec] = field(default_factory=dict)
+    stalls: tuple[Stall, ...] = ()
+    crashes: tuple[Crash, ...] = ()
+
+    def spec_for(self, name: MessageName) -> FaultSpec:
+        """The message-fault spec governing tag ``name``."""
+        return self.per_tag.get(name.var, self.default)
+
+    @property
+    def has_proc_faults(self) -> bool:
+        return bool(self.stalls or self.crashes)
+
+    @classmethod
+    def none(cls) -> "FaultModel":
+        """An inert model: the fault machinery runs but injects nothing.
+        Useful for measuring the overhead of the fault layer itself."""
+        return cls()
+
+    @classmethod
+    def lossy(
+        cls,
+        *,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        delay: float = 0.0,
+        max_jitter: float = 0.0,
+    ) -> "FaultModel":
+        """Uniform message faults on every tag, no processor faults."""
+        return cls(default=FaultSpec(drop, duplicate, delay, max_jitter))

@@ -1,0 +1,138 @@
+"""Reliable delivery over a lossy transport: ack / timeout / retransmit.
+
+Node programs are written against XDP's perfect-transport semantics; when
+a :class:`~repro.machine.faults.FaultModel` makes the simulated network
+lossy, this layer restores those semantics so programs run *unchanged*:
+
+* every transmitted copy is acknowledged by a header-only return message;
+* an unacknowledged copy is retransmitted after a timeout that backs off
+  exponentially (``rto``, ``rto * backoff``, ``rto * backoff**2`` ...);
+* the retransmit budget is bounded (``max_retries``); a copy none of
+  whose transmissions arrive surfaces as a
+  :class:`~repro.core.errors.TransportError`;
+* duplicate deliveries — from network duplication or from a retransmit
+  whose predecessor's *ack* was lost — are suppressed at the receiver by
+  transfer sequence number, so the program observes exactly one copy.
+
+The exchange is resolved analytically at injection time rather than by
+scheduling timer events: the engine already knows each attempt's fate
+(the fault model is consulted per leg, in engine order, from the single
+seeded rng), so the protocol can be "played out" to its outcome — the
+virtual arrival time of the first surviving copy, the retransmit count,
+and the set of suppressed duplicates — and a single message routed into
+the :class:`~repro.machine.message.MessagePool` with that arrival time.
+This keeps the discrete-event core timer-free while charging the full
+protocol latency, and it is exactly as deterministic as the engine.
+
+One simplification is intentional: a copy that was delivered but whose
+acks were all lost within the budget still counts as delivered (the data
+*did* arrive; a real sender would merely not know).  Only a copy with no
+surviving transmission raises :class:`TransportError`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .faults import FaultSpec
+
+__all__ = ["Delivery", "ReliableTransport"]
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """Outcome of one logical transfer through the reliable layer.
+
+    ``delivery`` is the virtual arrival time of the copy the receiver
+    keeps, or ``None`` if every transmission was lost (TransportError at
+    the call site).  ``duplicates`` are the arrival times of suppressed
+    extra copies.  ``attempts`` counts transmissions (1 = no retransmit);
+    ``losses`` counts data legs the network dropped; ``acked_at`` is when
+    the sender's ack arrived, or ``None`` if no ack survived.
+    """
+
+    delivery: float | None
+    duplicates: tuple[float, ...] = ()
+    attempts: int = 1
+    losses: int = 0
+    acked_at: float | None = None
+
+    @property
+    def retransmits(self) -> int:
+        return self.attempts - 1
+
+
+@dataclass(frozen=True)
+class ReliableTransport:
+    """Protocol constants: initial retransmit timeout, exponential backoff
+    factor, and the retransmit budget (retransmissions beyond the first
+    transmission — ``max_retries = 8`` allows 9 transmissions total)."""
+
+    rto: float = 500.0
+    backoff: float = 2.0
+    max_retries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rto <= 0.0:
+            raise ValueError(f"rto {self.rto} must be positive")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff {self.backoff} must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries {self.max_retries} must be >= 0")
+
+    def transmit(
+        self,
+        *,
+        send_time: float,
+        latency: float,
+        ack_latency: float,
+        spec: FaultSpec,
+        rng: random.Random,
+    ) -> Delivery:
+        """Play the ack/timeout/retransmit exchange for one copy.
+
+        ``latency`` is the fault-free data-leg delay (the machine model's
+        ``message_cost``), ``ack_latency`` the header-only return leg.
+        Per-attempt fates are drawn from ``rng`` in a fixed order, so the
+        outcome is a pure function of ``(send_time, spec, rng state)``.
+        """
+        deliveries: list[float] = []
+        losses = 0
+        acked_at: float | None = None
+        attempt_time = send_time
+        timeout = self.rto
+        attempts = 0
+        for _ in range(self.max_retries + 1):
+            attempts += 1
+            if spec.drop and rng.random() < spec.drop:
+                losses += 1
+            else:
+                arrive = attempt_time + latency + self._jitter(spec, rng)
+                deliveries.append(arrive)
+                if spec.duplicate and rng.random() < spec.duplicate:
+                    # A network-duplicated copy travels independently.
+                    deliveries.append(
+                        attempt_time + latency + self._jitter(spec, rng)
+                    )
+                if not (spec.drop and rng.random() < spec.drop):
+                    acked_at = arrive + ack_latency
+                    break
+            attempt_time += timeout
+            timeout *= self.backoff
+        if not deliveries:
+            return Delivery(None, attempts=attempts, losses=losses)
+        deliveries.sort()
+        return Delivery(
+            delivery=deliveries[0],
+            duplicates=tuple(deliveries[1:]),
+            attempts=attempts,
+            losses=losses,
+            acked_at=acked_at,
+        )
+
+    @staticmethod
+    def _jitter(spec: FaultSpec, rng: random.Random) -> float:
+        if spec.delay and rng.random() < spec.delay:
+            return rng.random() * spec.max_jitter
+        return 0.0

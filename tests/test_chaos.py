@@ -1,0 +1,89 @@
+"""The chaos harness (`repro chaos`): reliable delivery must make fault
+schedules invisible to program results, and a seed must make them
+bit-reproducible.  Heavier P=64 coverage lives in
+benchmarks/test_bench_p2_chaos.py; this file keeps tier-1 fast."""
+
+from repro.apps.chaos import (
+    crash_schedule,
+    default_schedules,
+    format_chaos,
+    run_chaos,
+)
+from repro.cli import main
+
+
+class TestRunChaos:
+    def test_battery_passes_at_p8(self):
+        report = run_chaos(nprocs_list=(8,), jobs_per_proc=4)
+        assert report["ok"]
+        names = {c["schedule"] for c in report["cases"]}
+        assert names == {n for n, _ in default_schedules()}
+        # Both programs ran both ways, under every schedule.
+        assert len(report["cases"]) == 2 * len(default_schedules())
+        assert all(c["ok"] for c in report["cases"])
+        assert all(d["ok"] for d in report["determinism"])
+
+    def test_report_is_bit_deterministic(self):
+        kw = dict(
+            programs=("workqueue",), nprocs_list=(4,),
+            seed=7, jobs_per_proc=3,
+        )
+        assert run_chaos(**kw) == run_chaos(**kw)
+
+    def test_different_seed_changes_fault_timings(self):
+        kw = dict(programs=("workqueue",), nprocs_list=(4,), jobs_per_proc=3)
+        a = run_chaos(seed=7, **kw)
+        b = run_chaos(seed=8, **kw)
+        assert a["ok"] and b["ok"]  # results transparent either way
+        assert any(
+            ca["makespan"] != cb["makespan"]
+            for ca, cb in zip(a["cases"], b["cases"])
+        )
+
+    def test_crash_path_degrades_gracefully(self):
+        report = run_chaos(
+            programs=("workqueue",), nprocs_list=(4,),
+            jobs_per_proc=2, include_crash=True,
+        )
+        assert report["ok"]
+        (d,) = report["degraded"]
+        assert d["ok"] and d["crashed"] == [3]
+        assert d["survivors"] == 3
+
+    def test_crash_schedule_targets_last_pid(self):
+        fm = crash_schedule(8)
+        assert fm.crashes[0].pid == 7
+
+    def test_format_chaos_renders(self):
+        report = run_chaos(
+            programs=("workqueue",), nprocs_list=(4,),
+            jobs_per_proc=2, include_crash=True,
+        )
+        text = format_chaos(report)
+        assert "chaos: OK" in text
+        assert "determinism workqueue@4" in text
+        assert "degraded gracefully" in text
+
+
+class TestChaosCli:
+    def test_cli_ok_exit_zero(self, capsys):
+        rc = main([
+            "chaos", "--seed", "7", "--procs", "4",
+            "--programs", "workqueue", "--jobs-per-proc", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "chaos: OK" in out
+
+    def test_cli_json_report(self, tmp_path, capsys):
+        out_file = tmp_path / "chaos.json"
+        rc = main([
+            "chaos", "--seed", "7", "--procs", "4",
+            "--programs", "workqueue", "--jobs-per-proc", "2",
+            "--json", str(out_file),
+        ])
+        assert rc == 0
+        import json
+
+        report = json.loads(out_file.read_text())
+        assert report["ok"] and report["seed"] == 7

@@ -1,0 +1,497 @@
+"""Fault injection, reliable delivery, and degraded runs.
+
+Covers the FaultModel/FaultSpec data layer, the analytic
+ack/timeout/retransmit transport, the engine's raw-lossy and reliable
+injection paths, scheduled stalls and fail-stop crashes, the enriched
+deadlock report, seed plumbing, and the engine's reuse-after-raise
+guarantee.
+"""
+
+import random
+
+import pytest
+
+from repro.core.errors import (
+    BudgetExhaustedError,
+    DeadlockError,
+    DegradedRunError,
+    OwnershipError,
+    ProtocolError,
+    TransportError,
+)
+from repro.core.sections import section
+from repro.core.states import SegmentState
+from repro.distributions import Block, Distribution, ProcessorGrid, Segmentation
+from repro.machine import (
+    Compute,
+    Crash,
+    Engine,
+    FaultModel,
+    FaultSpec,
+    MachineModel,
+    RecvInit,
+    ReliableTransport,
+    Send,
+    Stall,
+    TransferKind,
+    WaitAccessible,
+)
+from repro.machine.message import MessageName
+
+MODEL = MachineModel(o_send=1, o_recv=1, alpha=10, per_byte=0.0)
+
+
+def linear_seg(extent: int, nprocs: int, seg: int = 1) -> Segmentation:
+    dist = Distribution(
+        section((1, extent)), (Block(),), ProcessorGrid((nprocs,))
+    )
+    return Segmentation(dist, (seg,))
+
+
+def make_engine(nprocs=2, extent=None, **kw) -> Engine:
+    eng = Engine(nprocs, MODEL, **kw)
+    eng.declare("X", linear_seg(extent or nprocs, nprocs))
+    return eng
+
+
+def send_recv_prog(ctx):
+    """P1 sends X[1] = 42 to P2, which receives it into X[2]."""
+    if ctx.pid == 0:
+        ctx.symtab.write("X", section(1), 42.0)
+        yield Send(TransferKind.VALUE, "X", section(1), dests=(1,))
+    else:
+        yield RecvInit(
+            TransferKind.VALUE, "X", section(1),
+            into_var="X", into_sec=section(2),
+        )
+        yield WaitAccessible("X", section(2))
+
+
+class TestFaultSpec:
+    def test_probability_bounds_validated(self):
+        with pytest.raises(ValueError, match="drop"):
+            FaultSpec(drop=1.5)
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultSpec(duplicate=-0.1)
+        with pytest.raises(ValueError, match="max_jitter"):
+            FaultSpec(max_jitter=-1.0)
+        with pytest.raises(ValueError, match="delay"):
+            FaultSpec(delay=0.5)  # no max_jitter
+
+    def test_active(self):
+        assert not FaultSpec().active
+        assert FaultSpec(drop=0.1).active
+        assert FaultSpec(delay=0.1, max_jitter=5.0).active
+
+    def test_spec_for_per_tag_override(self):
+        hot = FaultSpec(drop=0.5)
+        fm = FaultModel(default=FaultSpec(), per_tag={"X": hot})
+        assert fm.spec_for(MessageName("X", section(1))) is hot
+        assert fm.spec_for(MessageName("Y", section(1))) is fm.default
+
+    def test_has_proc_faults(self):
+        assert not FaultModel.lossy(drop=0.9).has_proc_faults
+        assert FaultModel(stalls=(Stall(0, 1.0, 2.0),)).has_proc_faults
+        assert FaultModel(crashes=(Crash(0, 1.0),)).has_proc_faults
+
+    def test_none_is_inert(self):
+        fm = FaultModel.none()
+        assert not fm.default.active and not fm.has_proc_faults
+
+
+class TestReliableTransport:
+    def test_protocol_constants_validated(self):
+        with pytest.raises(ValueError, match="rto"):
+            ReliableTransport(rto=0.0)
+        with pytest.raises(ValueError, match="backoff"):
+            ReliableTransport(backoff=0.5)
+        with pytest.raises(ValueError, match="max_retries"):
+            ReliableTransport(max_retries=-1)
+
+    def test_clean_network_single_attempt(self):
+        t = ReliableTransport()
+        d = t.transmit(
+            send_time=100.0, latency=10.0, ack_latency=2.0,
+            spec=FaultSpec(), rng=random.Random(0),
+        )
+        assert d.delivery == 110.0
+        assert d.attempts == 1 and d.retransmits == 0 and d.losses == 0
+        assert d.acked_at == 112.0 and d.duplicates == ()
+
+    def test_total_loss_returns_none(self):
+        t = ReliableTransport(max_retries=3)
+        d = t.transmit(
+            send_time=0.0, latency=10.0, ack_latency=2.0,
+            spec=FaultSpec(drop=1.0), rng=random.Random(0),
+        )
+        assert d.delivery is None
+        assert d.attempts == 4 and d.losses == 4
+
+    def test_retransmit_backoff_timing(self):
+        # Deterministic fates: drop the first two data legs, deliver the
+        # third, ack it.  Delivery = send + rto + rto*backoff + latency.
+        class FakeRng:
+            def __init__(self, rolls):
+                self.rolls = list(rolls)
+
+            def random(self):
+                return self.rolls.pop(0)
+
+        t = ReliableTransport(rto=100.0, backoff=2.0, max_retries=8)
+        d = t.transmit(
+            send_time=0.0, latency=10.0, ack_latency=2.0,
+            spec=FaultSpec(drop=0.5),
+            rng=FakeRng([0.0, 0.0, 0.9, 0.9]),  # drop, drop, deliver, ack
+        )
+        assert d.delivery == 100.0 + 200.0 + 10.0
+        assert d.attempts == 3 and d.retransmits == 2 and d.losses == 2
+        assert d.acked_at == d.delivery + 2.0
+
+    def test_deterministic_given_seed(self):
+        t = ReliableTransport(rto=50.0)
+        spec = FaultSpec(drop=0.4, duplicate=0.3, delay=0.5, max_jitter=20.0)
+        outs = [
+            t.transmit(send_time=7.0, latency=10.0, ack_latency=2.0,
+                       spec=spec, rng=random.Random(99))
+            for _ in range(2)
+        ]
+        assert outs[0] == outs[1]
+
+
+class TestRawLossyTransport:
+    def test_dropped_message_vanishes_and_deadlock_names_it(self):
+        eng = make_engine(faults=FaultModel.lossy(drop=1.0))
+        with pytest.raises(DeadlockError) as exc:
+            eng.run(send_recv_prog)
+        text = str(exc.value)
+        assert "pending receive: value X[1]" in text
+        assert "fault model dropped 1 message(s)" in text
+        assert "raw transport" in text
+
+    def test_duplicate_routes_twice(self):
+        eng = make_engine(faults=FaultModel.lossy(duplicate=1.0))
+        stats = eng.run(send_recv_prog)
+        assert stats.msgs_duplicated == 1
+        # The program posted one receive: the copy stays in the pool.
+        assert stats.unclaimed_messages == 1
+        assert eng.symtabs[1].read("X", section(2))[0] == 42.0
+
+    def test_duplicate_mismatching_later_receive_is_protocol_error(self):
+        # Paper section 2.7: a stray (here: duplicated) message matching a
+        # receive with a different-extent destination is a protocol error.
+        eng = Engine(2, MODEL, faults=FaultModel.lossy(duplicate=1.0))
+        eng.declare("X", linear_seg(6, 2))
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                yield Compute(5.0)
+                ctx.symtab.write("X", section(1), 1.0)
+                yield Send(TransferKind.VALUE, "X", section(1), dests=(1,))
+            else:
+                yield RecvInit(
+                    TransferKind.VALUE, "X", section(1),
+                    into_var="X", into_sec=section(4),
+                )
+                yield RecvInit(
+                    TransferKind.VALUE, "X", section(1),
+                    into_var="X", into_sec=section((5, 6)),
+                )
+                yield WaitAccessible("X", section(4))
+
+        with pytest.raises(ProtocolError, match="section mismatch"):
+            eng.run(prog)
+
+    def test_jitter_delays_arrival(self):
+        base = make_engine()
+        clean = base.run(send_recv_prog)
+        eng = make_engine(
+            seed=5, faults=FaultModel.lossy(delay=1.0, max_jitter=500.0)
+        )
+        jittered = eng.run(send_recv_prog)
+        assert jittered.makespan > clean.makespan
+        assert eng.symtabs[1].read("X", section(2))[0] == 42.0
+
+    def test_same_seed_same_run_different_seed_differs(self):
+        fm = FaultModel.lossy(delay=1.0, max_jitter=1000.0)
+        runs = [
+            make_engine(seed=3, faults=fm).run(send_recv_prog).makespan
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+        other = make_engine(seed=4, faults=fm).run(send_recv_prog).makespan
+        assert other != runs[0]
+
+
+class TestReliableDelivery:
+    def test_value_survives_heavy_loss(self):
+        eng = make_engine(
+            seed=1, faults=FaultModel.lossy(drop=0.6),
+            reliable=ReliableTransport(rto=100.0),
+        )
+        stats = eng.run(send_recv_prog)
+        assert eng.symtabs[1].read("X", section(2))[0] == 42.0
+        assert stats.retransmits > 0
+        assert stats.msgs_dropped == 0  # losses absorbed by the protocol
+
+    def test_duplicates_suppressed(self):
+        eng = make_engine(
+            seed=1, faults=FaultModel.lossy(duplicate=1.0),
+            reliable=ReliableTransport(),
+        )
+        stats = eng.run(send_recv_prog)
+        assert stats.dups_suppressed >= 1
+        assert stats.unclaimed_messages == 0
+        assert eng.symtabs[1].read("X", section(2))[0] == 42.0
+
+    def test_clean_network_acks_counted(self):
+        eng = make_engine(seed=0, reliable=ReliableTransport())
+        stats = eng.run(send_recv_prog)
+        assert stats.acks == 1
+        assert stats.retransmits == 0
+
+    def test_transport_error_attributes(self):
+        eng = make_engine(
+            seed=1, faults=FaultModel.lossy(drop=1.0),
+            reliable=ReliableTransport(max_retries=2),
+        )
+        with pytest.raises(TransportError) as exc:
+            eng.run(send_recv_prog)
+        err = exc.value
+        assert err.attempts == 3
+        assert err.src == 0 and err.dst == 1
+        assert err.name == MessageName("X", section(1))
+        assert "retransmit budget 2 exhausted" in str(err)
+
+    def test_reliable_implies_inert_fault_model(self):
+        eng = make_engine(reliable=ReliableTransport())
+        assert eng.faults is not None and not eng.faults.default.active
+
+
+class TestProcessorFaults:
+    def test_stall_loses_time(self):
+        eng = Engine(2, MODEL, faults=FaultModel(
+            stalls=(Stall(pid=0, at=0.0, duration=100.0),)
+        ))
+
+        def prog(ctx):
+            yield Compute(10.0)
+
+        stats = eng.run(prog)
+        assert stats.procs[0].stall_time == 100.0
+        assert stats.procs[0].finish_time == 110.0
+        assert stats.procs[1].finish_time == 10.0
+        assert stats.total_stall_time == 100.0
+
+    def test_crash_degrades_run_with_checkpoint(self):
+        eng = make_engine(
+            nprocs=3, extent=3,
+            faults=FaultModel(crashes=(Crash(pid=1, at=5.0),)),
+        )
+
+        def prog(ctx):
+            ctx.symtab.write("X", section(ctx.pid + 1), float(ctx.pid))
+            yield Compute(10.0)
+            yield Compute(10.0)
+
+        with pytest.raises(DegradedRunError) as exc:
+            eng.run(prog)
+        err = exc.value
+        assert err.crashed == (1,)
+        assert sorted(err.checkpoint) == [0, 2]
+        assert err.checkpoint[0].read("X", section(1))[0] == 0.0
+        assert err.stats is not None and err.stats.crashed == (1,)
+        # The victim stops at the effect boundary where the crash fired.
+        assert err.stats.procs[1].finish_time == 10.0
+        assert err.stats.procs[0].finish_time == 20.0
+        assert "P2 fail-stopped" in str(err)
+
+    def test_blocked_straggler_crashes_at_quiescence_and_purges_receives(self):
+        eng = make_engine(faults=FaultModel(crashes=(Crash(pid=1, at=0.5),)))
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                yield Compute(1.0)  # finishes; sends nothing
+            else:
+                yield RecvInit(
+                    TransferKind.VALUE, "X", section(1),
+                    into_var="X", into_sec=section(2),
+                )
+                yield WaitAccessible("X", section(2))
+
+        with pytest.raises(DegradedRunError) as exc:
+            eng.run(prog)
+        assert exc.value.crashed == (1,)
+        # The dead node's posted receive was withdrawn, not left dangling.
+        assert exc.value.stats.unmatched_receives == 0
+
+    def test_strict_read_of_crashed_owner_is_ownership_error(self):
+        eng = Engine(
+            2, MODEL, strict=True,
+            faults=FaultModel(crashes=(Crash(pid=1, at=0.0),)),
+        )
+        eng.declare("X", linear_seg(2, 2))
+
+        def prog(ctx):
+            ctx.symtab.write("X", section(ctx.pid + 1), 7.0)
+            yield Compute(1.0)
+
+        with pytest.raises(DegradedRunError):
+            eng.run(prog)
+        # Crashed data is transitional — unpredictable in the paper's
+        # terms; strict mode refuses to read it.
+        with pytest.raises(OwnershipError, match="transitional"):
+            eng.symtabs[1].read("X", section(2))
+        assert (
+            eng.symtabs[1].state_of("X", section(2))
+            is SegmentState.TRANSITIONAL
+        )
+
+    def test_crash_discards_undelivered_completions(self):
+        # P2 claims a message (injection time) but crashes before its
+        # completion applies: the payload is lost with the processor.
+        eng = make_engine(faults=FaultModel(crashes=(Crash(pid=1, at=50.0),)))
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                ctx.symtab.write("X", section(1), 42.0)
+                yield Send(TransferKind.VALUE, "X", section(1), dests=(1,))
+            else:
+                yield RecvInit(
+                    TransferKind.VALUE, "X", section(1),
+                    into_var="X", into_sec=section(2),
+                )
+                yield Compute(100.0)  # crash fires before the wait
+                yield WaitAccessible("X", section(2))
+
+        with pytest.raises(DegradedRunError) as exc:
+            eng.run(prog)
+        assert exc.value.crashed == (1,)
+        assert 1 not in exc.value.checkpoint
+
+
+class TestSeedPlumbing:
+    def test_seed_recorded_in_stats_and_summary(self):
+        eng = make_engine(seed=42)
+        stats = eng.run(send_recv_prog)
+        assert stats.seed == 42
+        assert "seed: 42" in stats.summary().splitlines()[0]
+
+    def test_faults_line_only_when_faults_fired(self):
+        clean = make_engine().run(send_recv_prog)
+        assert "faults:" not in clean.summary()
+        eng = make_engine(
+            seed=1, faults=FaultModel.lossy(drop=0.6),
+            reliable=ReliableTransport(rto=100.0),
+        )
+        summary = eng.run(send_recv_prog).summary()
+        assert "faults:" in summary and "retransmits=" in summary
+
+
+class TestEngineReuseAfterRaise:
+    """A run that raises must leave the engine reusable (regression)."""
+
+    def deadlock_prog(self, ctx):
+        if ctx.pid == 1:
+            yield RecvInit(
+                TransferKind.VALUE, "X", section(1),
+                into_var="X", into_sec=section(2),
+            )
+            yield WaitAccessible("X", section(2))
+
+    def good_prog(self, ctx):
+        if ctx.pid == 0:
+            ctx.symtab.write("Y", section(1), 9.0)
+            yield Send(TransferKind.VALUE, "Y", section(1), dests=(1,))
+        else:
+            yield RecvInit(
+                TransferKind.VALUE, "Y", section(1),
+                into_var="Y", into_sec=section(2),
+            )
+            yield WaitAccessible("Y", section(2))
+
+    def make_two_var_engine(self, **kw):
+        eng = Engine(2, MODEL, **kw)
+        eng.declare("X", linear_seg(2, 2))
+        eng.declare("Y", linear_seg(2, 2))
+        return eng
+
+    def assert_clean_second_run(self, eng):
+        stats = eng.run(self.good_prog)
+        assert eng.symtabs[1].read("Y", section(2))[0] == 9.0
+        assert stats.unclaimed_messages == 0
+        assert stats.unmatched_receives == 0
+
+    def test_reusable_after_deadlock(self):
+        eng = self.make_two_var_engine()
+        with pytest.raises(DeadlockError):
+            eng.run(self.deadlock_prog)
+        self.assert_clean_second_run(eng)
+
+    def test_reusable_after_transport_error(self):
+        eng = self.make_two_var_engine(
+            seed=1, faults=FaultModel(per_tag={"X": FaultSpec(drop=1.0)}),
+            reliable=ReliableTransport(max_retries=1),
+        )
+
+        def doomed(ctx):
+            if ctx.pid == 0:
+                ctx.symtab.write("X", section(1), 1.0)
+                yield Send(TransferKind.VALUE, "X", section(1), dests=(1,))
+
+        with pytest.raises(TransportError):
+            eng.run(doomed)
+        # "Y" traffic is fault-free under the per-tag model.
+        self.assert_clean_second_run(eng)
+
+    def test_reusable_after_budget_exhaustion(self):
+        eng = self.make_two_var_engine(max_effects=3)
+
+        def runaway(ctx):
+            while True:
+                yield Compute(1.0)
+
+        with pytest.raises(BudgetExhaustedError):
+            eng.run(runaway)
+        eng.max_effects = 10_000
+        self.assert_clean_second_run(eng)
+
+    def test_reusable_after_degraded_run(self):
+        eng = self.make_two_var_engine(
+            faults=FaultModel(crashes=(Crash(pid=1, at=0.0),))
+        )
+
+        def prog(ctx):
+            yield Compute(1.0)
+
+        with pytest.raises(DegradedRunError):
+            eng.run(prog)
+        eng.faults = None  # the next run simulates a repaired machine
+        self.assert_clean_second_run(eng)
+
+
+class TestDeadlockReport:
+    def test_report_lists_pending_tags_and_pool(self):
+        eng = Engine(2, MODEL)
+        eng.declare("X", linear_seg(4, 2))
+
+        def prog(ctx):
+            if ctx.pid == 0:
+                # Sends a tag nobody receives...
+                ctx.symtab.write("X", section(1), 1.0)
+                yield Send(TransferKind.VALUE, "X", section(1), dests=(1,))
+            else:
+                # ...while waiting on a tag nobody sends.
+                yield RecvInit(
+                    TransferKind.VALUE, "X", section(2),
+                    into_var="X", into_sec=section(3),
+                )
+                yield WaitAccessible("X", section(3))
+
+        with pytest.raises(DeadlockError) as exc:
+            eng.run(prog)
+        text = str(exc.value)
+        assert "P2 at t=" in text and "awaiting X[3]" in text
+        assert "pending receive: value X[2] (into X[3]" in text
+        assert "unclaimed message pool:" in text
+        assert "msg#" in text and "value X[1]" in text
+        assert "1 unclaimed messages, 1 unmatched receives" in text
