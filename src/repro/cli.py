@@ -112,11 +112,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.opt_level > 0:
         program = optimize(program, args.nprocs, level=args.opt_level).program
     model = _MODELS[args.model]()
+    trace = args.trace or bool(args.trace_json)
     if args.path == "vm":
         runner = lower(program, args.nprocs, model=model,
-                       binding=args.binding, trace=args.trace)
+                       binding=args.binding, trace=trace)
     else:
-        runner = Interpreter(program, args.nprocs, model=model, trace=args.trace)
+        runner = Interpreter(program, args.nprocs, model=model, trace=trace)
     for spec in args.init or ():
         name, _, kind = spec.partition("=")
         decl = program.decl(name)
@@ -145,7 +146,68 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.trace:
         for event in stats.trace:
             print(event)
+    if args.trace_json:
+        from .report.tracefmt import dump_chrome_trace
+
+        dump_chrome_trace(stats.trace, args.trace_json)
+        print(f"wrote {args.trace_json} ({len(stats.trace)} events)")
     return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .tune import tune
+
+    if args.file:
+        src = Path(args.file).read_text()
+        what = args.file
+    else:
+        from .apps.fft3d import fft3d_source
+
+        src = fft3d_source(args.n, args.nprocs, args.stage)
+        what = f"fft3d n={args.n} stage={args.stage}"
+    model = _MODELS[args.model]()
+    res = tune(
+        src,
+        args.nprocs,
+        model=model,
+        top_k=args.top_k,
+        realizations=tuple(args.realizations.split(",")),
+        parallel=not args.serial,
+        seed=args.seed,
+    )
+    print(f"tuning {what} at P={args.nprocs} ({args.model} model)")
+    print(res.summary())
+    if not args.file and args.compare_hand:
+        from .apps.fft3d import run_fft3d
+
+        for stage in (1, 2):
+            r = run_fft3d(args.n, args.nprocs, stage, model=model)
+            mark = "tuned wins" if res.makespan <= r.makespan else "beats tuned"
+            print(
+                f"  hand stage {stage}: makespan {r.makespan:.2f}   ({mark})"
+            )
+    if args.print_source:
+        print("\n// tuned program:")
+        print(res.source)
+    if args.json:
+        doc = {
+            "nprocs": args.nprocs,
+            "model": args.model,
+            "phases": [str(p) for p in res.phases],
+            "layouts": [c.key for c in res.phase_layouts],
+            "realization": res.realization,
+            "makespan": res.makespan,
+            "baseline_makespan": res.baseline_makespan,
+            "semantics_preserved": res.semantics_preserved,
+            "candidates_considered": res.candidates_considered,
+            "evaluated": res.evaluated,
+            "cache_hits": res.cache.hits,
+            "cache_misses": res.cache.misses,
+            "analytic": res.analytic,
+        }
+        Path(args.json).write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0 if res.semantics_preserved else 1
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -255,7 +317,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the final global value of an array")
     r.add_argument("--init", action="append", metavar="ARRAY=KIND",
                    help="initialise an array (KIND: iota, ones, zeros, rand)")
+    r.add_argument("--trace-json", metavar="PATH",
+                   help="write the event trace as Chrome trace-event JSON "
+                        "(viewable in Perfetto); implies tracing")
     r.set_defaults(fn=_cmd_run)
+
+    u = sub.add_parser(
+        "tune", help="search data placements for a phased program"
+    )
+    u.add_argument("--file", help="tune this IL+XDP program "
+                                  "(default: the section-4 FFT demo)")
+    u.add_argument("--n", type=int, default=8, help="FFT demo cube size")
+    u.add_argument("--nprocs", type=int, default=4)
+    u.add_argument("--stage", type=int, default=0, choices=(0, 1, 2),
+                   help="FFT demo input stage (0 = naive)")
+    u.add_argument("--model", default="default", choices=sorted(_MODELS))
+    u.add_argument("--top-k", type=int, default=4,
+                   help="engine-validated candidates")
+    u.add_argument("--realizations", default="bulk,pipelined",
+                   help="redistribution realizations to consider")
+    u.add_argument("--serial", action="store_true",
+                   help="evaluate candidates serially")
+    u.add_argument("--seed", type=int, default=7)
+    u.add_argument("--compare-hand", action="store_true",
+                   help="also run the paper's hand stages for comparison "
+                        "(FFT demo only)")
+    u.add_argument("--print-source", action="store_true",
+                   help="print the winning generated program")
+    u.add_argument("--json", metavar="FILE",
+                   help="write the tuning report as JSON")
+    u.set_defaults(fn=_cmd_tune)
 
     f = sub.add_parser("figures", help="regenerate the paper's figures")
     f.add_argument("which", nargs="?", default="all",

@@ -10,9 +10,13 @@ from .figures import (
     render_symbol_table,
     segment_map,
 )
+from .tracefmt import chrome_trace, dump_chrome_trace, load_chrome_trace
 from .utilization import utilization_bars, utilization_summary
 
 __all__ = [
+    "chrome_trace",
+    "dump_chrome_trace",
+    "load_chrome_trace",
     "figure1_check",
     "figure1_text",
     "figure2_table",

@@ -1,0 +1,89 @@
+"""Chrome trace-event export for engine traces.
+
+:class:`~repro.machine.stats.RunStats` keeps a :class:`TraceEvent` list
+when tracing is on; this module renders it in the Chrome trace-event JSON
+format (the ``traceEvents`` array of instant events, one row per
+processor) so any engine run — including tuner-validated candidates —
+can be dropped into Perfetto / ``chrome://tracing`` and inspected on a
+timeline.  The export is lossless: :func:`load_chrome_trace` recovers the
+exact event list, which the unit tests round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..machine.stats import TraceEvent
+
+__all__ = ["chrome_trace", "dump_chrome_trace", "load_chrome_trace"]
+
+
+def chrome_trace(events: Iterable[TraceEvent]) -> dict:
+    """Render engine trace events as a Chrome trace-event document.
+
+    Each processor becomes one pid/tid row (1-based, matching the
+    ``P1..Pn`` naming everywhere else); each :class:`TraceEvent` becomes a
+    thread-scoped instant event with the engine's virtual time as ``ts``
+    and the detail string preserved in ``args``.
+
+    Events are emitted in nondecreasing ``ts`` order (the engine stamps
+    completion events with their future time, so the raw trace list is
+    not sorted); the sort is stable, so simultaneous events keep their
+    engine order.
+    """
+    trace_events: list[dict] = []
+    pids_seen: set[int] = set()
+    for e in sorted(events, key=lambda ev: ev.time):
+        if e.pid not in pids_seen:
+            pids_seen.add(e.pid)
+            trace_events.append({
+                "ph": "M", "name": "process_name", "pid": e.pid + 1, "tid": 0,
+                "args": {"name": f"P{e.pid + 1}"},
+            })
+        trace_events.append({
+            "ph": "i", "s": "t",
+            "name": e.kind,
+            "ts": e.time,
+            "pid": e.pid + 1,
+            "tid": e.pid + 1,
+            "args": {"detail": e.detail},
+        })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def dump_chrome_trace(events: Iterable[TraceEvent], path: str | Path) -> Path:
+    """Write the Chrome trace JSON for ``events`` to ``path``."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(events), indent=1) + "\n")
+    return path
+
+
+def load_chrome_trace(source: str | Path | dict) -> list[TraceEvent]:
+    """Recover the engine event list from a Chrome trace document.
+
+    Accepts a path, a JSON string, or an already-parsed document; skips
+    metadata events.  Together with :func:`chrome_trace` this is a
+    lossless round trip.
+    """
+    if isinstance(source, Path):
+        doc = json.loads(source.read_text())
+    elif isinstance(source, str):
+        if source.lstrip().startswith("{"):
+            doc = json.loads(source)
+        else:
+            doc = json.loads(Path(source).read_text())
+    else:
+        doc = source
+    out: list[TraceEvent] = []
+    for e in doc["traceEvents"]:
+        if e.get("ph") != "i":
+            continue
+        out.append(TraceEvent(
+            time=float(e["ts"]),
+            pid=int(e["pid"]) - 1,
+            kind=str(e["name"]),
+            detail=str(e.get("args", {}).get("detail", "")),
+        ))
+    return out

@@ -1,0 +1,58 @@
+"""Automatic data-placement tuning (the paper's section 4, as an algorithm).
+
+The paper optimizes the 3-D FFT's distributions and segmentations *by
+hand*, in three stages.  XDP's explicit representation is what makes that
+optimization mechanical — so this package performs it automatically:
+
+* :mod:`~repro.tune.space` — enumerate candidate placements
+  (distribution-spec x segmentation x grid-shape) per array, with pruning;
+* :mod:`~repro.tune.cost` — a fast analytic cost model deriving message
+  counts, bytes and overlap from the transfer statements and the
+  :class:`~repro.machine.model.MachineModel`;
+* :mod:`~repro.tune.search` — exhaustive search for small spaces, and for
+  phased programs a shortest-path/beam search over per-phase layouts whose
+  edge weights are analytic redistribution costs;
+* :mod:`~repro.tune.evaluate` — a simulated-engine oracle validating the
+  top analytic candidates by real :class:`~repro.machine.engine.Engine`
+  runs, memoized and parallel;
+* :mod:`~repro.tune.rewrite` — phase detection and regeneration of the
+  program under the chosen placements.
+
+See docs/TUNING.md for the full design.
+"""
+
+from .cost import (
+    CALIBRATION_RTOL,
+    ProgramCostEstimate,
+    estimate_program,
+    estimate_workqueue,
+    phase_compute_cost,
+    redistribution_cost,
+)
+from .evaluate import EvalCache, EvalResult, EvalTask, evaluate_candidates
+from .rewrite import PhaseSpec, detect_phases, generate_phased_program
+from .search import TuneError, TuneResult, tune
+from .space import LayoutCandidate, candidate_segmentation, enumerate_layouts, phase_layouts
+
+__all__ = [
+    "CALIBRATION_RTOL",
+    "EvalCache",
+    "EvalResult",
+    "EvalTask",
+    "LayoutCandidate",
+    "PhaseSpec",
+    "ProgramCostEstimate",
+    "TuneError",
+    "TuneResult",
+    "candidate_segmentation",
+    "detect_phases",
+    "enumerate_layouts",
+    "estimate_program",
+    "estimate_workqueue",
+    "evaluate_candidates",
+    "generate_phased_program",
+    "phase_compute_cost",
+    "phase_layouts",
+    "redistribution_cost",
+    "tune",
+]

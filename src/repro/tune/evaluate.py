@@ -1,0 +1,198 @@
+"""Simulated-engine oracle for tuning candidates.
+
+The analytic model ranks placements; the oracle *validates* the top
+candidates by running them on the real machine (the VM pipeline feeding
+:class:`~repro.machine.engine.Engine`).  Evaluations are memoized in an
+:class:`EvalCache` keyed on a digest of (program, processor count,
+machine model, path, seed) — identical candidates across tuning calls
+never re-simulate — and independent candidates evaluate in parallel via
+:mod:`concurrent.futures`.  Every task is a pure function of its digest
+inputs, so parallel evaluation is bit-identical to serial.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.codegen import lower
+from ..core.ir.nodes import Program
+from ..core.ir.parser import parse_program
+from ..machine.model import MachineModel
+
+__all__ = ["EvalCache", "EvalResult", "EvalTask", "evaluate_candidates", "seed_arrays"]
+
+
+@dataclass(frozen=True)
+class EvalTask:
+    """One candidate run: program x processor count x model x seed."""
+
+    program: Program | str
+    nprocs: int
+    model: MachineModel
+    path: str = "vm"
+    seed: int = 7
+    label: str = ""
+
+    @property
+    def digest(self) -> str:
+        src = self.program if isinstance(self.program, str) else repr(self.program)
+        key = repr((src, self.nprocs, sorted(asdict(self.model).items()),
+                    self.path, self.seed))
+        return hashlib.sha256(key.encode()).hexdigest()
+
+    def parsed(self) -> Program:
+        return (
+            parse_program(self.program)
+            if isinstance(self.program, str) else self.program
+        )
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Engine-measured outcome of one task (arrays included so callers can
+    check semantic equivalence against a reference run)."""
+
+    label: str
+    digest: str
+    makespan: float
+    total_messages: int
+    total_bytes: int
+    total_flops: int
+    arrays: Mapping[str, np.ndarray] = field(default_factory=dict, hash=False)
+    from_cache: bool = False
+
+    def matches(self, reference: Mapping[str, np.ndarray]) -> bool:
+        """Elementwise agreement with a reference run's final arrays."""
+        if set(self.arrays) != set(reference):
+            return False
+        return all(
+            np.allclose(self.arrays[k], reference[k], atol=1e-9)
+            for k in self.arrays
+        )
+
+
+class EvalCache:
+    """Memoized evaluations keyed by task digest, with hit accounting."""
+
+    def __init__(self) -> None:
+        self._store: dict[str, EvalResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, digest: str) -> EvalResult | None:
+        r = self._store.get(digest)
+        if r is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return r
+
+    def put(self, result: EvalResult) -> None:
+        self._store[result.digest] = result
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def seed_arrays(program: Program, seed: int) -> dict[str, np.ndarray]:
+    """Deterministic initial contents for every exclusive array.
+
+    Complex arrays get a seeded complex normal cube (the FFT apps' input
+    convention), real arrays a real one; the generator order is the
+    declaration order, so a (program, seed) pair always produces the same
+    inputs.
+    """
+    rng = np.random.default_rng(seed)
+    out: dict[str, np.ndarray] = {}
+    for d in program.array_decls():
+        if d.universal:
+            continue
+        shape = d.shape
+        if np.dtype(d.dtype).kind == "c":
+            out[d.name] = (
+                rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+            ).astype(d.dtype)
+        elif np.dtype(d.dtype).kind == "f":
+            out[d.name] = rng.standard_normal(shape).astype(d.dtype)
+        else:
+            out[d.name] = rng.integers(0, 100, size=shape).astype(d.dtype)
+    return out
+
+
+# The VM lowerer publishes itself through a module global while compiling,
+# so compilation must be serialized; the engine runs stay concurrent.
+_COMPILE_LOCK = threading.Lock()
+
+
+def _run_task(task: EvalTask) -> EvalResult:
+    program = task.parsed()
+    with _COMPILE_LOCK:
+        runner = lower(program, task.nprocs, model=task.model)
+    for name, arr in seed_arrays(program, task.seed).items():
+        runner.write_global(name, arr)
+    stats = runner.run()
+    arrays = {
+        d.name: runner.read_global(d.name)
+        for d in program.array_decls() if not d.universal
+    }
+    return EvalResult(
+        label=task.label,
+        digest=task.digest,
+        makespan=stats.makespan,
+        total_messages=stats.total_messages,
+        total_bytes=stats.total_bytes,
+        total_flops=sum(p.flops for p in stats.procs),
+        arrays=arrays,
+    )
+
+
+def evaluate_candidates(
+    tasks: Sequence[EvalTask],
+    *,
+    cache: EvalCache | None = None,
+    parallel: bool = True,
+    max_workers: int | None = None,
+) -> list[EvalResult]:
+    """Run candidate tasks on the real engine, memoized and in parallel.
+
+    Results come back in task order.  Cached digests are served without
+    re-simulation (marked ``from_cache``); the rest run concurrently when
+    ``parallel`` is set.  Each task is pure, so the results are
+    bit-identical between parallel and serial evaluation.
+    """
+    results: list[EvalResult | None] = [None] * len(tasks)
+    todo: list[int] = []
+    for i, task in enumerate(tasks):
+        if cache is not None:
+            hit = cache.get(task.digest)
+            if hit is not None:
+                results[i] = EvalResult(
+                    label=task.label, digest=hit.digest, makespan=hit.makespan,
+                    total_messages=hit.total_messages,
+                    total_bytes=hit.total_bytes, total_flops=hit.total_flops,
+                    arrays=hit.arrays, from_cache=True,
+                )
+                continue
+        todo.append(i)
+    if todo:
+        if parallel and len(todo) > 1:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                fresh = list(pool.map(_run_task, [tasks[i] for i in todo]))
+        else:
+            fresh = [_run_task(tasks[i]) for i in todo]
+        for i, r in zip(todo, fresh):
+            results[i] = r
+            if cache is not None:
+                cache.put(r)
+    return [r for r in results if r is not None]

@@ -1,0 +1,305 @@
+"""Phase detection and phased program regeneration.
+
+The tuner treats a program like the section-4 FFT as a sequence of
+*pencil phases*: passes that apply a kernel to every 1-D pencil of one
+array along some axis.  :func:`detect_phases` recovers that sequence from
+the IR (it is insensitive to how the input was hand-optimized — guarded
+naive loops, localized loops and pipelined loops all contain the same
+kernel calls); :func:`generate_phased_program` re-emits the program from
+scratch under a chosen per-phase placement, with compiler-planned
+redistribution between phases.
+
+Generated code uses the idioms of the paper's hand stages:
+
+* compute loops localized with ``mylb``/``myub`` over the layout's
+  distributed axis, slab-guarded with ``iown`` (exact for ``BLOCK``,
+  a filter for ``CYCLIC``);
+* ``bulk`` redistribution: one destination-bound ``-=>``/``<=-`` pair per
+  element-exact :class:`~repro.distributions.RedistributionPlan` move
+  after the producing phase, consuming phase guarded by hoisted per-slab
+  ``await`` (the stage-1 shape, with vectorized messages);
+* ``pipelined`` redistribution: each move split along the producing
+  phase's loop axis and fused into that loop, so transfer overlaps the
+  remaining slabs' computation; the consuming ``await`` is sunk to
+  per-pencil granularity (the stage-2 shape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..core.analysis.layouts import build_segmentation
+from ..core.ir.nodes import (
+    ArrayDecl, ArrayRef, Block, CallStmt, DoLoop, Full, Guarded, IfStmt,
+    Program, Stmt,
+)
+from ..core.sections import Section, Triplet
+from ..distributions import ProcessorGrid, plan_redistribution
+from .space import LayoutCandidate, candidate_segmentation
+
+__all__ = [
+    "PhaseSpec",
+    "TuneError",
+    "detect_phases",
+    "generate_phased_program",
+]
+
+_VARS = "ijklmnpqr"
+
+
+class TuneError(Exception):
+    """The program is outside the tuner's scope (or tuning failed)."""
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One pencil phase: ``kernel`` applied along ``axis`` of ``var``."""
+
+    var: str
+    kernel: str
+    axis: int  # 0-based pencil axis
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kernel} along axis {self.axis + 1} of {self.var}"
+
+
+def _walk_calls(body: Iterable[Stmt]) -> Iterator[CallStmt]:
+    for s in body:
+        match s:
+            case CallStmt():
+                yield s
+            case Guarded(_, inner) | DoLoop(_, _, _, _, inner):
+                yield from _walk_calls(inner)
+            case IfStmt(_, then, orelse):
+                yield from _walk_calls(then)
+                yield from _walk_calls(orelse)
+            case _:
+                pass
+
+
+def detect_phases(program: Program) -> list[PhaseSpec]:
+    """Recover the pencil-phase sequence of a program.
+
+    Every kernel call with exactly one full (``*``) subscript on exactly
+    one array argument is a pencil operation; consecutive calls with the
+    same (array, kernel, axis) fold into one phase.  Calls that do not fit
+    the pencil shape make the program untunable.
+    """
+    phases: list[PhaseSpec] = []
+    for call in _walk_calls(program.body):
+        refs = [
+            a for a in call.args
+            if isinstance(a, ArrayRef) and not a.is_element()
+        ]
+        if len(refs) != 1:
+            raise TuneError(
+                f"call {call.name}: need exactly one array-section argument "
+                f"to detect a pencil phase (got {len(refs)})"
+            )
+        ref = refs[0]
+        full_axes = [i for i, s in enumerate(ref.subs) if isinstance(s, Full)]
+        if len(full_axes) != 1:
+            raise TuneError(
+                f"call {call.name}({ref.var}[...]): pencil phases need "
+                f"exactly one '*' subscript (got {len(full_axes)})"
+            )
+        spec = PhaseSpec(ref.var, call.name, full_axes[0])
+        if not phases or phases[-1] != spec:
+            phases.append(spec)
+    if not phases:
+        raise TuneError("no kernel calls found; nothing to tune")
+    return phases
+
+
+# ---------------------------------------------------------------------- #
+# code generation
+# ---------------------------------------------------------------------- #
+
+
+def _sub_text(t: Triplet) -> str:
+    if t.size == 1:
+        return str(t.lo)
+    base = f"{t.lo}:{t.hi}"
+    return base if t.step == 1 else f"{base}:{t.step}"
+
+
+def _sec_text(var: str, sec: Section) -> str:
+    return f"{var}[{', '.join(_sub_text(t) for t in sec.dims)}]"
+
+
+def _decl_text(decl: ArrayDecl) -> str:
+    bounds = ",".join(f"{lo}:{hi}" for lo, hi in decl.bounds)
+    out = f"array {decl.name}[{bounds}] dist {decl.dist}"
+    if decl.segment_shape is not None:
+        out += f" seg ({','.join(map(str, decl.segment_shape))})"
+    return out + f" dtype {decl.dtype}"
+
+
+def _ref(var: str, rank: int, parts: dict[int, str]) -> str:
+    subs = [parts.get(a, "*") for a in range(rank)]
+    return f"{var}[{', '.join(subs)}]"
+
+
+def _single_dist_axis(cand: LayoutCandidate) -> int:
+    axes = cand.distributed_axes()
+    if len(axes) != 1:
+        raise TuneError(
+            f"phased generation needs exactly one distributed axis "
+            f"(candidate {cand.key} has {len(axes)})"
+        )
+    return axes[0]
+
+
+def _phase_loop(
+    decl: ArrayDecl,
+    phase: PhaseSpec,
+    cand: LayoutCandidate,
+    *,
+    guard: str,
+    fused: Sequence[str] = (),
+) -> list[str]:
+    """The compute loop of one phase under one layout.
+
+    ``guard`` is ``"iown"`` (no incoming data), ``"await"`` (hoisted
+    per-slab wait) or ``"await-sunk"`` (per-pencil wait).  ``fused`` lines
+    are appended inside the outer loop body (pipelined sends).
+    """
+    rank = decl.rank
+    n = decl.shape
+    d = _single_dist_axis(cand)
+    if d == phase.axis:
+        raise TuneError("phase axis cannot be distributed")
+    t = next(a for a in range(rank) if a not in (phase.axis, d))
+    dv, tv = _VARS[d], _VARS[t]
+    full = _ref(decl.name, rank, {})
+    slab = _ref(decl.name, rank, {d: dv})
+    pencil = _ref(decl.name, rank, {d: dv, t: tv})
+    lo_d, hi_d = decl.bounds[d]
+    lo_t, hi_t = decl.bounds[t]
+    lines = [
+        f"do {dv} = max({lo_d}, mylb({full}, {d + 1})), "
+        f"min({hi_d}, myub({full}, {d + 1}))"
+    ]
+    if guard == "await-sunk":
+        lines += [
+            f"  do {tv} = {lo_t}, {hi_t}",
+            f"    await({pencil}) : {{",
+            f"      call {phase.kernel}({pencil})",
+            f"    }}",
+            f"  enddo",
+        ]
+    else:
+        head = "await" if guard == "await" else "iown"
+        lines += [
+            f"  {head}({slab}) : {{",
+            f"    do {tv} = {lo_t}, {hi_t}",
+            f"      call {phase.kernel}({pencil})",
+            f"    enddo",
+            f"  }}",
+        ]
+    lines += [f"  {line}" for line in fused]
+    lines.append("enddo")
+    return lines
+
+
+def generate_phased_program(
+    program: Program,
+    phases: Sequence[PhaseSpec],
+    layouts: Sequence[LayoutCandidate],
+    nprocs: int,
+    *,
+    realization: str = "bulk",
+) -> str:
+    """Re-emit ``program`` as its phase sequence under chosen placements.
+
+    ``layouts[p]`` is the placement for ``phases[p]``; the initial
+    placement is the declaration's.  Redistribution between differing
+    placements is planned element-exactly and emitted either after the
+    producing phase (``bulk``) or fused into it per outer slab
+    (``pipelined``).
+    """
+    if realization not in ("bulk", "pipelined"):
+        raise TuneError(f"unknown realization {realization!r}")
+    if len(layouts) != len(phases):
+        raise TuneError("need one layout per phase")
+    names = {p.var for p in phases}
+    if len(names) != 1:
+        raise TuneError(f"phased generation handles one array (got {names})")
+    decl = next(d for d in program.array_decls() if d.name == phases[0].var)
+    if decl.universal or decl.dist is None:
+        raise TuneError(f"{decl.name} has no placement to tune")
+    grid = ProcessorGrid((nprocs,))
+    var = decl.name
+
+    current = build_segmentation(decl, grid).distribution
+    out: list[str] = [_decl_text(decl), ""]
+    blocks: list[list[str]] = []
+    for idx, (phase, cand) in enumerate(zip(phases, layouts)):
+        target = candidate_segmentation(decl, cand, nprocs).distribution
+        plan = plan_redistribution(current, target)
+        guard = "iown"
+        fused: list[str] = []
+        recvs: list[str] = []
+        if plan.moves:
+            src_axis = None
+            src_axes = [
+                a for a, s in enumerate(current.specs) if not s.collapsed
+            ]
+            if len(src_axes) == 1:
+                src_axis = src_axes[0]
+            pipelined = (
+                realization == "pipelined" and idx > 0 and src_axis is not None
+            )
+            sends: list[str] = []
+            for m in sorted(
+                plan.moves, key=lambda m: (m.src, m.dst, str(m.section))
+            ):
+                sec_txt = _sec_text(var, m.section)
+                if pipelined:
+                    ov = _VARS[src_axis]
+                    for coord in m.section.dims[src_axis]:
+                        frag = Section(tuple(
+                            Triplet(coord, coord, 1) if a == src_axis else t
+                            for a, t in enumerate(m.section.dims)
+                        ))
+                        sends.append(
+                            f"mypid == {m.src + 1} and {ov} == {coord} : "
+                            f"{{ {_sec_text(var, frag)} -=> {{{m.dst + 1}}} }}"
+                        )
+                        recvs.append(
+                            f"mypid == {m.dst + 1} : "
+                            f"{{ {_sec_text(var, frag)} <=- }}"
+                        )
+                else:
+                    sends.append(
+                        f"mypid == {m.src + 1} : "
+                        f"{{ {sec_txt} -=> {{{m.dst + 1}}} }}"
+                    )
+                    recvs.append(
+                        f"mypid == {m.dst + 1} : {{ {sec_txt} <=- }}"
+                    )
+            if pipelined:
+                blocks[-1] = _rebuild_with_fused(blocks[-1], sends)
+                guard = "await-sunk"
+            else:
+                blocks.append(sends)
+                guard = "await"
+            blocks.append(recvs)
+        comment = f"// phase {idx + 1}: {phase.kernel} along axis " \
+                  f"{phase.axis + 1} under {cand.dist}"
+        blocks.append([comment] + _phase_loop(decl, phase, cand, guard=guard))
+        current = target
+
+    for b in blocks:
+        out.extend(b)
+        out.append("")
+    return "\n".join(out)
+
+
+def _rebuild_with_fused(loop_lines: list[str], fused: list[str]) -> list[str]:
+    """Insert fused send lines just before the closing ``enddo`` of the
+    previous phase's outer loop."""
+    if not loop_lines or loop_lines[-1] != "enddo":
+        raise TuneError("cannot fuse sends: previous phase has no outer loop")
+    return loop_lines[:-1] + [f"  {line}" for line in fused] + ["enddo"]

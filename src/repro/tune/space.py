@@ -1,0 +1,222 @@
+"""Candidate placement enumeration with pruning.
+
+A placement of one array is a triple (distribution spec, segmentation
+shape, distribution-grid shape).  The space the tuner walks is the HPF
+space the paper assumes (section 3): each dimension ``BLOCK``, ``CYCLIC``,
+``CYCLIC(k)`` or ``*``, the distributed dimensions mapped onto a grid
+whose size is the processor count.  Enumeration is deterministic —
+candidates come out sorted by their canonical key, so searches and
+tie-breaks are reproducible — and pruned:
+
+* at least one dimension must be distributed (fully collapsed arrays are
+  universal variables, not placements);
+* grid factors of 1 are dropped (distributing a dimension over one
+  processor is the collapsed layout in disguise);
+* layouts leaving some processor with no elements are pruned by default
+  (``allow_idle_procs`` re-admits them);
+* duplicate ownership maps (e.g. ``BLOCK`` vs ``CYCLIC`` on an extent
+  equal to the processor count) are kept — they differ in segmentation
+  and message shapes — but textual duplicates are deduplicated.
+
+Construction goes through :func:`~repro.core.analysis.layouts`'s
+machinery (:func:`parse_dist_spec` / :func:`build_segmentation`) so the
+tuner reasons about exactly the layouts the machine will use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Sequence
+
+from ..core.analysis.layouts import build_segmentation, split_dist_spec
+from ..core.ir.nodes import ArrayDecl
+from ..distributions import (
+    Distribution,
+    ProcessorGrid,
+    Segmentation,
+    parse_dist_spec,
+)
+
+__all__ = [
+    "LayoutCandidate",
+    "candidate_segmentation",
+    "enumerate_layouts",
+    "phase_layouts",
+    "rewrite_decl",
+]
+
+
+@dataclass(frozen=True, order=True)
+class LayoutCandidate:
+    """One point of the placement space for one array.
+
+    ``dist`` is the HPF spec string (``"(*, BLOCK, *)"``); ``seg`` the
+    segment shape (``None`` = the coarsest legal choice, one segment per
+    owned piece); ``grid_shape`` the distribution-grid shape (``None`` =
+    the linearised default).  Ordering is the canonical enumeration order
+    (spec string first), which makes ``sorted()`` the tie-break rule:
+    ``*`` sorts before letters, so ``(*, BLOCK, *)`` precedes
+    ``(BLOCK, *, *)`` — matching the paper's section-4 choice.
+    """
+
+    dist: str
+    seg: tuple[int, ...] | None = None
+    grid_shape: tuple[int, ...] | None = None
+
+    @property
+    def key(self) -> str:
+        seg = "coarse" if self.seg is None else "x".join(map(str, self.seg))
+        grid = "lin" if self.grid_shape is None else "x".join(map(str, self.grid_shape))
+        return f"{self.dist} seg={seg} grid={grid}"
+
+    def specs(self) -> tuple:
+        return tuple(parse_dist_spec(s) for s in split_dist_spec(self.dist))
+
+    def distributed_axes(self) -> tuple[int, ...]:
+        return tuple(i for i, s in enumerate(self.specs()) if not s.collapsed)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.key
+
+
+def rewrite_decl(decl: ArrayDecl, cand: LayoutCandidate) -> ArrayDecl:
+    """The same declaration under a candidate placement."""
+    return replace(decl, dist=cand.dist, segment_shape=cand.seg)
+
+
+def candidate_segmentation(
+    decl: ArrayDecl, cand: LayoutCandidate, nprocs: int
+) -> Segmentation:
+    """Build the exact run-time layout a candidate denotes.
+
+    Goes through :func:`build_segmentation` (the compiler/run-time shared
+    path) for linearised grids; multi-axis distribution grids construct
+    the :class:`Distribution` directly with ``dist_grid_shape``.
+    """
+    new = rewrite_decl(decl, cand)
+    grid = ProcessorGrid((nprocs,))
+    if cand.grid_shape is None:
+        return build_segmentation(new, grid)
+    from ..core.analysis.layouts import decl_index_space
+
+    dist = Distribution(
+        decl_index_space(new),
+        tuple(parse_dist_spec(s) for s in split_dist_spec(new.dist)),
+        grid,
+        dist_grid_shape=cand.grid_shape,
+    )
+    seg_shape = new.segment_shape
+    if seg_shape is None:
+        pieces = dist.owned_pieces(0)
+        seg_shape = tuple(
+            max((t.size for t in dim_pieces), default=1) for dim_pieces in pieces
+        )
+    return Segmentation(dist, seg_shape)
+
+
+def _factorizations(n: int, k: int) -> Iterator[tuple[int, ...]]:
+    """Ordered factorizations of ``n`` into ``k`` factors, each >= 2."""
+    if k == 1:
+        if n >= 2:
+            yield (n,)
+        return
+    f = 2
+    while f * 2 ** (k - 1) <= n:
+        if n % f == 0:
+            for rest in _factorizations(n // f, k - 1):
+                yield (f,) + rest
+        f += 1
+
+
+def _pencil_seg(rank: int, extents: Sequence[int], dist_axes: Sequence[int]) -> tuple[int, ...]:
+    """The hand-optimized FFT's segmentation style: full extent along the
+    first collapsed dimension, single members elsewhere — segments are
+    pencils, the natural unit of the transfer statements."""
+    seg = [1] * rank
+    for axis in range(rank):
+        if axis not in dist_axes:
+            seg[axis] = extents[axis]
+            break
+    return tuple(seg)
+
+
+def enumerate_layouts(
+    decl: ArrayDecl,
+    nprocs: int,
+    *,
+    specs: Sequence[str] = ("*", "BLOCK", "CYCLIC"),
+    max_dist_dims: int | None = None,
+    seg_choices: Sequence[str] = ("coarse",),
+    allow_idle_procs: bool = False,
+    collapsed_axes: Sequence[int] = (),
+) -> list[LayoutCandidate]:
+    """All pruned candidates for one array, in canonical order.
+
+    ``collapsed_axes`` forces ``*`` on the given dimensions (a phase's
+    compute axis must stay local).  ``seg_choices`` picks segmentation
+    styles: ``"coarse"`` (one segment per owned piece) and/or
+    ``"pencil"`` (the hand-FFT style).
+    """
+    rank = decl.rank
+    extents = decl.shape
+    forced = set(collapsed_axes)
+    limit = rank if max_dist_dims is None else max_dist_dims
+    out: set[LayoutCandidate] = set()
+
+    def assignments(axis: int, chosen: tuple[str, ...]) -> Iterator[tuple[str, ...]]:
+        if axis == rank:
+            yield chosen
+            return
+        for s in ("*",) if axis in forced else specs:
+            yield from assignments(axis + 1, chosen + (s,))
+
+    for parts in assignments(0, ()):
+        dist_axes = tuple(i for i, s in enumerate(parts) if s != "*")
+        if not dist_axes or len(dist_axes) > limit:
+            continue
+        dist = "(" + ", ".join(parts) + ")"
+        for shape in _factorizations(nprocs, len(dist_axes)):
+            if not allow_idle_procs and any(
+                extents[a] < f for a, f in zip(dist_axes, shape)
+            ):
+                continue
+            grid_shape = None if len(dist_axes) == 1 else shape
+            for style in seg_choices:
+                seg = (
+                    None
+                    if style == "coarse"
+                    else _pencil_seg(rank, extents, dist_axes)
+                )
+                cand = LayoutCandidate(dist, seg, grid_shape)
+                try:
+                    candidate_segmentation(decl, cand, nprocs)
+                except Exception:
+                    continue  # unbuildable corner (prune, don't crash)
+                out.add(cand)
+    return sorted(out)
+
+
+def phase_layouts(
+    decl: ArrayDecl,
+    nprocs: int,
+    axis: int,
+    *,
+    specs: Sequence[str] = ("BLOCK", "CYCLIC"),
+    seg_choices: Sequence[str] = ("pencil",),
+) -> list[LayoutCandidate]:
+    """Realizable layouts for a compute phase along ``axis``.
+
+    The phase's pencils (full extent along ``axis``) must be local, so
+    ``axis`` is collapsed; exactly one other dimension is distributed
+    over the linearised grid — the family the phased code generator
+    (:mod:`~repro.tune.rewrite`) can realize with fused, pipelined
+    transfers.
+    """
+    return enumerate_layouts(
+        decl,
+        nprocs,
+        specs=("*",) + tuple(specs),
+        max_dist_dims=1,
+        seg_choices=seg_choices,
+        collapsed_axes=(axis,),
+    )

@@ -375,3 +375,74 @@ class TestEndToEndProperties:
             cp.run()
             got_vm = cp.read_global("A")
             assert np.array_equal(got_vm, want), (label + "/vm", got_vm, want)
+
+# ---------------------------------------------------------------------- #
+# declaration-string layout plumbing (the tuner's search-space ground truth)
+# ---------------------------------------------------------------------- #
+
+from repro.core.analysis.layouts import (
+    build_layouts, build_segmentation, decl_index_space,
+)
+
+
+@st.composite
+def layout_decl_sources(draw):
+    """A random valid declaration line plus a machine size.
+
+    Exactly one distributed dimension (the rank-1 grid case the tuner
+    enumerates); collapsed dims, offset bounds, and an optional explicit
+    seg clause are all drawn freely.
+    """
+    rank = draw(st.integers(1, 3))
+    dist_axis = draw(st.integers(0, rank - 1))
+    nprocs = draw(st.sampled_from([2, 3, 4, 6]))
+    bounds, specs, segs = [], [], []
+    for axis in range(rank):
+        lo = draw(st.integers(0, 2))
+        extent = draw(st.integers(1, 9))
+        bounds.append(f"{lo}:{lo + extent - 1}")
+        if axis == dist_axis:
+            specs.append(draw(st.sampled_from(
+                ["BLOCK", "CYCLIC", "CYCLIC(2)", "CYCLIC(3)"]
+            )))
+        else:
+            specs.append("*")
+        segs.append(draw(st.integers(1, 3)))
+    src = f"array A[{', '.join(bounds)}] dist ({', '.join(specs)})"
+    if draw(st.booleans()):
+        src += f" seg ({', '.join(map(str, segs))})"
+    return src + "\n", nprocs
+
+
+class TestDeclLayoutPlumbing:
+    @given(layout_decl_sources())
+    @settings(max_examples=80, deadline=None)
+    def test_spec_strings_partition_exactly(self, case):
+        src, nprocs = case
+        program = parse_program(src)
+        decl = program.array_decls()[0]
+        grid = ProcessorGrid((nprocs,))
+        seg = build_segmentation(decl, grid)
+        # build_layouts is the same plumbing, program-wide
+        assert build_layouts(program, grid)["A"] == seg
+        counts: dict[tuple[int, ...], int] = {}
+        for pid in grid.pids():
+            for s in seg.segments(pid):
+                for pt in s:
+                    counts[pt] = counts.get(pt, 0) + 1
+        # every declared element lands in exactly one processor's segments
+        assert set(counts) == set(decl_index_space(decl))
+        assert all(c == 1 for c in counts.values())
+
+    @given(layout_decl_sources())
+    @settings(max_examples=40, deadline=None)
+    def test_segments_respect_declared_granularity(self, case):
+        src, nprocs = case
+        program = parse_program(src)
+        decl = program.array_decls()[0]
+        seg = build_segmentation(decl, ProcessorGrid((nprocs,)))
+        if decl.segment_shape is not None:
+            for pid in range(nprocs):
+                for s in seg.segments(pid):
+                    for t, cap in zip(s.dims, decl.segment_shape):
+                        assert t.size <= cap

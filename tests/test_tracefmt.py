@@ -1,0 +1,79 @@
+"""Chrome trace-event export (repro.report.tracefmt)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps.jacobi import jacobi_source
+from repro.core.codegen import lower
+from repro.machine.stats import TraceEvent
+from repro.report import chrome_trace, dump_chrome_trace, load_chrome_trace
+
+
+@pytest.fixture(scope="module")
+def engine_events():
+    runner = lower(jacobi_source(16, 4, 2, "halo"), 4, trace=True)
+    runner.write_global("A", np.arange(16, dtype=float))
+    runner.write_global("B", np.zeros(16))
+    stats = runner.run()
+    assert stats.trace
+    return stats.trace
+
+
+def _time_sorted(events):
+    # The export orders by virtual time (stable); the engine stamps
+    # completion events with future times, so the raw list is unsorted.
+    return sorted(events, key=lambda e: e.time)
+
+
+class TestRoundTrip:
+    def test_lossless_on_engine_trace(self, engine_events):
+        doc = chrome_trace(engine_events)
+        assert load_chrome_trace(doc) == _time_sorted(engine_events)
+
+    def test_lossless_through_json_string(self, engine_events):
+        text = json.dumps(chrome_trace(engine_events))
+        assert load_chrome_trace(text) == _time_sorted(engine_events)
+
+    def test_lossless_through_file(self, engine_events, tmp_path):
+        path = dump_chrome_trace(engine_events, tmp_path / "trace.json")
+        assert path.exists()
+        assert load_chrome_trace(path) == _time_sorted(engine_events)
+
+    def test_handcrafted_events(self):
+        events = [
+            TraceEvent(time=0.0, pid=0, kind="send", detail="A[1:2] -> P2"),
+            TraceEvent(time=5.5, pid=1, kind="recv", detail=""),
+        ]
+        assert load_chrome_trace(chrome_trace(events)) == events
+
+
+class TestDocumentShape:
+    def test_time_nondecreasing_per_pid(self, engine_events):
+        doc = chrome_trace(engine_events)
+        last: dict[int, float] = {}
+        for e in doc["traceEvents"]:
+            if e["ph"] != "i":
+                continue
+            assert e["ts"] >= last.get(e["pid"], float("-inf"))
+            last[e["pid"]] = e["ts"]
+        assert last  # saw at least one instant event
+
+    def test_process_metadata_rows(self, engine_events):
+        doc = chrome_trace(engine_events)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "i"}
+        assert {e["pid"] for e in meta} == pids
+        for e in meta:
+            assert e["name"] == "process_name"
+            assert e["args"]["name"] == f"P{e['pid']}"
+
+    def test_pids_are_one_based(self, engine_events):
+        doc = chrome_trace(engine_events)
+        pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "i"}
+        assert min(pids) >= 1
+        assert pids == {p + 1 for p in {ev.pid for ev in engine_events}}
+
+    def test_document_is_json_serializable(self, engine_events):
+        json.dumps(chrome_trace(engine_events))
