@@ -42,7 +42,58 @@ from ..machine.message import TransferKind
 from ..machine.model import MachineModel
 from ..machine.stats import RunStats
 
-__all__ = ["run_workqueue", "make_job_costs", "WorkQueueResult"]
+__all__ = [
+    "run_workqueue", "make_job_costs", "workqueue_source", "WorkQueueResult",
+]
+
+
+def workqueue_source(njobs: int, nprocs: int) -> str:
+    """A static IL+XDP rendition of the section-2.7 work pool.
+
+    The effect-layer :func:`run_workqueue` adapts to run-time load (its
+    worker loop has a data-dependent trip count, beyond the static host
+    IL); this source fixes each worker's claim count in advance —
+    round-robin like the static baseline — but keeps the pool mechanism:
+    the master's sends name no recipient, and every worker's receive names
+    the same section ``JOB[1]``, so matching is the engine's FIFO pool
+    discipline.  Being static IL, it parses, verifies
+    (:func:`~repro.core.analysis.verify_comm.verify_communication`) and
+    runs on both execution paths.
+    """
+    if nprocs < 2:
+        raise ValueError("need at least one master and one worker")
+    if njobs < 1:
+        raise ValueError("need at least one job")
+    nworkers = nprocs - 1
+    lines = [
+        f"array JOB[1:{nprocs}] dist (BLOCK) seg (1)",
+        f"array SLOT[1:{nprocs}] dist (BLOCK) seg (1)",
+        f"array ACC[1:{nprocs}] dist (BLOCK) seg (1)",
+        "scalar j",
+        "",
+        f"do j = 1, {njobs}",
+        "  mypid == 1 : {",
+        "    JOB[1] = j",
+        "    JOB[1] ->",
+        "  }",
+        "enddo",
+    ]
+    base, extra = divmod(njobs, nworkers)
+    for w in range(2, nprocs + 1):
+        quota = base + (1 if (w - 1) <= extra else 0)
+        if quota == 0:
+            continue
+        lines += [
+            f"mypid == {w} : {{",
+            f"  do j = 1, {quota}",
+            f"    SLOT[{w}] <- JOB[1]",
+            f"    await(SLOT[{w}]) : {{",
+            f"      ACC[{w}] = ACC[{w}] + SLOT[{w}]",
+            "    }",
+            "  enddo",
+            "}",
+        ]
+    return "\n".join(lines) + "\n"
 
 
 @dataclass

@@ -12,6 +12,13 @@ Commands
     Execute a program on the simulated machine and print the run summary
     (optionally final array values and the event trace).
 
+``check FILE|APP``
+    Statically verify communication safety (tag/cardinality mismatches,
+    transitional/unowned uses, ownership races, guaranteed deadlocks)
+    without running the program.  ``APP`` may be ``jacobi``, ``fft3d`` or
+    ``workqueue`` to check every shipped variant of that app.  Exits 1 if
+    the verifier reports any error.
+
 ``figures [N|all]``
     Regenerate the paper's figures as text.
 
@@ -36,6 +43,8 @@ Examples
 
     python -m repro compile examples/simple.xdp --nprocs 4 -O2
     python -m repro run examples/simple.xdp --nprocs 4 --show A
+    python -m repro check examples/simple.xdp --nprocs 4
+    python -m repro check jacobi fft3d workqueue
     python -m repro figures all
     python -m repro fft --n 8 --nprocs 4 --stage 2
     python -m repro bench --nprocs 8,64,256 --out BENCH_engine.json
@@ -86,6 +95,8 @@ def _is_sequential(program) -> bool:
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
+    from .core.analysis.verify_comm import CommVerificationError
+
     program = _load(args.file)
     verify_program(program)
     if _is_sequential(program):
@@ -96,7 +107,12 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             bind_destinations=not args.no_binding,
         )
         print(f"// translated ({args.strategy}) for {args.nprocs} processors")
-    result = optimize(program, args.nprocs, level=args.opt_level)
+    try:
+        result = optimize(program, args.nprocs, level=args.opt_level,
+                          verify_comm=args.verify_comm)
+    except CommVerificationError as exc:
+        print(exc.report.format(), file=sys.stderr)
+        return 1
     print(print_program(result.program))
     print("// optimization report:")
     for line in result.reports:
@@ -111,6 +127,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         program = translate(program, args.nprocs, strategy=args.strategy)
     if args.opt_level > 0:
         program = optimize(program, args.nprocs, level=args.opt_level).program
+    if args.verify_comm:
+        from .core.analysis import verify_communication
+
+        report = verify_communication(program, args.nprocs)
+        print(report.format())
+        if not report.ok:
+            return 1
     model = _MODELS[args.model]()
     trace = args.trace or bool(args.trace_json)
     if args.path == "vm":
@@ -152,6 +175,53 @@ def _cmd_run(args: argparse.Namespace) -> int:
         dump_chrome_trace(stats.trace, args.trace_json)
         print(f"wrote {args.trace_json} ({len(stats.trace)} events)")
     return 0
+
+
+def _check_targets(target: str, nprocs: int) -> list[tuple[str, object]]:
+    """Expand a ``check`` target (app name or file path) to programs."""
+    if target == "jacobi":
+        from .apps.jacobi import VARIANTS, jacobi_source
+
+        return [
+            (f"jacobi/{v} n={2 * nprocs}", jacobi_source(2 * nprocs, nprocs, 2, v))
+            for v in VARIANTS
+        ]
+    if target == "fft3d":
+        from .apps.fft3d import fft3d_source
+
+        return [
+            (f"fft3d/stage{s} n={nprocs}", fft3d_source(nprocs, nprocs, s))
+            for s in (0, 1, 2)
+        ]
+    if target == "workqueue":
+        from .apps.workqueue import workqueue_source
+
+        njobs = 2 * (nprocs - 1)
+        return [(f"workqueue njobs={njobs}", workqueue_source(njobs, nprocs))]
+    return [(target, _load(target))]
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .core.analysis import verify_communication
+
+    failed = False
+    for target in args.targets:
+        for label, program in _check_targets(target, args.nprocs):
+            if isinstance(program, str):
+                program = parse_program(program)
+            verify_program(program)
+            if _is_sequential(program):
+                program = translate(program, args.nprocs,
+                                    strategy=args.strategy)
+            if args.opt_level > 0:
+                program = optimize(program, args.nprocs,
+                                   level=args.opt_level).program
+            report = verify_communication(program, args.nprocs,
+                                          max_events=args.max_events)
+            print(f"== {label} (P={args.nprocs})")
+            print(report.format())
+            failed = failed or not report.ok
+    return 1 if failed else 0
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
@@ -303,11 +373,35 @@ def build_parser() -> argparse.ArgumentParser:
     common(c)
     c.add_argument("--no-binding", action="store_true",
                    help="emit unannotated sends (the paper's literal form)")
+    c.add_argument("--verify-comm", action="store_true",
+                   help="statically verify communication safety of the "
+                        "optimized program; exit 1 on errors")
     c.set_defaults(fn=_cmd_compile)
+
+    k = sub.add_parser(
+        "check",
+        help="statically verify communication safety without running",
+    )
+    k.add_argument("targets", nargs="+", metavar="FILE|APP",
+                   help="IL+XDP files and/or app names "
+                        "(jacobi, fft3d, workqueue)")
+    k.add_argument("--nprocs", type=int, default=4)
+    k.add_argument("-O", "--opt-level", type=int, default=0,
+                   choices=(0, 1, 2),
+                   help="optimize before verifying (default: check the "
+                        "program as written)")
+    k.add_argument("--strategy", default="owner-computes",
+                   choices=("owner-computes", "migrate"))
+    k.add_argument("--max-events", type=int, default=200_000,
+                   help="abstract execution step budget")
+    k.set_defaults(fn=_cmd_check)
 
     r = sub.add_parser("run", help="execute a program on the simulated machine")
     r.add_argument("file")
     common(r)
+    r.add_argument("--verify-comm", action="store_true",
+                   help="statically verify communication safety before "
+                        "running; exit 1 on errors")
     r.add_argument("--model", default="default", choices=sorted(_MODELS))
     r.add_argument("--path", default="vm", choices=("vm", "interp"))
     r.add_argument("--binding", default="nonblocking",

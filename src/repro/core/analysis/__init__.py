@@ -5,6 +5,9 @@ from .consteval import ConstEnv, const_eval, resolve_section_const
 from .layouts import build_layouts
 from .ownership import CompilerContext, OwnershipAnalysis
 from .refsets import RefSets, stmt_refsets
+from .verify_comm import (
+    CommReport, CommVerificationError, Finding, verify_communication,
+)
 
 __all__ = [
     "ConstEnv",
@@ -15,4 +18,8 @@ __all__ = [
     "OwnershipAnalysis",
     "RefSets",
     "stmt_refsets",
+    "CommReport",
+    "CommVerificationError",
+    "Finding",
+    "verify_communication",
 ]

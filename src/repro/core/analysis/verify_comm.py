@@ -1,0 +1,1162 @@
+"""Static communication-safety verification of SPMD IL+XDP programs.
+
+XDP's premise is that explicit data placement lets the *compiler* reason
+about movement — yet a mismatched ``->``/``<-`` pair, a read of
+TRANSITIONAL data or an ownership-transfer race is only caught at run time
+by the engine.  :func:`verify_communication` closes that gap: it runs every
+processor through an *abstract* machine — the operational semantics of
+:mod:`repro.core.interp` with data values erased and virtual time removed —
+and reports, with IL locations and severities:
+
+* **tag / cardinality mismatches** — a receive whose destination section
+  size differs from its message tag's, sends that no receive ever claims,
+  receives no send ever satisfies, destinations outside the machine;
+* **transitional / unowned uses** — reads (including value-send payload
+  gathers and kernel-call arguments) of sections that are unowned, or that
+  have a receive initiated with no ``await`` since (the engine only errors
+  when the message happens not to have arrived yet; the verifier flags the
+  timing dependence itself);
+* **ownership races** — ``<=``/``<=-`` acquisition overlapping a locally
+  owned segment, one release multicast to several acquirers, and any two
+  processors left believing they own the same element;
+* **guaranteed deadlocks** — a processor blocking on a section that can
+  never become accessible (releasing or awaiting unowned data), and global
+  quiescence with unmatched blocking waits.
+
+Scalars are tracked concretely (loop bounds and pids in translated and
+tuner-generated programs are compile-time evaluable per processor); array
+values are a single ⊤.  Where the abstraction loses the program — a
+data-dependent branch or rule, a symbolic loop bound, an unresolvable
+subscript in a transfer — the verifier *waives* the affected message
+tags: it skips the unanalyzable region, demotes end-of-run mismatch and
+deadlock findings that involve waived variables to warnings, and reports
+the waiver itself as a warning.  This is the conservatism contract the
+differential fuzzing harness (``tests/fuzz``) checks: a program with **no
+findings at all** must run clean on the strict engine, and every engine
+failure must land on an error *or* a waiver warning.  See docs/VERIFIER.md.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ...distributions import ProcessorGrid
+from ..errors import VerificationError
+from ..ir.nodes import (
+    Accessible, ArrayDecl, ArrayRef, Assign, Await, BinOp, Block, BoolConst,
+    CallStmt, DoLoop, Expr, ExprStmt, FloatConst, Full, Guarded, IfStmt,
+    Index, IntConst, Iown, MaxIntConst, MinIntConst, Mylb, Mypid, Myub,
+    NumProcs, Program, Range, RecvStmt, ScalarDecl, SendStmt, Stmt,
+    UnaryOp, VarRef, XferOp,
+)
+from ..ir.printer import print_stmt
+from ..sections import Section, Triplet, disjoint_cover_equal, section_difference
+from .layouts import build_layouts
+
+__all__ = [
+    "Finding",
+    "CommReport",
+    "CommVerificationError",
+    "verify_communication",
+]
+
+from ...runtime.symtab import MAXINT, MININT
+
+#: Default abstract-step budget; one unit per executed statement.
+MAX_EVENTS = 200_000
+
+
+class _Unknown:
+    """The abstract ⊤: a value the verifier cannot track."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<unknown>"
+
+    def __bool__(self) -> bool:  # pragma: no cover - defensive
+        raise TypeError("abstract unknown has no truth value")
+
+
+_UNKNOWN = _Unknown()
+
+_KIND = {
+    XferOp.SEND_VALUE: "value",
+    XferOp.SEND_OWNER: "ownership",
+    XferOp.SEND_OWNER_VALUE: "own_value",
+    XferOp.RECV_VALUE: "value",
+    XferOp.RECV_OWNER: "ownership",
+    XferOp.RECV_OWNER_VALUE: "own_value",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verification finding.
+
+    ``severity`` is ``"error"`` (the engine would fail, or two executions
+    can disagree) or ``"warning"`` (conservative: the verifier lost
+    precision, or the engine tolerates it).  ``loc`` is a structural IL
+    path (the IR carries no line numbers); ``pid1`` the 1-based processor
+    the finding was first observed on (``None`` for global findings);
+    ``count`` how many occurrences dedup-folded into this finding.
+    """
+
+    severity: str
+    code: str
+    message: str
+    loc: str
+    pid1: int | None = None
+    count: int = 1
+
+    def format(self) -> str:
+        n = f" (x{self.count})" if self.count > 1 else ""
+        on = f" [P{self.pid1}]" if self.pid1 is not None else ""
+        return f"{self.severity}[{self.code}]{on} {self.loc}: {self.message}{n}"
+
+
+@dataclass
+class CommReport:
+    """The result of :func:`verify_communication`."""
+
+    nprocs: int
+    findings: list[Finding] = field(default_factory=list)
+    events: int = 0
+    complete: bool = True
+    waived: tuple[str, ...] = ()
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """No errors (warnings allowed)."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """No findings at all — the differential guarantee's precondition."""
+        return not self.findings and self.complete
+
+    def format(self) -> str:
+        head = (
+            f"communication verification (P={self.nprocs}): "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+        if not self.complete:
+            head += " [incomplete: step budget exhausted]"
+        lines = [head]
+        for f in self.errors + self.warnings:
+            lines.append("  " + f.format())
+        if self.waived:
+            lines.append("  waived variables: " + ", ".join(sorted(self.waived)))
+        if self.clean:
+            lines.append("  clean: statically guaranteed to run without "
+                         "communication errors on the strict engine")
+        return "\n".join(lines)
+
+
+class CommVerificationError(VerificationError):
+    """Raised by pipeline wrappers when verification finds errors."""
+
+    def __init__(self, report: CommReport):
+        self.report = report
+        super().__init__(report.format())
+
+
+# ---------------------------------------------------------------------- #
+# abstract machine state
+# ---------------------------------------------------------------------- #
+
+
+class _PendRecv:
+    """A posted receive: transitional marker until matched *and* awaited."""
+
+    __slots__ = ("seq", "pid1", "kind", "var", "sec", "into_var", "into_sec",
+                 "matched", "applied", "loc")
+
+    def __init__(self, seq, pid1, kind, var, sec, into_var, into_sec, loc):
+        self.seq = seq
+        self.pid1 = pid1
+        self.kind = kind          # "value" | "ownership" | "own_value"
+        self.var = var            # tag variable
+        self.sec = sec            # tag section
+        self.into_var = into_var
+        self.into_sec = into_sec
+        self.matched = False
+        self.applied = False
+        self.loc = loc
+
+    @property
+    def tag(self) -> str:
+        return f"{self.kind} {self.var}{self.sec}"
+
+
+class _Msg:
+    """An in-flight abstract message."""
+
+    __slots__ = ("seq", "kind", "var", "sec", "src1", "dst1", "claimed", "loc")
+
+    def __init__(self, seq, kind, var, sec, src1, dst1, loc):
+        self.seq = seq
+        self.kind = kind
+        self.var = var
+        self.sec = sec
+        self.src1 = src1
+        self.dst1 = dst1          # 1-based or None (unspecified recipient)
+        self.claimed = False
+        self.loc = loc
+
+    @property
+    def tag(self) -> str:
+        return f"{self.kind} {self.var}{self.sec}"
+
+
+class _ASeg:
+    """One owned segment: a section plus its outstanding receives.
+
+    State is derived, mirroring the run-time table at segment granularity:
+    ``pending`` non-empty ⇒ TRANSITIONAL (a receive was initiated and no
+    ``await`` has covered this segment since), empty ⇒ ACCESSIBLE.
+    """
+
+    __slots__ = ("section", "pending")
+
+    def __init__(self, section: Section):
+        self.section = section
+        self.pending: list[_PendRecv] = []
+
+
+class _Wait:
+    """A blocking point: WaitAccessible(var, sec) from an await, an owner
+    send, or a value receive's destination gate."""
+
+    __slots__ = ("var", "sec", "reason", "loc")
+
+    def __init__(self, var, sec, reason, loc):
+        self.var = var
+        self.sec = sec
+        self.reason = reason      # "await" | "release" | "recv-into"
+        self.loc = loc
+
+
+class _AProc:
+    __slots__ = ("pid1", "gen", "wait", "done", "doomed", "scalars", "stack")
+
+    def __init__(self, pid1, gen):
+        self.pid1 = pid1
+        self.gen = gen
+        self.wait: _Wait | None = None
+        self.done = False
+        self.doomed = False
+        self.scalars: dict = {}
+        self.stack: list[str] = []
+
+
+class _RuleUnowned(Exception):
+    """An unowned reference inside a compute rule: the rule is false."""
+
+
+class _RuleUnknown(Exception):
+    """A rule whose value the abstraction cannot decide."""
+
+
+class _Budget(Exception):
+    """Abstract step budget exhausted."""
+
+
+def _head(stmt: Stmt, limit: int = 64) -> str:
+    text = print_stmt(stmt, 0)[0].strip()
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+# ---------------------------------------------------------------------- #
+# the verifier
+# ---------------------------------------------------------------------- #
+
+
+class _Machine:
+    def __init__(self, program: Program, nprocs: int, grid, max_events: int):
+        self.program = program
+        self.nprocs = nprocs
+        self.grid = grid if grid is not None else ProcessorGrid((nprocs,))
+        self.max_events = max_events
+        self.events = 0
+        self.complete = True
+        self.seq = itertools.count(1)
+        self.decls: dict[str, ArrayDecl | ScalarDecl] = {
+            d.name: d for d in program.decls
+        }
+        # (pid1, var) -> owned segments
+        self.tables: dict[tuple[int, str], list[_ASeg]] = {}
+        layouts = build_layouts(program, self.grid)
+        for d in program.array_decls():
+            if d.universal:
+                continue
+            for pid1 in range(1, nprocs + 1):
+                self.tables[(pid1, d.name)] = [
+                    _ASeg(s) for s in layouts[d.name].segments(pid1 - 1)
+                ]
+        # key = (kind, var, Section)
+        self.unclaimed: dict[tuple, list[_Msg]] = {}
+        self.pending: dict[tuple, list[_PendRecv]] = {}
+        self.tag_modes: dict[tuple, set[str]] = {}   # "directed" / "pooled"
+        self.waived: set[str] = set()
+        self._findings: dict[tuple, Finding] = {}
+        self._order: list[tuple] = []
+
+    # -------------------------------------------------------------- #
+    # findings
+    # -------------------------------------------------------------- #
+
+    def flag(self, severity, code, message, loc, pid1=None) -> None:
+        key = (severity, code, loc, message)
+        f = self._findings.get(key)
+        if f is None:
+            self._findings[key] = Finding(severity, code, message, loc, pid1)
+            self._order.append(key)
+        else:
+            self._findings[key] = Finding(
+                f.severity, f.code, f.message, f.loc, f.pid1, f.count + 1
+            )
+
+    def loc(self, p: _AProc, stmt: Stmt | None = None) -> str:
+        parts = list(p.stack)
+        if stmt is not None:
+            parts.append(_head(stmt))
+        return " > ".join(parts) if parts else "<program>"
+
+    def waive_block(self, block: Block) -> None:
+        """Record every transfer variable under an unanalyzable region."""
+        for s in block:
+            match s:
+                case SendStmt(ref, _, _):
+                    self.waived.add(ref.var)
+                case RecvStmt():
+                    self.waived.add(s.into.var)
+                    self.waived.add(s.message_ref().var)
+                case Guarded(_, body) | DoLoop(_, _, _, _, body):
+                    self.waive_block(body)
+                case IfStmt(_, then, orelse):
+                    self.waive_block(then)
+                    self.waive_block(orelse)
+                case _:
+                    pass
+
+    def demoted(self, *vars: str) -> bool:
+        return any(v in self.waived for v in vars)
+
+    # -------------------------------------------------------------- #
+    # abstract ownership table
+    # -------------------------------------------------------------- #
+
+    def segs(self, pid1: int, var: str) -> list[_ASeg]:
+        return self.tables.get((pid1, var), [])
+
+    def overlapping(self, pid1: int, var: str, sec: Section) -> list[tuple[_ASeg, Section]]:
+        out = []
+        for seg in self.segs(pid1, var):
+            inter = seg.section.intersect(sec)
+            if inter is not None:
+                out.append((seg, inter))
+        return out
+
+    def iown(self, pid1: int, var: str, sec: Section) -> bool:
+        inters = [i for _, i in self.overlapping(pid1, var, sec)]
+        return disjoint_cover_equal(sec, inters) if inters else False
+
+    def transitional(self, pid1: int, var: str, sec: Section) -> bool:
+        """Any overlapping segment with an un-awaited receive (segment
+        granularity, like the run-time table)."""
+        return any(seg.pending for seg, _ in self.overlapping(pid1, var, sec))
+
+    def release(self, pid1: int, var: str, sec: Section) -> None:
+        """Drop ``sec`` from the table, splitting partially covered
+        segments (callers have established accessibility)."""
+        keep: list[_ASeg] = []
+        for seg in self.segs(pid1, var):
+            inter = seg.section.intersect(sec)
+            if inter is None:
+                keep.append(seg)
+                continue
+            for piece in section_difference(seg.section, inter):
+                ns = _ASeg(piece)
+                ns.pending = [r for r in seg.pending
+                              if r.into_sec.intersect(piece) is not None]
+                keep.append(ns)
+        self.tables[(pid1, var)] = keep
+
+    def mylb(self, pid1: int, var: str, dim: int, sec: Section) -> int:
+        best = MAXINT
+        for _, inter in self.overlapping(pid1, var, sec):
+            best = min(best, inter.dims[dim - 1].lo)
+        return best
+
+    def myub(self, pid1: int, var: str, dim: int, sec: Section) -> int:
+        best = MININT
+        for _, inter in self.overlapping(pid1, var, sec):
+            best = max(best, inter.dims[dim - 1].hi)
+        return best
+
+    # -------------------------------------------------------------- #
+    # message matching (the engine's FIFO discipline, §2.7)
+    # -------------------------------------------------------------- #
+
+    def route(self, msg: _Msg) -> None:
+        key = (msg.kind, msg.var, msg.sec)
+        self.tag_modes.setdefault(key, set()).add(
+            "pooled" if msg.dst1 is None else "directed"
+        )
+        recvs = self.pending.get(key, ())
+        for r in recvs:
+            if r.matched:
+                continue
+            if msg.dst1 is None or r.pid1 == msg.dst1:
+                self.match(msg, r)
+                return
+        self.unclaimed.setdefault(key, []).append(msg)
+
+    def post_recv(self, recv: _PendRecv) -> None:
+        key = (recv.kind, recv.var, recv.sec)
+        for msg in self.unclaimed.get(key, ()):
+            if not msg.claimed and (msg.dst1 is None or msg.dst1 == recv.pid1):
+                self.match(msg, recv)
+                break
+        self.pending.setdefault(key, []).append(recv)
+
+    def match(self, msg: _Msg, recv: _PendRecv) -> None:
+        msg.claimed = True
+        recv.matched = True
+
+    # -------------------------------------------------------------- #
+    # waits
+    # -------------------------------------------------------------- #
+
+    def wait_status(self, p: _AProc, w: _Wait) -> str:
+        """"ready" | "blocked" | "never" for one WaitAccessible."""
+        over = self.overlapping(p.pid1, w.var, w.sec)
+        inters = [i for _, i in over]
+        if not inters or not disjoint_cover_equal(w.sec, inters):
+            return "never"
+        if all(r.matched for seg, _ in over for r in seg.pending):
+            return "ready"
+        return "blocked"
+
+    def apply_wait(self, p: _AProc, w: _Wait) -> None:
+        """The section became accessible: apply every completion on the
+        overlapping segments (the engine does this at message arrival; doing
+        it only under an explicit wait is what makes un-awaited reads show
+        up as transitional)."""
+        recvs: dict[int, _PendRecv] = {}
+        for seg, _ in self.overlapping(p.pid1, w.var, w.sec):
+            for r in seg.pending:
+                recvs[r.seq] = r
+        for r in recvs.values():
+            self.apply_recv(r)
+
+    def apply_recv(self, r: _PendRecv) -> None:
+        r.applied = True
+        for seg in self.segs(r.pid1, r.into_var):
+            if r in seg.pending:
+                seg.pending.remove(r)
+        if r.kind != "value":
+            self.check_race(r.pid1, r.into_var, r.into_sec, r.loc)
+
+    def check_race(self, pid1: int, var: str, sec: Section, loc: str) -> None:
+        """An ownership transfer completed: nobody else may own it now."""
+        for other in range(1, self.nprocs + 1):
+            if other == pid1:
+                continue
+            for seg, inter in self.overlapping(other, var, sec):
+                if self.settled(seg):
+                    self.flag(
+                        "error", "ownership-race",
+                        f"P{pid1} completes ownership of {var}{sec} while "
+                        f"P{other} still owns {seg.section}", loc, pid1,
+                    )
+                    return
+
+    def settled(self, seg: _ASeg) -> bool:
+        """Owned for sure: accessible, or acquired with the release already
+        performed by the sender (matched)."""
+        return all(r.matched for r in seg.pending)
+
+    # -------------------------------------------------------------- #
+    # per-processor abstract interpretation
+    # -------------------------------------------------------------- #
+
+    def boot(self, p: _AProc):
+        for d in self.program.scalar_decls():
+            if d.init is not None:
+                v = yield from self._eval(d.init, p, rule=False)
+                p.scalars[d.name] = v
+            else:
+                p.scalars[d.name] = 0
+        yield from self._exec_block(self.program.body, p)
+
+    def _tick(self) -> None:
+        self.events += 1
+        if self.events > self.max_events:
+            raise _Budget()
+
+    def _exec_block(self, block: Block, p: _AProc):
+        for stmt in block:
+            yield from self._exec(stmt, p)
+
+    def _exec(self, stmt: Stmt, p: _AProc):
+        self._tick()
+        match stmt:
+            case Guarded(rule, body):
+                ok = yield from self._eval_rule(rule, p, stmt)
+                if ok is _UNKNOWN:
+                    self.flag(
+                        "warning", "data-dependent-rule",
+                        "compute rule depends on run-time data; body skipped "
+                        "and its transfers waived", self.loc(p, stmt), p.pid1,
+                    )
+                    self.waive_block(body)
+                elif ok:
+                    p.stack.append(_head(stmt))
+                    try:
+                        yield from self._exec_block(body, p)
+                    finally:
+                        p.stack.pop()
+            case Assign(target, expr):
+                yield from self._exec_assign(target, expr, p, stmt)
+            case SendStmt():
+                yield from self._exec_send(stmt, p)
+            case RecvStmt():
+                yield from self._exec_recv(stmt, p)
+            case DoLoop():
+                yield from self._exec_loop(stmt, p)
+            case IfStmt(cond, then, orelse):
+                c = yield from self._eval(cond, p, rule=False)
+                if c is _UNKNOWN:
+                    self.flag(
+                        "warning", "data-dependent-branch",
+                        "branch condition depends on run-time data; both "
+                        "arms skipped and their transfers waived",
+                        self.loc(p, stmt), p.pid1,
+                    )
+                    self.waive_block(then)
+                    self.waive_block(orelse)
+                else:
+                    p.stack.append(_head(stmt))
+                    try:
+                        yield from self._exec_block(then if c else orelse, p)
+                    finally:
+                        p.stack.pop()
+            case CallStmt():
+                yield from self._exec_call(stmt, p)
+            case ExprStmt(expr):
+                yield from self._eval(expr, p, rule=False)
+            case _:  # pragma: no cover - exhaustive over Stmt
+                raise TypeError(f"cannot verify statement {stmt!r}")
+
+    def _exec_loop(self, stmt: DoLoop, p: _AProc):
+        lo = yield from self._eval(stmt.lo, p, rule=False)
+        hi = yield from self._eval(stmt.hi, p, rule=False)
+        step = yield from self._eval(stmt.step, p, rule=False)
+        if _UNKNOWN in (lo, hi, step):
+            self.flag(
+                "warning", "symbolic-loop",
+                "loop bounds depend on run-time data; body skipped and its "
+                "transfers waived", self.loc(p, stmt), p.pid1,
+            )
+            self.waive_block(stmt.body)
+            return
+        if step == 0:
+            self.flag("error", "zero-step", "do-loop step of 0",
+                      self.loc(p, stmt), p.pid1)
+            return
+        p.stack.append(_head(stmt))
+        try:
+            i = int(lo)
+            while (i <= hi) if step > 0 else (i >= hi):
+                p.scalars[stmt.var] = i
+                yield from self._exec_block(stmt.body, p)
+                i += int(step)
+        finally:
+            p.stack.pop()
+
+    def _exec_assign(self, target, expr, p: _AProc, stmt: Stmt):
+        value = yield from self._eval(expr, p, rule=False)
+        if isinstance(target, VarRef):
+            p.scalars[target.name] = value
+            return
+        decl, sec = yield from self._resolve(target, p, stmt)
+        if decl is None or (isinstance(decl, ArrayDecl) and decl.universal):
+            return
+        if sec is None:
+            self.flag("warning", "unresolved-write",
+                      f"cannot resolve written section of {target.var}; "
+                      "ownership of the write is unchecked",
+                      self.loc(p, stmt), p.pid1)
+            return
+        if not self.iown(p.pid1, target.var, sec):
+            self.flag("error", "unowned-write",
+                      f"write to unowned section {target.var}{sec}",
+                      self.loc(p, stmt), p.pid1)
+        elif self.transitional(p.pid1, target.var, sec):
+            self.flag("warning", "transitional-write",
+                      f"write to {target.var}{sec} with a receive in flight; "
+                      "the arriving message may overwrite it",
+                      self.loc(p, stmt), p.pid1)
+
+    def _exec_send(self, stmt: SendStmt, p: _AProc):
+        loc = self.loc(p, stmt)
+        decl, sec = yield from self._resolve(stmt.ref, p, stmt)
+        if decl is None:
+            return
+        if isinstance(decl, ArrayDecl) and decl.universal:
+            self.flag("error", "send-universal",
+                      f"transfer of universal section {stmt.ref.var}", loc,
+                      p.pid1)
+            return
+        if sec is None:
+            self.flag("warning", "unresolved-transfer",
+                      f"cannot resolve sent section of {stmt.ref.var}; "
+                      "its transfers are waived", loc, p.pid1)
+            self.waived.add(stmt.ref.var)
+            return
+        dests: list[int] | None = None
+        if stmt.dests is not None:
+            dests = []
+            for e in stmt.dests:
+                v = yield from self._eval(e, p, rule=False)
+                if v is _UNKNOWN:
+                    self.flag("warning", "unresolved-destination",
+                              f"cannot resolve a destination of "
+                              f"{stmt.ref.var}{sec}; its transfers are waived",
+                              loc, p.pid1)
+                    self.waived.add(stmt.ref.var)
+                    return
+                if not 1 <= int(v) <= self.nprocs:
+                    self.flag("error", "bad-destination",
+                              f"send destination P{int(v)} outside the "
+                              f"machine (P1..P{self.nprocs})", loc, p.pid1)
+                    return
+                dests.append(int(v))
+        kind = _KIND[stmt.op]
+        if stmt.op is XferOp.SEND_VALUE:
+            if not self.iown(p.pid1, stmt.ref.var, sec):
+                self.flag("error", "send-unowned",
+                          f"value send of unowned section "
+                          f"{stmt.ref.var}{sec}", loc, p.pid1)
+                return
+            if self.transitional(p.pid1, stmt.ref.var, sec):
+                self.flag("error", "stale-read",
+                          f"value send gathers {stmt.ref.var}{sec} with a "
+                          "receive initiated and no await since", loc, p.pid1)
+        else:
+            if stmt.dests is not None and len(stmt.dests) > 1:
+                self.flag("error", "ownership-multicast",
+                          f"ownership of {stmt.ref.var}{sec} released once "
+                          f"but sent to {len(stmt.dests)} processors: every "
+                          "recipient will believe it owns the section", loc,
+                          p.pid1)
+                return
+            # Owner sends block until the section is accessible, then
+            # relinquish it.
+            yield _Wait(stmt.ref.var, sec, "release", loc)
+            if not self.iown(p.pid1, stmt.ref.var, sec):  # pragma: no cover
+                return  # wait_status() reported "never"; defensive
+            self.release(p.pid1, stmt.ref.var, sec)
+        for dst1 in (dests if dests is not None else [None]):
+            self.route(_Msg(next(self.seq), kind, stmt.ref.var, sec,
+                            p.pid1, dst1, loc))
+
+    def _exec_recv(self, stmt: RecvStmt, p: _AProc):
+        loc = self.loc(p, stmt)
+        decl, into_sec = yield from self._resolve(stmt.into, p, stmt)
+        if decl is None:
+            return
+        if isinstance(decl, ArrayDecl) and decl.universal:
+            self.flag("error", "recv-universal",
+                      f"receive into universal section {stmt.into.var}", loc,
+                      p.pid1)
+            return
+        if into_sec is None:
+            self.flag("warning", "unresolved-transfer",
+                      f"cannot resolve received section of {stmt.into.var}; "
+                      "its transfers are waived", loc, p.pid1)
+            self.waived.add(stmt.into.var)
+            self.waived.add(stmt.message_ref().var)
+            return
+        kind = _KIND[stmt.op]
+        if stmt.op is XferOp.RECV_VALUE:
+            src_decl, src_sec = yield from self._resolve(stmt.source, p, stmt)
+            if src_decl is None:
+                return
+            if src_sec is None:
+                self.flag("warning", "unresolved-transfer",
+                          f"cannot resolve message section of "
+                          f"{stmt.source.var}; its transfers are waived",
+                          loc, p.pid1)
+                self.waived.add(stmt.source.var)
+                self.waived.add(stmt.into.var)
+                return
+            if not self.iown(p.pid1, stmt.into.var, into_sec):
+                self.flag("error", "recv-into-unowned",
+                          f"value receive into unowned section "
+                          f"{stmt.into.var}{into_sec} blocks forever "
+                          "(destination must be owned)", loc, p.pid1)
+                p.doomed = True
+                return
+            if src_sec.size != into_sec.size:
+                self.flag("error", "size-mismatch",
+                          f"message {stmt.source.var}{src_sec} carries "
+                          f"{src_sec.size} elements, destination "
+                          f"{stmt.into.var}{into_sec} has {into_sec.size}",
+                          loc, p.pid1)
+            # The engine waits for the destination before initiating.
+            yield _Wait(stmt.into.var, into_sec, "recv-into", loc)
+            recv = _PendRecv(next(self.seq), p.pid1, kind,
+                             stmt.source.var, src_sec,
+                             stmt.into.var, into_sec, loc)
+            for seg, _ in self.overlapping(p.pid1, stmt.into.var, into_sec):
+                seg.pending.append(recv)
+            self.post_recv(recv)
+        else:
+            for seg, _ in self.overlapping(p.pid1, stmt.into.var, into_sec):
+                self.flag("error", "acquire-overlap",
+                          f"ownership receive of {stmt.into.var}{into_sec} "
+                          f"overlaps locally owned segment {seg.section} "
+                          "(ownership can only be received if unowned)",
+                          loc, p.pid1)
+                return
+            recv = _PendRecv(next(self.seq), p.pid1, kind,
+                             stmt.into.var, into_sec,
+                             stmt.into.var, into_sec, loc)
+            seg = _ASeg(into_sec)
+            seg.pending.append(recv)
+            self.tables.setdefault((p.pid1, stmt.into.var), []).append(seg)
+            self.post_recv(recv)
+
+    def _exec_call(self, stmt: CallStmt, p: _AProc):
+        # Kernels read and write their section arguments through the
+        # run-time table: same checks as a read.
+        for a in stmt.args:
+            if isinstance(a, ArrayRef) and not a.is_element():
+                yield from self._read(a, p, stmt, rule=False)
+            else:
+                yield from self._eval(a, p, rule=False)
+
+    # -------------------------------------------------------------- #
+    # expressions
+    # -------------------------------------------------------------- #
+
+    def _eval_rule(self, rule: Expr, p: _AProc, stmt: Stmt):
+        try:
+            v = yield from self._eval(rule, p, rule=True)
+        except _RuleUnowned:
+            return False
+        except _RuleUnknown:
+            return _UNKNOWN
+        if v is _UNKNOWN:
+            return _UNKNOWN
+        return bool(v)
+
+    def _read(self, ref: ArrayRef, p: _AProc, stmt: Stmt, *, rule: bool):
+        decl, sec = yield from self._resolve(ref, p, stmt)
+        if decl is None:
+            return _UNKNOWN
+        if isinstance(decl, ArrayDecl) and decl.universal:
+            return _UNKNOWN
+        if sec is None:
+            if not rule:
+                self.flag("warning", "unresolved-read",
+                          f"cannot resolve read section of {ref.var}; "
+                          "ownership of the read is unchecked",
+                          self.loc(p, stmt), p.pid1)
+                return _UNKNOWN
+            raise _RuleUnknown()
+        if not self.iown(p.pid1, ref.var, sec):
+            if rule:
+                # §2.4: an unowned reference makes the rule false.
+                raise _RuleUnowned()
+            self.flag("error", "unowned-read",
+                      f"read of unowned section {ref.var}{sec}",
+                      self.loc(p, stmt), p.pid1)
+            return _UNKNOWN
+        if self.transitional(p.pid1, ref.var, sec):
+            if rule:
+                # Whether the message has arrived is timing-dependent: the
+                # strict engine makes the rule false, a non-strict run reads
+                # whatever was delivered.
+                self.flag("warning", "rule-reads-transitional",
+                          f"compute rule reads {ref.var}{sec} with a receive "
+                          "in flight; its value is schedule-dependent",
+                          self.loc(p, stmt), p.pid1)
+                raise _RuleUnknown()
+            self.flag("error", "stale-read",
+                      f"read of {ref.var}{sec} with a receive initiated and "
+                      "no await since", self.loc(p, stmt), p.pid1)
+        return _UNKNOWN
+
+    def _resolve(self, ref: ArrayRef, p: _AProc, stmt: Stmt):
+        """→ (decl, Section | None); (None, None) for undeclared names."""
+        decl = self.decls.get(ref.var)
+        if decl is None or isinstance(decl, ScalarDecl):
+            self.flag("error", "unknown-variable",
+                      f"{ref.var!r} is not a declared array",
+                      self.loc(p, stmt), p.pid1)
+            return None, None
+        if len(ref.subs) != decl.rank:
+            self.flag("error", "rank-mismatch",
+                      f"{ref.var} has rank {decl.rank}, reference has "
+                      f"{len(ref.subs)} subscripts", self.loc(p, stmt), p.pid1)
+            return None, None
+        dims: list[Triplet] = []
+        for sub, (lo_b, hi_b) in zip(ref.subs, decl.bounds):
+            match sub:
+                case Full():
+                    dims.append(Triplet(lo_b, hi_b, 1))
+                case Index(expr):
+                    v = yield from self._eval(expr, p, rule=False)
+                    if v is _UNKNOWN:
+                        return decl, None
+                    dims.append(Triplet(int(v), int(v), 1))
+                case Range(lo, hi, step):
+                    parts: list[int] = []
+                    for part, default in ((lo, lo_b), (hi, hi_b), (step, 1)):
+                        if part is None:
+                            parts.append(default)
+                            continue
+                        v = yield from self._eval(part, p, rule=False)
+                        if v is _UNKNOWN:
+                            return decl, None
+                        parts.append(int(v))
+                    try:
+                        dims.append(Triplet(*parts))
+                    except ValueError:
+                        self.flag("error", "empty-section",
+                                  f"empty triplet {parts[0]}:{parts[1]}:"
+                                  f"{parts[2]} in reference to {ref.var}",
+                                  self.loc(p, stmt), p.pid1)
+                        return decl, None
+        return decl, Section(tuple(dims))
+
+    def _intrinsic_ref(self, ref: ArrayRef, p: _AProc, stmt: Stmt):
+        """Resolve an intrinsic's first argument (name position)."""
+        decl, sec = yield from self._resolve(ref, p, stmt)
+        if decl is None:
+            return None
+        if isinstance(decl, ArrayDecl) and decl.universal:
+            self.flag("error", "intrinsic-universal",
+                      f"intrinsic on universal array {ref.var}: only "
+                      "exclusive variables are tabulated",
+                      self.loc(p, stmt), p.pid1)
+            return None
+        return sec
+
+    def _eval(self, e: Expr, p: _AProc, *, rule: bool):
+        match e:
+            case IntConst(v) | FloatConst(v) | BoolConst(v):
+                return v
+            case VarRef(name):
+                if name in p.scalars:
+                    return p.scalars[name]
+                if name in self.decls:   # array name used as a value
+                    self.flag("error", "unknown-variable",
+                              f"array {name!r} used without subscripts",
+                              self.loc(p), p.pid1)
+                    return _UNKNOWN
+                self.flag("error", "undefined-scalar",
+                          f"undefined scalar {name!r}", self.loc(p), p.pid1)
+                return _UNKNOWN
+            case Mypid():
+                return p.pid1
+            case NumProcs():
+                return self.nprocs
+            case MaxIntConst():
+                return MAXINT
+            case MinIntConst():
+                return MININT
+            case UnaryOp(op, operand):
+                v = yield from self._eval(operand, p, rule=rule)
+                if v is _UNKNOWN:
+                    return _UNKNOWN
+                return (not v) if op == "not" else (-v)
+            case BinOp(op, lhs, rhs):
+                return (yield from self._eval_binop(op, lhs, rhs, p, rule))
+            case ArrayRef():
+                return (yield from self._read(e, p, e_stmt(e), rule=rule))
+            case Iown(ref):
+                sec = yield from self._intrinsic_ref(ref, p, e_stmt(e))
+                if sec is None:
+                    return _UNKNOWN
+                return self.iown(p.pid1, ref.var, sec)
+            case Accessible(ref):
+                sec = yield from self._intrinsic_ref(ref, p, e_stmt(e))
+                if sec is None:
+                    return _UNKNOWN
+                if not self.iown(p.pid1, ref.var, sec):
+                    return False
+                if self.transitional(p.pid1, ref.var, sec):
+                    # Arrival timing decides; never a constant.
+                    return _UNKNOWN
+                return True
+            case Await(ref):
+                sec = yield from self._intrinsic_ref(ref, p, e_stmt(e))
+                if sec is None:
+                    return _UNKNOWN
+                if not self.iown(p.pid1, ref.var, sec):
+                    return False
+                yield _Wait(ref.var, sec, "await", self.loc(p, e_stmt(e)))
+                return True
+            case Mylb(ref, dim):
+                sec = yield from self._intrinsic_ref(ref, p, e_stmt(e))
+                d = yield from self._eval(dim, p, rule=rule)
+                if sec is None or d is _UNKNOWN:
+                    return _UNKNOWN
+                return self.mylb(p.pid1, ref.var, int(d), sec)
+            case Myub(ref, dim):
+                sec = yield from self._intrinsic_ref(ref, p, e_stmt(e))
+                d = yield from self._eval(dim, p, rule=rule)
+                if sec is None or d is _UNKNOWN:
+                    return _UNKNOWN
+                return self.myub(p.pid1, ref.var, int(d), sec)
+            case _:  # pragma: no cover - exhaustive over Expr
+                raise TypeError(f"cannot evaluate {e!r}")
+
+    def _eval_binop(self, op: str, lhs: Expr, rhs: Expr, p: _AProc, rule: bool):
+        if op in ("and", "or"):
+            l = yield from self._eval(lhs, p, rule=rule)
+            if l is not _UNKNOWN:
+                if op == "and" and not l:
+                    return False
+                if op == "or" and l:
+                    return True
+                r = yield from self._eval(rhs, p, rule=rule)
+                return r if r is _UNKNOWN else bool(r)
+            # Unknown left side: the engine may or may not evaluate the
+            # right side, so its rule-falsifying exceptions must not decide.
+            try:
+                r = yield from self._eval(rhs, p, rule=rule)
+            except (_RuleUnowned, _RuleUnknown):
+                return _UNKNOWN
+            if r is _UNKNOWN:
+                return _UNKNOWN
+            # Kleene absorption: X and False = False, X or True = True.
+            if op == "and" and not r:
+                return False
+            if op == "or" and r:
+                return True
+            return _UNKNOWN
+        l = yield from self._eval(lhs, p, rule=rule)
+        r = yield from self._eval(rhs, p, rule=rule)
+        if l is _UNKNOWN or r is _UNKNOWN:
+            return _UNKNOWN
+        match op:
+            case "+": return l + r
+            case "-": return l - r
+            case "*": return l * r
+            case "/":
+                if isinstance(l, int) and isinstance(r, int):
+                    return l // r if r != 0 else 0
+                return l / r if r != 0 else _UNKNOWN
+            case "%": return l % r if r != 0 else _UNKNOWN
+            case "==": return l == r
+            case "!=": return l != r
+            case "<": return l < r
+            case "<=": return l <= r
+            case ">": return l > r
+            case ">=": return l >= r
+            case "min": return min(l, r)
+            case "max": return max(l, r)
+        raise TypeError(f"unknown operator {op!r}")  # pragma: no cover
+
+    # -------------------------------------------------------------- #
+    # the scheduler
+    # -------------------------------------------------------------- #
+
+    def run(self) -> CommReport:
+        procs = [_AProc(pid1, None) for pid1 in range(1, self.nprocs + 1)]
+        for p in procs:
+            p.gen = self.boot(p)
+        try:
+            self._drive(procs)
+        except _Budget:
+            self.complete = False
+            self.flag("warning", "budget-exhausted",
+                      f"abstract execution exceeded {self.max_events} steps; "
+                      "verification is incomplete", "<program>")
+        else:
+            if not any(p.wait is not None and not p.doomed for p in procs):
+                self._end_of_run_checks()
+        self._mode_warnings()
+        findings = [self._findings[k] for k in self._order]
+        findings.sort(key=lambda f: f.severity != "error")  # stable: errors first
+        return CommReport(
+            nprocs=self.nprocs,
+            findings=findings,
+            events=self.events,
+            complete=self.complete,
+            waived=tuple(sorted(self.waived)),
+        )
+
+    def _drive(self, procs: list[_AProc]) -> None:
+        while True:
+            progress = False
+            for p in procs:
+                if p.done or p.doomed:
+                    continue
+                if p.wait is not None:
+                    status = self.wait_status(p, p.wait)
+                    if status == "never":
+                        self._flag_never(p, p.wait)
+                        p.doomed = True
+                        progress = True
+                        continue
+                    if status == "blocked":
+                        continue
+                    self.apply_wait(p, p.wait)
+                    p.wait = None
+                    progress = True
+                while not (p.done or p.doomed):
+                    try:
+                        w = next(p.gen)
+                    except StopIteration:
+                        p.done = True
+                        progress = True
+                        break
+                    progress = True
+                    status = self.wait_status(p, w)
+                    if status == "never":
+                        self._flag_never(p, w)
+                        p.doomed = True
+                        break
+                    if status == "blocked":
+                        p.wait = w
+                        break
+                    self.apply_wait(p, w)
+            blocked = [p for p in procs if p.wait is not None and not p.doomed]
+            if not progress:
+                if blocked:
+                    self._flag_deadlock(blocked)
+                return
+
+    def _flag_never(self, p: _AProc, w: _Wait) -> None:
+        what = {
+            "await": "await on",
+            "release": "owner send of",
+            "recv-into": "value receive into",
+        }[w.reason]
+        severity = "warning" if self.demoted(w.var) else "error"
+        self.flag(severity, "blocked-forever",
+                  f"{what} {w.var}{w.sec} can never become accessible: the "
+                  "section is not (fully) owned and no pending receive "
+                  "covers it", w.loc, p.pid1)
+
+    def _flag_deadlock(self, blocked: list[_AProc]) -> None:
+        involved: set[str] = set()
+        lines = []
+        for p in sorted(blocked, key=lambda q: q.pid1):
+            w = p.wait
+            involved.add(w.var)
+            unmatched = sorted({
+                r.tag
+                for seg, _ in self.overlapping(p.pid1, w.var, w.sec)
+                for r in seg.pending if not r.matched
+            })
+            line = f"P{p.pid1} blocked on {w.var}{w.sec} at [{w.loc}]"
+            if unmatched:
+                line += " waiting for: " + ", ".join(unmatched)
+                involved.update(t.split(" ", 1)[1].split("[", 1)[0]
+                                for t in unmatched)
+            lines.append(line)
+        n_unclaimed = sum(
+            1 for msgs in self.unclaimed.values() for m in msgs if not m.claimed
+        )
+        severity = "warning" if self.demoted(*involved) else "error"
+        code = "deadlock" if severity == "error" else "possible-deadlock"
+        self.flag(severity, code,
+                  "every remaining processor is blocked; "
+                  + "; ".join(lines)
+                  + f"; {n_unclaimed} unclaimed message(s) in flight",
+                  blocked[0].wait.loc)
+
+    def _end_of_run_checks(self) -> None:
+        # Sends nobody received.
+        for (kind, var, sec), msgs in sorted(
+            self.unclaimed.items(), key=lambda kv: (kv[0][0], kv[0][1], str(kv[0][2]))
+        ):
+            left = [m for m in msgs if not m.claimed]
+            if not left:
+                continue
+            severity = "warning" if self.demoted(var) else "error"
+            self.flag(severity, "unmatched-send",
+                      f"{len(left)} {kind} message(s) {var}{sec} never "
+                      "received", left[0].loc, left[0].src1)
+        # Receives nobody sent.
+        for (kind, var, sec), recvs in sorted(
+            self.pending.items(), key=lambda kv: (kv[0][0], kv[0][1], str(kv[0][2]))
+        ):
+            left = [r for r in recvs if not r.matched]
+            if not left:
+                continue
+            severity = "warning" if self.demoted(var) else "error"
+            self.flag(severity, "unmatched-receive",
+                      f"{len(left)} posted receive(s) of {kind} {var}{sec} "
+                      "never satisfied", left[0].loc, left[0].pid1)
+        # Two processors left owning the same element.
+        for d in self.program.array_decls():
+            if d.universal:
+                continue
+            owned = []
+            for pid1 in range(1, self.nprocs + 1):
+                for seg in self.segs(pid1, d.name):
+                    if self.settled(seg):
+                        owned.append((pid1, seg.section))
+            for (pa, sa), (pb, sb) in itertools.combinations(owned, 2):
+                if pa != pb and sa.intersect(sb) is not None:
+                    self.flag("error", "ownership-race",
+                              f"run ends with P{pa} and P{pb} both owning "
+                              f"{d.name}{sa.intersect(sb)}", "<end of run>")
+
+    def _mode_warnings(self) -> None:
+        for (kind, var, sec), modes in sorted(
+            self.tag_modes.items(), key=lambda kv: (kv[0][0], kv[0][1], str(kv[0][2]))
+        ):
+            if modes == {"directed", "pooled"}:
+                self.flag("warning", "mixed-matching",
+                          f"tag {kind} {var}{sec} mixes directed and "
+                          "unspecified-recipient sends: which receive each "
+                          "message completes is schedule-dependent",
+                          "<program>")
+
+
+def e_stmt(e: Expr) -> Stmt:
+    """Wrap an expression for location rendering."""
+    return ExprStmt(e)
+
+
+def verify_communication(
+    program: Program,
+    nprocs: int,
+    *,
+    grid: ProcessorGrid | None = None,
+    max_events: int = MAX_EVENTS,
+) -> CommReport:
+    """Statically verify the communication of a translated SPMD program.
+
+    Runs the program on an abstract machine (data erased, scalars tracked
+    per processor, the engine's FIFO tag-matching discipline preserved) and
+    returns a :class:`CommReport`.  ``report.ok`` means no errors;
+    ``report.clean`` additionally guarantees — checked differentially by
+    ``tests/test_fuzz_differential.py`` — that the strict engine runs the
+    program without protocol, ownership or deadlock errors.
+
+    The program must already be in SPMD form (the output of
+    :func:`repro.core.translate.translate`, a hand-written XDP program, or
+    a tuner-generated phased program); sequential programs read exclusive
+    data unguarded on every processor and will report unowned reads.
+    """
+    return _Machine(program, nprocs, grid, max_events).run()

@@ -68,6 +68,7 @@ def optimize(
     *,
     grid: ProcessorGrid | None = None,
     level: int = 2,
+    verify_comm: bool = False,
 ) -> PassResult:
     """The default pipeline at an optimization level.
 
@@ -75,6 +76,14 @@ def optimize(
     * level 1 — transfer elimination + compute-rule elimination + cleanup;
     * level 2 — level 1 plus message vectorization, guard hoisting, loop
       fusion, await sinking and receive hoisting (the full paper pipeline).
+
+    With ``verify_comm`` the optimized program additionally goes through
+    the static communication-safety verifier
+    (:func:`~repro.core.analysis.verify_comm.verify_communication`); its
+    report is appended to the pass reports and a
+    :class:`~repro.core.analysis.verify_comm.CommVerificationError` is
+    raised if it finds errors — the pipeline refuses to emit a program it
+    can prove will misbehave.
     """
     from .await_motion import AwaitSinking
     from .binding import DestinationBinding
@@ -103,4 +112,14 @@ def optimize(
             ReceiveHoisting(),
             Cleanup(),
         ]
-    return PassManager(passes).run(program, nprocs, grid)
+    result = PassManager(passes).run(program, nprocs, grid)
+    if verify_comm:
+        from ..analysis.verify_comm import (
+            CommVerificationError, verify_communication,
+        )
+
+        report = verify_communication(result.program, nprocs, grid=grid)
+        result.reports.extend(report.format().splitlines())
+        if not report.ok:
+            raise CommVerificationError(report)
+    return result

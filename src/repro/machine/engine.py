@@ -825,25 +825,31 @@ class Engine:
         the full unclaimed :class:`MessagePool` contents — under faults a
         deadlock is usually a dropped message, and its absence from the
         pool listing is the tell."""
-        pending_by_pid: dict[int, list[str]] = {}
+        pending_by_pid: dict[int, list[tuple[float, str]]] = {}
         for (kind, name), index in self._pending.items():
             for r in index:
-                pending_by_pid.setdefault(r.pid, []).append(
+                pending_by_pid.setdefault(r.pid, []).append((
+                    r.init_time,
                     f"{kind.value} {name} (into {r.into_var}{r.into_sec}, "
-                    f"posted t={r.init_time:.2f})"
-                )
+                    f"posted t={r.init_time:.2f})",
+                ))
+        # Sort every listing (pids, and tags by post time then text) so the
+        # report is a deterministic function of the deadlocked state and
+        # golden tests can pin it byte-for-byte.
+        for tags in pending_by_pid.values():
+            tags.sort()
         lines = ["deadlock: every live processor is blocked"]
-        for p in blocked:
+        for p in sorted(blocked, key=lambda q: q.pid):
             var, sec = p.blocked_on
             lines.append(
                 f"  P{p.pid + 1} at t={p.clock:.2f} awaiting {var}{sec} "
                 f"(state {p.ctx.symtab.state_of(var, sec).value})"
             )
-            for tag in pending_by_pid.pop(p.pid, ()):
+            for _, tag in pending_by_pid.pop(p.pid, ()):
                 lines.append(f"    pending receive: {tag}")
         for pid in sorted(pending_by_pid):
             lines.append(f"  P{pid + 1} (not blocked):")
-            for tag in pending_by_pid[pid]:
+            for _, tag in pending_by_pid[pid]:
                 lines.append(f"    pending receive: {tag}")
         n_unclaimed = sum(len(q) for q in self._unclaimed.values())
         n_pending = sum(len(q) for q in self._pending.values())

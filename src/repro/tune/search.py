@@ -29,6 +29,7 @@ from ..core.ir.parser import parse_program
 from ..core.ir.printer import print_program
 from ..distributions import Distribution, ProcessorGrid, plan_redistribution
 from ..core.analysis.layouts import build_segmentation
+from ..core.analysis.verify_comm import verify_communication
 from ..machine.model import MachineModel
 from .cost import phase_compute_cost, redistribution_cost
 from .evaluate import EvalCache, EvalResult, EvalTask, evaluate_candidates
@@ -250,6 +251,16 @@ def tune(
         if src in seen_sources:
             continue
         seen_sources.add(src)
+        # The rewriter's output must be communication-safe before we spend
+        # engine time on it; a bad candidate is a rewriter bug, not a bad
+        # score, so fail loudly instead of silently ranking it.
+        report = verify_communication(parse_program(src), nprocs)
+        if not report.ok:
+            raise TuneError(
+                "generated candidate "
+                f"{sp.realization}:{' | '.join(c.key for c in sp.layouts)} "
+                "failed communication verification:\n" + report.format()
+            )
         chosen.append((sp, src))
     if not chosen:
         raise TuneError("search produced no candidates")

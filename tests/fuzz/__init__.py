@@ -1,0 +1,1 @@
+"""Seeded random-program generation for differential verifier testing."""

@@ -322,6 +322,41 @@ class TestDeadlockDetection:
         with pytest.raises(DeadlockError, match="awaiting"):
             eng.run(prog)
 
+    def test_report_text_is_pinned(self):
+        """The deadlock diagnosis is a deterministic function of the
+        deadlocked state: pids, pending tags and the pool listing are all
+        sorted, so the full text can be pinned byte-for-byte."""
+        from repro.core.interp import run_program
+
+        src = (
+            "array A[1:4] dist (BLOCK) seg (1)\n"
+            "array B[1:4] dist (BLOCK) seg (1)\n"
+            "\n"
+            "mypid == 2 : {\n"
+            "  B[2] <- A[1]\n"
+            "  await(B[2]) : { B[2] = B[2] + 1 }\n"
+            "}\n"
+            "mypid == 3 : {\n"
+            "  B[3] <- A[1]\n"
+            "  await(B[3]) : { B[3] = B[3] + 1 }\n"
+            "}\n"
+            "mypid == 1 : { A[1] -> {4} }\n"
+        )
+        expected = (
+            "deadlock: every live processor is blocked\n"
+            "  P2 at t=26.00 awaiting B[2] (state transitional)\n"
+            "    pending receive: value A[1] (into B[2], posted t=21.00)\n"
+            "  P3 at t=27.00 awaiting B[3] (state transitional)\n"
+            "    pending receive: value A[1] (into B[3], posted t=22.00)\n"
+            "  1 unclaimed messages, 2 unmatched receives\n"
+            "  unclaimed message pool:\n"
+            "    msg#2 value A[1] P1->P4 @23.0->129.0"
+        )
+        for _ in range(2):  # identical across runs, not merely plausible
+            with pytest.raises(DeadlockError) as ei:
+                run_program(src, 4)
+            assert str(ei.value) == expected
+
     def test_strict_flags_unmatched_traffic(self):
         eng = Engine(2, MachineModel(), strict=True)
         eng.declare("A", linear_seg(2, 2))

@@ -1,0 +1,58 @@
+"""Byte-for-byte golden pins of the paper-figure listings.
+
+The figures are the repo's human-checkable artifacts: any drift in the
+symbol-table dump formats, ownership maps or the Figure-1 rule checklist
+is a visible behaviour change and must be deliberate.  To refresh after
+an intentional change::
+
+    PYTHONPATH=src python - <<'PY'
+    from repro.report import (figure1_text, figure2_table, figure3_maps,
+                              figure4_layouts)
+    import pathlib
+    g = pathlib.Path("tests/golden")
+    for name, fn in [("figure1", figure1_text), ("figure2", figure2_table),
+                     ("figure3", figure3_maps), ("figure4", figure4_layouts)]:
+        (g / f"{name}.txt").write_text(fn() + "\n")
+    PY
+"""
+
+import pathlib
+
+import pytest
+
+from repro.report import (
+    figure1_text, figure2_table, figure3_maps, figure4_layouts,
+)
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+FIGURES = {
+    "figure1": figure1_text,
+    "figure2": figure2_table,
+    "figure3": figure3_maps,
+    "figure4": figure4_layouts,
+}
+
+
+@pytest.mark.parametrize("name", sorted(FIGURES))
+def test_figure_matches_golden(name):
+    expected = (GOLDEN / f"{name}.txt").read_text()
+    assert FIGURES[name]() + "\n" == expected
+
+
+def test_figure1_reports_all_pass():
+    """Figure 1 is an executable checklist: every rule must hold."""
+    text = (GOLDEN / "figure1.txt").read_text()
+    assert "[FAIL]" not in text and text.count("[PASS]") == 11
+
+
+def test_cli_figures_all_is_the_goldens_joined(capsys):
+    from repro.cli import main
+
+    assert main(["figures", "all"]) == 0
+    out = capsys.readouterr().out
+    expected = "\n\n".join(
+        (GOLDEN / f"{n}.txt").read_text().rstrip("\n")
+        for n in ("figure1", "figure2", "figure3", "figure4")
+    )
+    assert out == expected + "\n"

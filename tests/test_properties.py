@@ -446,3 +446,137 @@ class TestDeclLayoutPlumbing:
                 for s in seg.segments(pid):
                     for t, cap in zip(s.dims, decl.segment_shape):
                         assert t.size <= cap
+
+
+# ---------------------------------------------------------------------- #
+# run-time ownership transfer: redistribution round-trips
+# ---------------------------------------------------------------------- #
+
+from repro.runtime.symtab import RuntimeSymbolTable, SegmentState
+
+
+def _iota(sec):
+    """Value of each point = its row-major position in the index space —
+    distinct everywhere, so any misrouted element is visible."""
+    return {pt: float(i) for i, pt in enumerate(sec)}
+
+
+def _fill(symtabs, name, values):
+    for st_ in symtabs:
+        for d in st_.entry(name).segdescs:
+            vals = np.array([values[pt] for pt in d.segment]).reshape(d.segment.shape)
+            st_.write(name, d.segment, vals)
+
+
+def _snapshot(symtabs, name):
+    """point -> (pid, value) over all owned segments; asserts exclusivity."""
+    out = {}
+    for st_ in symtabs:
+        for d in st_.entry(name).segdescs:
+            assert d.state is SegmentState.ACCESSIBLE
+            chunk = st_.read(name, d.segment).reshape(-1)
+            for pt, v in zip(d.segment, chunk):
+                assert pt not in out, f"{pt} owned by P{out[pt][0]} and P{st_.pid}"
+                out[pt] = (st_.pid, float(v))
+    return out
+
+
+def _execute_plan(symtabs, name, plan):
+    """Drive each move through the symtab state machine, as the engine
+    would: release (gathering values), acquire (transitional), complete."""
+    for m in plan.moves:
+        data = symtabs[m.src].release_ownership(name, m.section, with_value=True)
+        symtabs[m.dst].acquire_ownership(name, m.section)
+        symtabs[m.dst].complete_ownership_receive(name, m.section, data)
+
+
+class TestRedistributionRoundTrip:
+    @given(distributions_st(), dim_specs, st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_there_and_back_preserves_data_and_ownership(self, src, new_spec, sw):
+        """A -> B -> A through release/acquire/complete leaves every element
+        with its original owner and original value, all accessible."""
+        specs = list(src.specs)
+        for i, s in enumerate(specs):
+            if not s.collapsed:
+                specs[i] = new_spec
+                break
+        dst = Distribution(
+            src.index_space, tuple(specs), src.grid,
+            dist_grid_shape=src.dist_grid_shape,
+        )
+        shape = (sw,) * src.rank
+        seg = Segmentation(src, shape)
+        nprocs = src.grid.size
+        symtabs = [RuntimeSymbolTable(pid, strict=True) for pid in range(nprocs)]
+        for st_ in symtabs:
+            st_.declare("A", seg)
+        values = _iota(src.index_space)
+        _fill(symtabs, "A", values)
+        before = _snapshot(symtabs, "A")
+
+        _execute_plan(symtabs, "A", plan_redistribution(src, dst, segmentation=seg))
+        mid = _snapshot(symtabs, "A")
+        assert {pt: v for pt, (_, v) in mid.items()} == values
+        for pt, (pid, _) in mid.items():
+            assert pid == dst.owner(pt)
+
+        _execute_plan(symtabs, "A", plan_redistribution(dst, src))
+        after = _snapshot(symtabs, "A")
+        assert after == before
+
+
+# ---------------------------------------------------------------------- #
+# segmentation / iown consistency
+# ---------------------------------------------------------------------- #
+
+
+@st.composite
+def query_sections_st(draw, space):
+    dims = []
+    for t in space.dims:
+        lo = draw(st.integers(t.lo, t.hi))
+        hi = draw(st.integers(lo, t.hi))
+        step = draw(st.integers(1, 3))
+        dims.append(Triplet(lo, hi - (hi - lo) % step, step))
+    return Section(tuple(dims))
+
+
+class TestIownSegmentationConsistency:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_iown_matches_point_enumeration(self, data):
+        """``iown`` (the section-3.1 intersection algorithm) agrees with
+        brute-force point membership against the segmentation's segments,
+        and ``accessible`` coincides with it while nothing is in flight."""
+        dist = data.draw(distributions_st())
+        sw = data.draw(st.integers(1, 3))
+        seg = Segmentation(dist, (sw,) * dist.rank)
+        q = data.draw(query_sections_st(dist.index_space))
+        for pid in dist.grid.pids():
+            st_ = RuntimeSymbolTable(pid)
+            st_.declare("A", seg)
+            owned_pts = {pt for s in seg.segments(pid) for pt in s}
+            expected = set(q) <= owned_pts
+            assert st_.iown("A", q) is expected
+            assert st_.accessible("A", q) is expected
+            assert (st_.state_of("A", q) is SegmentState.ACCESSIBLE) is expected
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_segments_cover_iown_of_whole_partition(self, data):
+        """Each pid owns exactly its segments: iown is true on every single
+        segment and on nothing that sticks out of the partition."""
+        dist = data.draw(distributions_st())
+        sw = data.draw(st.integers(1, 3))
+        seg = Segmentation(dist, (sw,) * dist.rank)
+        for pid in dist.grid.pids():
+            st_ = RuntimeSymbolTable(pid)
+            st_.declare("A", seg)
+            for s in seg.segments(pid):
+                assert st_.iown("A", s)
+            for other in dist.grid.pids():
+                if other == pid:
+                    continue
+                for s in seg.segments(other):
+                    assert not st_.iown("A", s)
