@@ -113,11 +113,15 @@ def _execute(
     jobs_per_proc: int,
     faults: FaultModel | None,
     reliable: ReliableTransport | None,
+    backend: str | None = None,
 ) -> _Run:
     captured: dict[str, Engine] = {}
 
-    def factory(n: int, model: MachineModel) -> Engine:
-        eng = Engine(n, model, seed=seed, faults=faults, reliable=reliable)
+    def factory(n: int, model: MachineModel, **kw) -> Engine:
+        eng = Engine(
+            n, model, seed=seed, faults=faults, reliable=reliable,
+            backend=backend, **kw,
+        )
         captured["engine"] = eng
         return eng
 
@@ -173,6 +177,7 @@ def run_chaos(
     jobs_per_proc: int = 8,
     schedules: list[tuple[str, FaultModel]] | None = None,
     include_crash: bool = False,
+    backend: str | None = None,
 ) -> dict:
     """Run the battery; return a JSON-serializable report (``ok`` key).
 
@@ -180,7 +185,8 @@ def run_chaos(
     schedule through the reliable transport — asserting result-digest
     equality with the baseline — and the first schedule twice, asserting
     bit-identical fingerprints (determinism).  With ``include_crash``,
-    also demonstrates the degraded path.
+    also demonstrates the degraded path.  ``backend`` runs the whole
+    battery on the chosen transport binding (default: engine default).
     """
     sched = schedules if schedules is not None else default_schedules()
     cases: list[dict] = []
@@ -191,12 +197,12 @@ def run_chaos(
         for nprocs in nprocs_list:
             base = _execute(
                 program, nprocs, seed=seed, jobs_per_proc=jobs_per_proc,
-                faults=None, reliable=None,
+                faults=None, reliable=None, backend=backend,
             )
             for name, fm in sched:
                 faulty = _execute(
                     program, nprocs, seed=seed, jobs_per_proc=jobs_per_proc,
-                    faults=fm, reliable=CHAOS_TRANSPORT,
+                    faults=fm, reliable=CHAOS_TRANSPORT, backend=backend,
                 )
                 case_ok = faulty.digest == base.digest
                 ok = ok and case_ok
@@ -218,7 +224,7 @@ def run_chaos(
             name, fm = sched[0]
             again = _execute(
                 program, nprocs, seed=seed, jobs_per_proc=jobs_per_proc,
-                faults=fm, reliable=CHAOS_TRANSPORT,
+                faults=fm, reliable=CHAOS_TRANSPORT, backend=backend,
             )
             first = next(
                 c for c in cases
@@ -227,7 +233,7 @@ def run_chaos(
             )
             replay = _execute(
                 program, nprocs, seed=seed, jobs_per_proc=jobs_per_proc,
-                faults=fm, reliable=CHAOS_TRANSPORT,
+                faults=fm, reliable=CHAOS_TRANSPORT, backend=backend,
             )
             det_ok = again.fingerprint == replay.fingerprint and (
                 again.stats.makespan == first["makespan"]
@@ -242,13 +248,15 @@ def run_chaos(
             if include_crash:
                 degraded.append(
                     _demonstrate_crash(
-                        program, nprocs, seed=seed, jobs_per_proc=jobs_per_proc
+                        program, nprocs, seed=seed,
+                        jobs_per_proc=jobs_per_proc, backend=backend,
                     )
                 )
                 ok = ok and degraded[-1]["ok"]
     return {
         "seed": seed,
         "jobs_per_proc": jobs_per_proc,
+        "backend": backend,
         "ok": ok,
         "cases": cases,
         "determinism": determinism,
@@ -257,14 +265,15 @@ def run_chaos(
 
 
 def _demonstrate_crash(
-    program: str, nprocs: int, *, seed: int, jobs_per_proc: int
+    program: str, nprocs: int, *, seed: int, jobs_per_proc: int,
+    backend: str | None = None,
 ) -> dict:
     """A crash schedule must surface as DegradedRunError, not a hang."""
     fm = crash_schedule(nprocs)
     try:
         _execute(
             program, nprocs, seed=seed, jobs_per_proc=jobs_per_proc,
-            faults=fm, reliable=CHAOS_TRANSPORT,
+            faults=fm, reliable=CHAOS_TRANSPORT, backend=backend,
         )
     except DegradedRunError as exc:
         return {

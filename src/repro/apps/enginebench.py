@@ -36,16 +36,18 @@ import time
 from collections import deque
 from dataclasses import asdict, dataclass
 
-from ..core.errors import BudgetExhaustedError, OwnershipError
+from ..core.errors import BudgetExhaustedError
 from ..core.sections import section
 from ..distributions import Block, Distribution, ProcessorGrid, Segmentation
 from ..machine.effects import Compute, RecvInit, Send, WaitAccessible
-from ..machine.engine import HEADER_BYTES, Engine, ProcessorContext
+from ..machine.engine import Engine, ProcessorContext, _Proc
 from ..machine.faults import FaultModel
-from ..machine.message import Message, MessageName, TransferKind
+from ..machine.message import MessageName, TransferKind
 from ..machine.model import MachineModel
 from ..machine.reliable import ReliableTransport
 from ..machine.stats import RunStats
+from ..machine.transport.base import PendingRecv
+from ..machine.transport.msg import MessagePassingTransport
 from .workqueue import make_job_costs, run_workqueue
 
 __all__ = [
@@ -62,22 +64,111 @@ __all__ = [
 BENCH_MODEL = MachineModel(o_send=1.0, o_recv=1.0, alpha=10.0, per_byte=0.0)
 
 
+class _SeedReferenceTransport(MessagePassingTransport):
+    """The seed engine's matching path: linear per-key deque scans.
+
+    Replaces the indexed :class:`~repro.machine.message.MessagePool` /
+    :class:`~repro.machine.transport.base.RecvIndex` structures with the
+    original flat deques and O(n) scans, behind the same
+    :class:`Transport` interface.
+    """
+
+    def reset(self) -> None:
+        self._unclaimed = {}
+        self._pending = {}
+
+    def route(self, msg) -> None:
+        key = (msg.kind, msg.name)
+        queue = self._pending.get(key)
+        if queue:
+            for i, recv in enumerate(queue):
+                if msg.dst is None or msg.dst == recv.pid:
+                    del queue[i]
+                    self._match(msg, recv)
+                    return
+        self._unclaimed.setdefault(key, deque()).append(msg)
+
+    def recv_init(self, proc, eff) -> None:
+        core = self.core
+        st = proc.ctx.symtab
+        proc.clock += core.model.o_recv
+        proc.stats.recv_overhead += core.model.o_recv
+        into_var, into_sec = eff.destination()
+        name = MessageName(eff.var, eff.sec)
+        if eff.kind is TransferKind.VALUE:
+            st.begin_value_receive(into_var, into_sec)
+        else:
+            st.acquire_ownership(into_var, into_sec, transitional=True)
+        recv = PendingRecv(
+            seq=next(core._seq),
+            pid=proc.pid,
+            init_time=proc.clock,
+            kind=eff.kind,
+            name=name,
+            into_var=into_var,
+            into_sec=into_sec,
+        )
+        core._emit(proc.clock, proc.pid, "recv-init", f"{eff.kind.value} {name}")
+        key = (eff.kind, name)
+        pool = self._unclaimed.get(key)
+        if pool:
+            for i, msg in enumerate(pool):
+                if msg.dst is None or msg.dst == proc.pid:
+                    del pool[i]
+                    self._match(msg, recv)
+                    return
+        self._pending.setdefault(key, deque()).append(recv)
+
+    def on_crash(self, proc) -> None:  # pragma: no cover - bench runs faultless
+        for key, queue in list(self._pending.items()):
+            self._pending[key] = deque(r for r in queue if r.pid != proc.pid)
+
+    def unclaimed_count(self) -> int:
+        return sum(len(q) for q in self._unclaimed.values())
+
+    def unmatched_count(self) -> int:
+        return sum(len(q) for q in self._pending.values())
+
+    def pending_by_pid(self):  # pragma: no cover - diagnostics only
+        out: dict[int, list[tuple[float, str]]] = {}
+        for (kind, name), queue in self._pending.items():
+            for r in queue:
+                out.setdefault(r.pid, []).append((
+                    r.init_time,
+                    f"{kind.value} {name} (into {r.into_var}{r.into_sec}, "
+                    f"posted t={r.init_time:.2f})",
+                ))
+        return out
+
+    def unclaimed_listing(self):  # pragma: no cover - diagnostics only
+        for _, pool in sorted(
+            self._unclaimed.items(), key=lambda kv: (kv[0][0].value, str(kv[0][1]))
+        ):
+            for m in sorted(pool, key=lambda m: m.seq):
+                yield str(m)
+
+
 class SeedReferenceEngine(Engine):
     """The seed engine's hot path, kept as a live perf baseline.
 
     Reproduces the pre-rewrite behavior exactly: every scheduling step
     rescans all processors for the min-clock runnable one, and message
-    matching scans per-key deques linearly.  Virtual-time semantics are
+    matching scans per-key deques linearly
+    (:class:`_SeedReferenceTransport`).  Virtual-time semantics are
     identical to :class:`~repro.machine.engine.Engine`; only the
     algorithmic complexity differs.  Do not use outside benchmarking.
     """
+
+    def __init__(self, nprocs, model=None, **kw):
+        kw.setdefault("transport", _SeedReferenceTransport())
+        super().__init__(nprocs, model, **kw)
 
     def run(self, program) -> RunStats:
         self._reset_run_state()
         procs = []
         for pid in range(self.nprocs):
             ctx = ProcessorContext(pid, self.symtabs[pid], self.nprocs)
-            procs.append(self._make_proc(pid, ctx, program(ctx)))
+            procs.append(_Proc(pid, ctx, program(ctx)))
         self._procs = procs
 
         budget = self.max_effects
@@ -101,111 +192,24 @@ class SeedReferenceEngine(Engine):
 
         return self._collect_stats(procs)
 
-    @staticmethod
-    def _make_proc(pid, ctx, gen):
-        from ..machine.engine import _Proc
-
-        return _Proc(pid, ctx, gen)
-
-    def _route(self, msg) -> None:
-        key = (msg.kind, msg.name)
-        queue = self._pending.get(key)
-        if queue:
-            for i, recv in enumerate(queue):
-                if msg.dst is None or msg.dst == recv.pid:
-                    del queue[i]
-                    self._match(msg, recv)
-                    return
-        self._unclaimed.setdefault(key, deque()).append(msg)
-
-    def _do_recv_init(self, proc, eff) -> None:
-        from ..machine.engine import _PendingRecv
-        from ..machine.message import MessageName
-
-        st = proc.ctx.symtab
-        proc.clock += self.model.o_recv
-        proc.stats.recv_overhead += self.model.o_recv
-        into_var, into_sec = eff.destination()
-        name = MessageName(eff.var, eff.sec)
-        if eff.kind is TransferKind.VALUE:
-            st.begin_value_receive(into_var, into_sec)
-        else:
-            st.acquire_ownership(into_var, into_sec, transitional=True)
-        recv = _PendingRecv(
-            seq=next(self._seq),
-            pid=proc.pid,
-            init_time=proc.clock,
-            kind=eff.kind,
-            name=name,
-            into_var=into_var,
-            into_sec=into_sec,
-        )
-        self._emit(proc.clock, proc.pid, "recv-init", f"{eff.kind.value} {name}")
-        key = (eff.kind, name)
-        pool = self._unclaimed.get(key)
-        if pool:
-            for i, msg in enumerate(pool):
-                if msg.dst is None or msg.dst == proc.pid:
-                    del pool[i]
-                    self._match(msg, recv)
-                    return
-        self._pending.setdefault(key, deque()).append(recv)
-
     def _apply_due_completions(self, proc) -> None:
         while proc.completions and proc.completions[0].time <= proc.clock:
             c = heapq.heappop(proc.completions)
-            c.apply()
-            proc.stats.bytes_received += c.nbytes
-
-    def _report_deadlock(self, blocked) -> None:  # pragma: no cover
-        # The indexed report iterates _RecvIndex objects; adapt for deques.
-        from ..core.errors import DeadlockError
-
-        raise DeadlockError("deadlock (seed reference engine)")
+            self._apply_completion(proc, c)
 
 
 class _PreFaultSendEngine(Engine):
-    """The send path exactly as it was before the fault layer existed.
+    """Baseline for :func:`measure_faults_overhead`.
 
-    Used only by :func:`measure_faults_overhead` to price the fault
-    hook: the one branch the fault-free hot path gained is the
-    ``self.faults is None`` test at the tail of ``_do_send``.  This
-    subclass restores the unconditional ``_route`` so the two can be
-    timed against each other on the same machine at the same moment.
+    Since the scheduler/transport split, fault injection is *middleware*:
+    an unwrapped transport's injection seam goes straight to routing, so
+    the fault-free hot path carries no fault branch at all and the
+    pre-fault baseline is the production engine itself.  The separate
+    name is kept so recorded bench entries stay comparable across
+    refactors (and the measured ``overhead_disabled_pct`` now documents
+    that the hook's fault-free cost is zero by construction, modulo
+    timer noise).
     """
-
-    def _do_send(self, proc, eff) -> None:
-        st = proc.ctx.symtab
-        name = MessageName(eff.var, eff.sec)
-        if eff.kind is TransferKind.VALUE:
-            if not st.iown(eff.var, eff.sec):
-                raise OwnershipError(
-                    f"P{proc.pid + 1} sends unowned section {name}"
-                )
-            payload = st.read(eff.var, eff.sec)
-        else:
-            payload = st.release_ownership(
-                eff.var, eff.sec, with_value=eff.kind is TransferKind.OWN_VALUE
-            )
-        dests = eff.dests if eff.dests is not None else (None,)
-        for dst in dests:
-            proc.clock += self.model.o_send
-            proc.stats.send_overhead += self.model.o_send
-            nbytes = HEADER_BYTES + (0 if payload is None else payload.nbytes)
-            msg = Message(
-                seq=next(self._seq),
-                kind=eff.kind,
-                name=name,
-                payload=None if payload is None else payload.copy(),
-                src=proc.pid,
-                dst=dst,
-                send_time=proc.clock,
-                arrive_time=proc.clock + self.model.message_cost(nbytes),
-            )
-            proc.stats.msgs_sent += 1
-            proc.stats.bytes_sent += nbytes
-            self._emit(proc.clock, proc.pid, "send", str(msg))
-            self._route(msg)
 
 
 def measure_faults_overhead(
@@ -300,6 +304,7 @@ def run_fft_pipeline(
     consume_cost: float = 5.0,
     model: MachineModel | None = None,
     engine_cls: type[Engine] = Engine,
+    backend: str | None = None,
 ) -> RunStats:
     """Pipelined all-to-all transpose modeled on the section-4 FFT stage 2.
 
@@ -311,7 +316,12 @@ def run_fft_pipeline(
     front (initiation/completion split, paper section 2.5) so transfer
     latency overlaps the remaining compute — the stage-2 pipelining.
     """
-    engine = engine_cls(nprocs, model if model is not None else BENCH_MODEL)
+    # Only forward ``backend`` when set, so factory callables without a
+    # ``backend`` parameter keep working.
+    engine_kw = {} if backend is None else {"backend": backend}
+    engine = engine_cls(
+        nprocs, model if model is not None else BENCH_MODEL, **engine_kw
+    )
     extent = nprocs * nprocs
     engine.declare("A", _linear_seg(extent, nprocs))
     engine.declare("B", _linear_seg(extent, nprocs))

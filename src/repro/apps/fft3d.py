@@ -300,6 +300,8 @@ class FFTResult:
     nprocs: int
     stats: RunStats
     correct: bool
+    #: Final global contents of ``A`` (for cross-backend digest checks).
+    result: np.ndarray | None = None
 
     @property
     def makespan(self) -> float:
@@ -318,6 +320,7 @@ def run_fft3d(
     model: MachineModel | None = None,
     path: str = "vm",
     seed: int = 7,
+    backend: str | None = None,
 ) -> FFTResult:
     """Run one stage end-to-end and validate against ``numpy.fft.fftn``."""
     src = fft3d_source(n, nprocs, stage)
@@ -325,9 +328,9 @@ def run_fft3d(
     rng = np.random.default_rng(seed)
     a0 = rng.standard_normal((n, n, n)) + 1j * rng.standard_normal((n, n, n))
     if path == "vm":
-        runner = lower(program, nprocs, model=model)
+        runner = lower(program, nprocs, model=model, backend=backend)
     elif path == "interp":
-        runner = Interpreter(program, nprocs, model=model)
+        runner = Interpreter(program, nprocs, model=model, backend=backend)
     else:
         raise ValueError(f"unknown path {path!r}")
     runner.write_global("A", a0)
@@ -340,4 +343,5 @@ def run_fft3d(
         nprocs=nprocs,
         stats=stats,
         correct=bool(np.allclose(got, want, atol=1e-9 * n**3)),
+        result=got,
     )

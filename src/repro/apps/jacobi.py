@@ -166,6 +166,8 @@ class JacobiResult:
     sweeps: int
     stats: RunStats
     correct: bool
+    #: Final global contents of ``A`` (for cross-backend digest checks).
+    result: np.ndarray | None = None
 
     @property
     def makespan(self) -> float:
@@ -194,15 +196,16 @@ def run_jacobi(
     model: MachineModel | None = None,
     path: str = "vm",
     seed: int = 11,
+    backend: str | None = None,
 ) -> JacobiResult:
     """Run one variant end-to-end and validate against the numpy sweep."""
     program = jacobi_source(n, nprocs, sweeps, variant)
     rng = np.random.default_rng(seed)
     a0 = rng.standard_normal(n)
     if path == "vm":
-        runner = lower(program, nprocs, model=model)
+        runner = lower(program, nprocs, model=model, backend=backend)
     else:
-        runner = Interpreter(program, nprocs, model=model)
+        runner = Interpreter(program, nprocs, model=model, backend=backend)
     runner.write_global("A", a0)
     runner.write_global("B", np.zeros(n))
     stats = runner.run()
@@ -215,4 +218,5 @@ def run_jacobi(
         sweeps=sweeps,
         stats=stats,
         correct=bool(np.allclose(got, want)),
+        result=got,
     )

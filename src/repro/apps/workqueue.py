@@ -136,12 +136,15 @@ def run_workqueue(
     costs: np.ndarray | None = None,
     model: MachineModel | None = None,
     engine_cls: type[Engine] = Engine,
+    backend: str | None = None,
 ) -> WorkQueueResult:
     """Run ``njobs`` jobs on ``nprocs - 1`` workers plus one master.
 
     ``scheme="dynamic"`` is the paper's pool; ``scheme="static"`` deals the
     same jobs round-robin in advance (each worker knows its fixed job ids).
-    ``engine_cls`` lets the bench harness substitute a reference engine.
+    ``engine_cls`` lets the bench harness substitute a reference engine;
+    ``backend`` picks the transport binding (only forwarded when set, so
+    factory callables without a ``backend`` parameter keep working).
     """
     if nprocs < 2:
         raise ValueError("need at least one master and one worker")
@@ -150,7 +153,10 @@ def run_workqueue(
     job_costs = costs if costs is not None else make_job_costs(njobs)
     if len(job_costs) != njobs:
         raise ValueError("costs length must equal njobs")
-    engine = engine_cls(nprocs, model if model is not None else MachineModel())
+    engine_kw = {} if backend is None else {"backend": backend}
+    engine = engine_cls(
+        nprocs, model if model is not None else MachineModel(), **engine_kw
+    )
     _declare(engine, nprocs)
     claimed: dict[int, int] = {p: 0 for p in range(1, nprocs)}
 

@@ -8,9 +8,14 @@ Commands
     sequential program to SPMD form, run the optimizer, and print the
     resulting program with the per-pass report.
 
-``run FILE``
+``run FILE`` / ``run --app APP``
     Execute a program on the simulated machine and print the run summary
-    (optionally final array values and the event trace).
+    (optionally final array values and the event trace).  With ``--app``
+    (``jacobi``, ``fft3d`` or ``workqueue``) a shipped application is run
+    end-to-end instead and a sha256 digest of its result array is
+    printed — the same program run with ``--backend msg`` and
+    ``--backend shmem`` must print the same digest (result
+    transparency, paper section 5).
 
 ``check FILE|APP``
     Statically verify communication safety (tag/cardinality mismatches,
@@ -43,6 +48,7 @@ Examples
 
     python -m repro compile examples/simple.xdp --nprocs 4 -O2
     python -m repro run examples/simple.xdp --nprocs 4 --show A
+    python -m repro run --app jacobi --backend shmem --nprocs 4
     python -m repro check examples/simple.xdp --nprocs 4
     python -m repro check jacobi fft3d workqueue
     python -m repro figures all
@@ -71,6 +77,7 @@ from .core.ir.visitor import walk_stmts
 from .core.opt import optimize
 from .core.translate import translate
 from .machine.model import MachineModel
+from .machine.transport import BACKENDS, default_backend
 
 __all__ = ["main"]
 
@@ -109,7 +116,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         print(f"// translated ({args.strategy}) for {args.nprocs} processors")
     try:
         result = optimize(program, args.nprocs, level=args.opt_level,
-                          verify_comm=args.verify_comm)
+                          verify_comm=args.verify_comm,
+                          backend=args.backend or default_backend())
     except CommVerificationError as exc:
         print(exc.report.format(), file=sys.stderr)
         return 1
@@ -120,17 +128,72 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_app(args: argparse.Namespace) -> int:
+    """``repro run --app APP``: run a shipped app, print a result digest."""
+    import hashlib
+
+    nprocs = args.nprocs
+    model = _MODELS[args.model]()
+    if args.app == "jacobi":
+        from .apps.jacobi import run_jacobi
+
+        r = run_jacobi(4 * nprocs, nprocs, 3, "halo-overlap",
+                       model=model, path=args.path, backend=args.backend)
+        label, ok, arr = f"jacobi/halo-overlap n={4 * nprocs}", r.correct, r.result
+        stats = r.stats
+    elif args.app == "fft3d":
+        from .apps.fft3d import run_fft3d
+
+        r = run_fft3d(nprocs, nprocs, 2, model=model, path=args.path,
+                      backend=args.backend)
+        label, ok, arr = f"fft3d/stage2 n={nprocs}", r.correct, r.result
+        stats = r.stats
+    elif args.app == "workqueue":
+        # The static-IL rendition of the section-2.7 pool: its round-robin
+        # deal makes the final ACC array independent of transport timing.
+        from .apps.workqueue import workqueue_source
+
+        njobs = 4 * (nprocs - 1)
+        program = parse_program(workqueue_source(njobs, nprocs))
+        runner = lower(program, nprocs, model=model, backend=args.backend)
+        stats = runner.run()
+        arr = runner.read_global("ACC")
+        want = [0.0] * nprocs
+        for j in range(1, njobs + 1):
+            want[(j - 1) % (nprocs - 1) + 1] += float(j)
+        ok = arr.tolist() == want
+        label = f"workqueue njobs={njobs}"
+    else:  # pragma: no cover - argparse choices guard this
+        raise SystemExit(f"unknown app {args.app!r}")
+    digest = hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()
+    backend = args.backend or default_backend()
+    print(
+        f"{label} P={nprocs} backend={backend}: correct={ok} "
+        f"makespan={stats.makespan:.1f} messages={stats.total_messages}"
+    )
+    print(f"result sha256: {digest}")
+    return 0 if ok else 1
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.app:
+        if args.file:
+            raise SystemExit("give either FILE or --app, not both")
+        return _run_app(args)
+    if not args.file:
+        raise SystemExit("need a FILE to run (or --app)")
     program = _load(args.file)
     verify_program(program)
     if _is_sequential(program):
         program = translate(program, args.nprocs, strategy=args.strategy)
+    backend = args.backend or default_backend()
     if args.opt_level > 0:
-        program = optimize(program, args.nprocs, level=args.opt_level).program
+        program = optimize(program, args.nprocs, level=args.opt_level,
+                           backend=backend).program
     if args.verify_comm:
         from .core.analysis import verify_communication
 
-        report = verify_communication(program, args.nprocs)
+        report = verify_communication(program, args.nprocs, backend=backend)
         print(report.format())
         if not report.ok:
             return 1
@@ -138,9 +201,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     trace = args.trace or bool(args.trace_json)
     if args.path == "vm":
         runner = lower(program, args.nprocs, model=model,
-                       binding=args.binding, trace=trace)
+                       binding=args.binding, trace=trace,
+                       backend=args.backend)
     else:
-        runner = Interpreter(program, args.nprocs, model=model, trace=trace)
+        runner = Interpreter(program, args.nprocs, model=model, trace=trace,
+                             backend=args.backend)
     for spec in args.init or ():
         name, _, kind = spec.partition("=")
         decl = program.decl(name)
@@ -204,6 +269,7 @@ def _check_targets(target: str, nprocs: int) -> list[tuple[str, object]]:
 def _cmd_check(args: argparse.Namespace) -> int:
     from .core.analysis import verify_communication
 
+    backend = args.backend or default_backend()
     failed = False
     for target in args.targets:
         for label, program in _check_targets(target, args.nprocs):
@@ -215,10 +281,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
                                     strategy=args.strategy)
             if args.opt_level > 0:
                 program = optimize(program, args.nprocs,
-                                   level=args.opt_level).program
+                                   level=args.opt_level,
+                                   backend=backend).program
             report = verify_communication(program, args.nprocs,
-                                          max_events=args.max_events)
-            print(f"== {label} (P={args.nprocs})")
+                                          max_events=args.max_events,
+                                          backend=backend)
+            print(f"== {label} (P={args.nprocs}, backend={backend})")
             print(report.format())
             failed = failed or not report.ok
     return 1 if failed else 0
@@ -244,6 +312,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         realizations=tuple(args.realizations.split(",")),
         parallel=not args.serial,
         seed=args.seed,
+        backend=args.backend or default_backend(),
     )
     print(f"tuning {what} at P={args.nprocs} ({args.model} model)")
     print(res.summary())
@@ -304,7 +373,8 @@ def _cmd_fft(args: argparse.Namespace) -> int:
         print(fft3d_source(args.n, args.nprocs, args.stage))
         return 0
     model = _MODELS[args.model]()
-    r = run_fft3d(args.n, args.nprocs, args.stage, model=model, path=args.path)
+    r = run_fft3d(args.n, args.nprocs, args.stage, model=model,
+                  path=args.path, backend=args.backend)
     print(
         f"3-D FFT n={args.n} P={args.nprocs} stage={args.stage}: "
         f"correct={r.correct} makespan={r.makespan:.1f} "
@@ -345,6 +415,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs_per_proc=args.jobs_per_proc,
         include_crash=args.crash,
+        backend=args.backend,
     )
     print(format_chaos(report))
     if args.json:
@@ -361,12 +432,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def backend_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--backend", default=None, choices=BACKENDS,
+                       help="transport binding for transfer operations: "
+                            "msg = message passing, shmem = shared-address "
+                            "prefetch/poststore (default: $REPRO_BACKEND "
+                            "or msg)")
+
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--nprocs", type=int, default=4)
         p.add_argument("-O", "--opt-level", type=int, default=2,
                        choices=(0, 1, 2))
         p.add_argument("--strategy", default="owner-computes",
                        choices=("owner-computes", "migrate"))
+        backend_arg(p)
 
     c = sub.add_parser("compile", help="translate/optimize and print a program")
     c.add_argument("file")
@@ -394,11 +473,17 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("owner-computes", "migrate"))
     k.add_argument("--max-events", type=int, default=200_000,
                    help="abstract execution step budget")
+    backend_arg(k)
     k.set_defaults(fn=_cmd_check)
 
     r = sub.add_parser("run", help="execute a program on the simulated machine")
-    r.add_argument("file")
+    r.add_argument("file", nargs="?",
+                   help="IL+XDP program (omit when using --app)")
     common(r)
+    r.add_argument("--app", choices=("jacobi", "fft3d", "workqueue"),
+                   help="run a shipped application instead of FILE and "
+                        "print a sha256 digest of its result array "
+                        "(identical across --backend choices)")
     r.add_argument("--verify-comm", action="store_true",
                    help="statically verify communication safety before "
                         "running; exit 1 on errors")
@@ -440,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the winning generated program")
     u.add_argument("--json", metavar="FILE",
                    help="write the tuning report as JSON")
+    backend_arg(u)
     u.set_defaults(fn=_cmd_tune)
 
     f = sub.add_parser("figures", help="regenerate the paper's figures")
@@ -454,6 +540,7 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--model", default="default", choices=sorted(_MODELS))
     t.add_argument("--path", default="vm", choices=("vm", "interp"))
     t.add_argument("--print-source", action="store_true")
+    backend_arg(t)
     t.set_defaults(fn=_cmd_fft)
 
     b = sub.add_parser("bench", help="run the engine scaling benchmark")
@@ -485,6 +572,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also demonstrate fail-stop degraded runs")
     x.add_argument("--json", metavar="FILE",
                    help="also write the full report as JSON")
+    backend_arg(x)
     x.set_defaults(fn=_cmd_chaos)
 
     return parser

@@ -282,11 +282,22 @@ def _head(stmt: Stmt, limit: int = 64) -> str:
 
 
 class _Machine:
-    def __init__(self, program: Program, nprocs: int, grid, max_events: int):
+    def __init__(
+        self, program: Program, nprocs: int, grid, max_events: int,
+        backend: str = "msg",
+    ):
         self.program = program
         self.nprocs = nprocs
         self.grid = grid if grid is not None else ProcessorGrid((nprocs,))
         self.max_events = max_events
+        # Obligation vocabulary of the section-5 binding target.  The
+        # rendezvous relation verified is identical on both backends (that
+        # is what makes programs result-transparent); only how an
+        # undischarged obligation manifests differs: on msg it is an
+        # unreceived message / unsatisfied receive, on shmem a store that
+        # is never fenced / a fence no store reaches.
+        self.backend = backend
+        self.shmem = backend == "shmem"
         self.events = 0
         self.complete = True
         self.seq = itertools.count(1)
@@ -1050,9 +1061,10 @@ class _Machine:
             "recv-into": "value receive into",
         }[w.reason]
         severity = "warning" if self.demoted(w.var) else "error"
+        pending = "pending prefetch fence" if self.shmem else "pending receive"
         self.flag(severity, "blocked-forever",
                   f"{what} {w.var}{w.sec} can never become accessible: the "
-                  "section is not (fully) owned and no pending receive "
+                  f"section is not (fully) owned and no {pending} "
                   "covers it", w.loc, p.pid1)
 
     def _flag_deadlock(self, blocked: list[_AProc]) -> None:
@@ -1077,10 +1089,13 @@ class _Machine:
         )
         severity = "warning" if self.demoted(*involved) else "error"
         code = "deadlock" if severity == "error" else "possible-deadlock"
+        in_flight = (
+            "unfenced store(s)" if self.shmem else "unclaimed message(s)"
+        )
         self.flag(severity, code,
                   "every remaining processor is blocked; "
                   + "; ".join(lines)
-                  + f"; {n_unclaimed} unclaimed message(s) in flight",
+                  + f"; {n_unclaimed} {in_flight} in flight",
                   blocked[0].wait.loc)
 
     def _end_of_run_checks(self) -> None:
@@ -1092,9 +1107,14 @@ class _Machine:
             if not left:
                 continue
             severity = "warning" if self.demoted(var) else "error"
+            if self.shmem:
+                text = (f"{len(left)} {kind} poststore(s) {var}{sec} never "
+                        "fenced: the stored lines are never observed")
+            else:
+                text = (f"{len(left)} {kind} message(s) {var}{sec} never "
+                        "received")
             self.flag(severity, "unmatched-send",
-                      f"{len(left)} {kind} message(s) {var}{sec} never "
-                      "received", left[0].loc, left[0].src1)
+                      text, left[0].loc, left[0].src1)
         # Receives nobody sent.
         for (kind, var, sec), recvs in sorted(
             self.pending.items(), key=lambda kv: (kv[0][0], kv[0][1], str(kv[0][2]))
@@ -1103,9 +1123,14 @@ class _Machine:
             if not left:
                 continue
             severity = "warning" if self.demoted(var) else "error"
+            if self.shmem:
+                text = (f"{len(left)} prefetch fence(s) on {kind} {var}{sec} "
+                        "never discharged: no store reaches the address")
+            else:
+                text = (f"{len(left)} posted receive(s) of {kind} {var}{sec} "
+                        "never satisfied")
             self.flag(severity, "unmatched-receive",
-                      f"{len(left)} posted receive(s) of {kind} {var}{sec} "
-                      "never satisfied", left[0].loc, left[0].pid1)
+                      text, left[0].loc, left[0].pid1)
         # Two processors left owning the same element.
         for d in self.program.array_decls():
             if d.universal:
@@ -1144,6 +1169,7 @@ def verify_communication(
     *,
     grid: ProcessorGrid | None = None,
     max_events: int = MAX_EVENTS,
+    backend: str = "msg",
 ) -> CommReport:
     """Statically verify the communication of a translated SPMD program.
 
@@ -1158,5 +1184,12 @@ def verify_communication(
     :func:`repro.core.translate.translate`, a hand-written XDP program, or
     a tuner-generated phased program); sequential programs read exclusive
     data unguarded on every processor and will report unowned reads.
+
+    ``backend`` names the section-5 binding target (``"msg"`` or
+    ``"shmem"``).  The rendezvous relation checked is identical — that is
+    the delayed-binding guarantee — but on the shared-address target the
+    obligations are phrased as *fences*: an unmatched send is a poststore
+    whose lines are never fenced, an unmatched receive is a prefetch
+    fence no store discharges.
     """
-    return _Machine(program, nprocs, grid, max_events).run()
+    return _Machine(program, nprocs, grid, max_events, backend).run()

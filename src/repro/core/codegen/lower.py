@@ -181,6 +181,7 @@ class CompiledProgram:
         binding: str = "nonblocking",
         strict: bool = False,
         trace: bool = False,
+        backend: str | None = None,
     ):
         if binding not in ("nonblocking", "blocking"):
             raise CompilationError(f"unknown communication binding {binding!r}")
@@ -190,7 +191,9 @@ class CompiledProgram:
         self.model = model if model is not None else MachineModel()
         self.kernels = kernels if kernels is not None else default_registry()
         self.binding = binding
-        self.engine = Engine(nprocs, self.model, strict=strict, trace=trace)
+        self.engine = Engine(
+            nprocs, self.model, strict=strict, trace=trace, backend=backend
+        )
         self.segmentations = build_layouts(program, self.grid)
         for d in program.array_decls():
             if not d.universal:

@@ -119,6 +119,7 @@ class Interpreter:
         kernels: KernelRegistry | None = None,
         strict: bool = False,
         trace: bool = False,
+        backend: str | None = None,
     ):
         self.program = program
         self.grid = grid if grid is not None else ProcessorGrid((nprocs,))
@@ -131,7 +132,9 @@ class Interpreter:
         self.kernels = kernels if kernels is not None else default_registry()
         self.strict = strict
         self.trace = trace
-        self.engine = Engine(nprocs, self.model, strict=strict, trace=trace)
+        self.engine = Engine(
+            nprocs, self.model, strict=strict, trace=trace, backend=backend
+        )
         self.segmentations: dict[str, Segmentation] = {}
         self._setup()
 

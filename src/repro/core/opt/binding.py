@@ -17,6 +17,18 @@ expression of the subscripts (see
 set.  Binding converts pool matching into per-destination FIFO channels —
 deterministic pairing even when a section name is reused across outer
 iterations.
+
+The annotation is *backend-polymorphic* (the section-5 delayed binding):
+on the message-passing target the owner expression is the destination
+**pid** of an explicit send; on the shared-address target the same owner
+arithmetic yields the consumer's **home address**, turning the transfer
+into a directed poststore that pushes the lines into the consumer's
+cache (an unbound store would leave them at the producer's home and make
+the consumer's fence pay the pull latency — see docs/BACKENDS.md).  The
+pass therefore takes a ``target`` parameter that only changes how the
+annotation is *reported*; the IR annotation itself (the owner
+expression) is identical, which is what lets one optimized program run
+on either backend.
 """
 
 from __future__ import annotations
@@ -36,11 +48,21 @@ __all__ = ["DestinationBinding"]
 class DestinationBinding:
     name = "destination-binding"
 
+    def __init__(self, target: str = "msg"):
+        if target not in ("msg", "shmem"):
+            raise ValueError(
+                f"unknown binding target {target!r} (choose 'msg' or 'shmem')"
+            )
+        self.target = target
+
     def run(self, program: Program, ctx: CompilerContext) -> Program:
-        return _Rewriter(ctx).rewrite_program(program)
+        return _Rewriter(ctx, self.target).rewrite_program(program)
 
 
 class _Rewriter(OrderedRewriter):
+    def __init__(self, ctx: CompilerContext, target: str = "msg"):
+        super().__init__(ctx)
+        self.target = target
     def rewrite_block(self, block: Block, loops) -> Block:
         stmts = list(block.stmts)
         for i in range(len(stmts) - 1):
@@ -67,10 +89,17 @@ class _Rewriter(OrderedRewriter):
         dest = owner_pid1_expr(decl, self.ctx.layouts[l_ref.var], l_ref)
         if dest is None:
             return None
-        self.ctx.note(
-            f"{DestinationBinding.name}: bound send of {print_ref(s_ref)} "
-            f"to owner({print_ref(l_ref)}) = {print_expr(dest)}"
-        )
+        if self.target == "shmem":
+            self.ctx.note(
+                f"{DestinationBinding.name}: bound poststore of "
+                f"{print_ref(s_ref)} toward home({print_ref(l_ref)}) = "
+                f"P{{{print_expr(dest)}}} (owner-arithmetic address)"
+            )
+        else:
+            self.ctx.note(
+                f"{DestinationBinding.name}: bound send of {print_ref(s_ref)} "
+                f"to owner({print_ref(l_ref)}) = {print_expr(dest)}"
+            )
         return Guarded(
             Iown(s_ref),
             Block((SendStmt(s_ref, XferOp.SEND_VALUE, (dest,)),)),

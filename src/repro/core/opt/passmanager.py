@@ -69,6 +69,7 @@ def optimize(
     grid: ProcessorGrid | None = None,
     level: int = 2,
     verify_comm: bool = False,
+    backend: str = "msg",
 ) -> PassResult:
     """The default pipeline at an optimization level.
 
@@ -84,6 +85,11 @@ def optimize(
     :class:`~repro.core.analysis.verify_comm.CommVerificationError` is
     raised if it finds errors — the pipeline refuses to emit a program it
     can prove will misbehave.
+
+    ``backend`` is the section-5 binding target the program will run on
+    (``"msg"`` or ``"shmem"``): it parameterizes destination binding
+    (owner pids vs. owner-arithmetic addresses) and the phrasing of the
+    communication-safety verifier's obligations.
     """
     from .await_motion import AwaitSinking
     from .binding import DestinationBinding
@@ -98,13 +104,13 @@ def optimize(
     if level <= 0:
         passes: list[Pass] = []
     elif level == 1:
-        passes = [TransferElimination(), DestinationBinding(),
+        passes = [TransferElimination(), DestinationBinding(target=backend),
                   ComputeRuleElimination(), Cleanup()]
     else:
         passes = [
             TransferElimination(),
             MessageVectorization(),
-            DestinationBinding(),
+            DestinationBinding(target=backend),
             ComputeRuleElimination(),
             GuardHoisting(),
             LoopFusion(),
@@ -118,7 +124,9 @@ def optimize(
             CommVerificationError, verify_communication,
         )
 
-        report = verify_communication(result.program, nprocs, grid=grid)
+        report = verify_communication(
+            result.program, nprocs, grid=grid, backend=backend
+        )
         result.reports.extend(report.format().splitlines())
         if not report.ok:
             raise CommVerificationError(report)

@@ -112,6 +112,19 @@ class Triplet:
         ``lcm(step_a, step_b)``.
         """
         a, b = self, other
+        if a.step == 1 and b.step == 1:
+            # Unit-stride fast path (the overwhelmingly common case on
+            # the engine hot path): interval overlap, no number theory —
+            # and no re-validation, the bounds are already canonical.
+            lo = a.lo if a.lo >= b.lo else b.lo
+            hi = a.hi if a.hi <= b.hi else b.hi
+            if lo > hi:
+                return None
+            t = object.__new__(Triplet)
+            object.__setattr__(t, "lo", lo)
+            object.__setattr__(t, "hi", hi)
+            object.__setattr__(t, "step", 1)
+            return t
         g = math.gcd(a.step, b.step)
         if (b.lo - a.lo) % g != 0:
             return None  # the two residue classes never meet

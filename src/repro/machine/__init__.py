@@ -2,7 +2,16 @@
 effects, per-processor memory, statistics, and the discrete-event engine."""
 
 from .effects import Compute, Effect, Log, RecvInit, Send, WaitAccessible
-from .engine import HEADER_BYTES, Engine, NodeProgram, ProcessorContext
+from .engine import BACKENDS, HEADER_BYTES, Engine, NodeProgram, ProcessorContext
+from .scheduler import Scheduler
+from .transport import (
+    FaultInjection,
+    MessagePassingTransport,
+    ReliableDelivery,
+    SharedAddressTransport,
+    Transport,
+    make_transport,
+)
 from ..runtime.memory import LocalMemory
 from .faults import Crash, FaultModel, FaultSpec, Stall
 from .message import Message, MessageName, MessagePool, TransferKind
@@ -21,6 +30,14 @@ __all__ = [
     "ProcessorContext",
     "NodeProgram",
     "HEADER_BYTES",
+    "BACKENDS",
+    "Scheduler",
+    "Transport",
+    "MessagePassingTransport",
+    "SharedAddressTransport",
+    "FaultInjection",
+    "ReliableDelivery",
+    "make_transport",
     "LocalMemory",
     "Crash",
     "FaultModel",

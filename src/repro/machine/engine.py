@@ -5,12 +5,12 @@ Python generator yielding :mod:`~repro.machine.effects`.  The engine:
 
 * advances per-processor virtual clocks, always resuming the runnable
   processor with the smallest clock so effects are processed in
-  nondecreasing virtual-time order (which makes message matching
-  deterministic);
-* performs sends and receives, matching them by *name* (variable +
-  section) with FIFO discipline — unspecified-recipient messages live in a
-  pool claimable by any processor, giving the section-2.7 semantics where
-  "any processor that was otherwise idle could initiate a receive";
+  nondecreasing virtual-time order (which makes matching deterministic);
+* performs sends and receives through a pluggable **transport backend**
+  (paper section 5's delayed binding): ``msg`` binds them to
+  message-passing primitives, ``shmem`` to non-blocking
+  prefetch/poststore into a global address space — see
+  docs/BACKENDS.md;
 * applies receive *completions* to the receiver's run-time symbol table as
   timestamped events, so ``accessible()`` is false exactly until the
   completion time — the initiation/completion split of paper section 2.5;
@@ -20,50 +20,32 @@ Python generator yielding :mod:`~repro.machine.effects`.  The engine:
 * detects deadlock: XDP itself does not guarantee freedom from deadlock
   (the compiler must), so the engine reports it rather than hanging.
 
-Completions may be applied to a *blocked* processor's table ahead of its
-clock while searching for its wake-up time; this is sound because only the
-owning processor reads its table and it cannot run before that time.  Data
-written "early" into a transitional section is unobservable except through
-reads of transitional state, whose value the paper already declares
-unpredictable.
+Architecture (see docs/ENGINE.md)
+---------------------------------
 
-Scheduling and matching internals (see docs/ENGINE.md)
-------------------------------------------------------
+Since the scheduler/transport split, this module only *composes* the
+engine:
 
-The hot path is designed to scale with the processor count ``P`` and the
-number of in-flight messages ``n``:
-
-* **Scheduler**: runnable processors sit in a min-heap keyed on
-  ``(clock, pid)``.  Each scheduling decision is an O(log P) pop/push
-  rather than an O(P) rescan of all processors.  The heap holds exactly
-  one entry per runnable processor (blocked/done processors are absent and
-  re-pushed on wake-up); a defensive staleness check skips any entry whose
-  recorded clock no longer matches the processor.
-* **Matching**: unclaimed messages and pending receives are indexed per
-  ``(kind, name)`` tag.  Messages split into per-destination queues plus
-  an unspecified-recipient queue (:class:`~repro.machine.message.MessagePool`);
-  pending receives keep both a global FIFO and per-processor FIFOs with
-  lazy deletion.  Both claim directions — message-finds-receive and
-  receive-finds-message — are O(1) while preserving the global
-  FIFO-by-seq discipline, because seq numbers are allocated in engine
-  order and each queue is individually seq-sorted.
-* **Completions**: when a processor resumes, all completions due at or
-  before its clock are applied in one partition-and-sort pass instead of
-  repeated heap pops; the heap is only rebuilt when some completions
-  remain in the future.
+* :class:`~repro.machine.scheduler.Scheduler` — the backend-agnostic
+  core: min-``(clock, pid)`` heap loop, completion application (one code
+  path), processor faults, quiescence/deadlock detection, stats;
+* :mod:`~repro.machine.transport` — the backends
+  (:class:`MessagePassingTransport`, :class:`SharedAddressTransport`)
+  and the fault-injection / reliable-delivery middleware that wraps
+  either one.
 
 **Multicast model**: a send with several destinations is *serialized
-injection* — the sender pays ``o_send`` per destination on its own clock
+injection* — the sender pays the per-copy occupancy on its own clock
 before each copy enters the network, so later destinations observe later
 send and arrival times (one network interface injecting copies
 back-to-back).  This is intentional and pinned by tests.
 
 **Reuse**: an :class:`Engine` may run several programs in sequence; every
-``run()`` starts from fresh message pools, trace, logs, and seq numbers —
-including after a run that *raised* (deadlock, exhausted budget, failed
-transport).  Symbol tables (declared variables, their ownership and data)
-deliberately persist across runs so programs can be chained over the same
-arrays.
+``run()`` starts from fresh transport state, trace, logs, and seq numbers
+— including after a run that *raised* (deadlock, exhausted budget, failed
+transport, degraded run).  Symbol tables (declared variables, their
+ownership and data) deliberately persist across runs so programs can be
+chained over the same arrays.
 
 **Faults** (see docs/FAULTS.md): an optional
 :class:`~repro.machine.faults.FaultModel` makes the transport lossy
@@ -78,161 +60,41 @@ run is bit-reproducible from its seed (recorded in ``RunStats.seed``).
 
 from __future__ import annotations
 
-import heapq
-import itertools
-import random
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Generator, Iterable, Iterator
-
-import numpy as np
-
-from ..core.errors import (
-    BudgetExhaustedError,
-    DeadlockError,
-    DegradedRunError,
-    OwnershipError,
-    ProtocolError,
-    TransportError,
-)
-from ..core.sections import Section
-from ..core.states import SegmentState
-from ..runtime.symtab import RuntimeSymbolTable
-from .effects import Compute, Effect, Log, RecvInit, Send, WaitAccessible
-from ..runtime.memory import LocalMemory
 from .faults import FaultModel
-from .message import Message, MessageName, MessagePool, TransferKind
 from .model import MachineModel
 from .reliable import ReliableTransport
-from .stats import ProcStats, RunStats, TraceEvent
+from .scheduler import (  # noqa: F401  (re-exported: public API + bench shims)
+    NodeProgram,
+    ProcessorContext,
+    Scheduler,
+    _Completion,
+    _Proc,
+)
+from .transport import (
+    BACKENDS,
+    FaultInjection,
+    ReliableDelivery,
+    Transport,
+    make_transport,
+)
+from .transport.base import PendingRecv as _PendingRecv  # noqa: F401 (bench shim)
+from .transport.base import RecvIndex as _RecvIndex  # noqa: F401 (bench shim)
+from .transport.msg import HEADER_BYTES  # noqa: F401  (re-export)
 
-__all__ = ["Engine", "ProcessorContext", "NodeProgram"]
-
-#: Fixed per-message header bytes (the transmitted name tag).
-HEADER_BYTES = 16
-
-# Verdicts of the per-processor fault check at scheduling time.
-_STEP, _REQUEUE, _CRASHED = "step", "requeue", "crashed"
-
-
-@dataclass
-class _PendingRecv:
-    seq: int
-    pid: int
-    init_time: float
-    kind: TransferKind
-    name: MessageName
-    into_var: str
-    into_sec: Section
-    claimed: bool = field(default=False, compare=False)
+__all__ = ["Engine", "ProcessorContext", "NodeProgram", "HEADER_BYTES", "BACKENDS"]
 
 
-class _RecvIndex:
-    """Pending receives for one ``(kind, name)`` tag, claimable two ways.
+class Engine(Scheduler):
+    """Runs one SPMD node program on ``nprocs`` simulated processors.
 
-    An arriving *unspecified-destination* message must match the earliest
-    pending receive overall; a *directed* message must match the earliest
-    pending receive posted by its destination.  Each receive therefore
-    appears in two FIFO queues — the global one and its processor's — and
-    a claim through either marks it ``claimed`` so the other queue skips
-    the husk lazily.  Both claim paths are amortized O(1).
+    ``backend`` selects the transport binding (``"msg"`` or ``"shmem"``;
+    default: the ``REPRO_BACKEND`` environment variable, else ``msg``).
+    A pre-built :class:`~repro.machine.transport.Transport` may be passed
+    instead via ``transport`` (contract tests use this to hand-assemble
+    middleware stacks).  ``faults``/``reliable`` wrap the chosen backend
+    in the corresponding middleware exactly as the monolithic engine
+    behaved: reliable delivery *replaces* the raw lossy path.
     """
-
-    __slots__ = ("fifo", "by_pid", "live")
-
-    def __init__(self) -> None:
-        self.fifo: deque[_PendingRecv] = deque()
-        self.by_pid: dict[int, deque[_PendingRecv]] = {}
-        self.live = 0
-
-    def __len__(self) -> int:
-        return self.live
-
-    def __iter__(self) -> Iterator[_PendingRecv]:
-        """Unclaimed pending receives in seq order (diagnostics only)."""
-        return (r for r in self.fifo if not r.claimed)
-
-    def add(self, recv: _PendingRecv) -> None:
-        self.fifo.append(recv)
-        self.by_pid.setdefault(recv.pid, deque()).append(recv)
-        self.live += 1
-
-    @staticmethod
-    def _pop_live(queue: deque[_PendingRecv] | None) -> _PendingRecv | None:
-        while queue:
-            recv = queue.popleft()
-            if not recv.claimed:
-                recv.claimed = True
-                return recv
-        return None
-
-    def claim_any(self) -> _PendingRecv | None:
-        """Pop the earliest unclaimed receive regardless of processor."""
-        recv = self._pop_live(self.fifo)
-        if recv is not None:
-            self.live -= 1
-        return recv
-
-    def claim_for(self, pid: int) -> _PendingRecv | None:
-        """Pop the earliest unclaimed receive posted by ``pid``."""
-        recv = self._pop_live(self.by_pid.get(pid))
-        if recv is not None:
-            self.live -= 1
-        return recv
-
-
-@dataclass
-class _Completion:
-    time: float
-    seq: int
-    apply: Callable[[], None]
-    nbytes: int
-
-    def __lt__(self, other: "_Completion") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
-
-
-class ProcessorContext:
-    """What a node program sees of its processor: pid, clock and table."""
-
-    def __init__(self, pid: int, symtab: RuntimeSymbolTable, nprocs: int):
-        self.pid = pid
-        self.symtab = symtab
-        self.nprocs = nprocs
-
-    @property
-    def mypid(self) -> int:
-        return self.pid
-
-
-NodeProgram = Callable[[ProcessorContext], Generator[Effect, object, None]]
-
-
-class _Proc:
-    __slots__ = (
-        "pid", "ctx", "gen", "clock", "blocked_on", "done", "crashed",
-        "completions", "stats", "send_value",
-    )
-
-    def __init__(self, pid: int, ctx: ProcessorContext, gen: Generator):
-        self.pid = pid
-        self.ctx = ctx
-        self.gen = gen
-        self.clock = 0.0
-        self.blocked_on: tuple[str, Section] | None = None
-        self.done = False
-        self.crashed = False
-        self.completions: list[_Completion] = []  # heap
-        self.stats = ProcStats(pid)
-        self.send_value: object = None  # value sent into the generator on resume
-
-    @property
-    def runnable(self) -> bool:
-        return not self.done and not self.crashed and self.blocked_on is None
-
-
-class Engine:
-    """Runs one SPMD node program on ``nprocs`` simulated processors."""
 
     def __init__(
         self,
@@ -245,678 +107,33 @@ class Engine:
         seed: int = 0,
         faults: FaultModel | None = None,
         reliable: ReliableTransport | None = None,
+        backend: str | None = None,
+        transport: Transport | None = None,
     ):
-        self.nprocs = nprocs
-        self.model = model if model is not None else MachineModel()
-        self.strict = strict
-        self.trace_enabled = trace
-        self.max_effects = max_effects
-        #: One seed governs every stochastic behavior of a run (fault
-        #: schedules included); the run rng is rebuilt from it each run.
-        self.seed = seed
-        self.faults = faults
-        self.reliable = reliable
-        if reliable is not None and faults is None:
-            # Reliable layer over a perfect network: inert but exercised.
-            self.faults = FaultModel.none()
-        self.symtabs = [
-            RuntimeSymbolTable(pid, LocalMemory(pid), strict=strict)
-            for pid in range(nprocs)
-        ]
-        self._reset_run_state()
-
-    def _reset_run_state(self) -> None:
-        """Fresh per-run state, so an Engine instance is safe to reuse.
-
-        A second ``run()`` must not observe the previous run's unclaimed
-        messages, pending receives, trace, or logs — nor any of its fault
-        state — even when that run raised (symbol tables persist by
-        design; see the module docstring's reuse rule).
-        """
-        self._seq = itertools.count()
-        self._unclaimed: dict[tuple[TransferKind, MessageName], MessagePool] = {}
-        self._pending: dict[tuple[TransferKind, MessageName], _RecvIndex] = {}
-        self._trace: list[TraceEvent] = []
-        self._logs: list[tuple[float, int, str]] = []
-        self._effects = 0
-        self._runq: list[tuple[float, int]] = []
-        self._rng = random.Random(self.seed)
-        self._crashed: list[int] = []
-        self._dropped = 0
-        self._duplicated = 0
-        self._retransmits = 0
-        self._acks = 0
-        self._dups_suppressed = 0
-        # Per-pid schedules of the not-yet-fired processor faults.
-        self._stall_sched: dict[int, deque] = {}
-        self._crash_sched: dict[int, float] = {}
-        if self.faults is not None:
-            for s in sorted(self.faults.stalls, key=lambda s: s.at):
-                self._stall_sched.setdefault(s.pid, deque()).append(s)
-            for c in self.faults.crashes:
-                at = self._crash_sched.get(c.pid)
-                self._crash_sched[c.pid] = c.at if at is None else min(at, c.at)
-
-    # ------------------------------------------------------------------ #
-    # public API
-    # ------------------------------------------------------------------ #
-
-    def declare(self, name: str, segmentation, *, dtype=np.float64) -> None:
-        """Declare an exclusive variable on every processor's table."""
-        for st in self.symtabs:
-            st.declare(name, segmentation, dtype=dtype)
-
-    def declare_empty(self, name: str, index_space: Section, **kw) -> None:
-        for st in self.symtabs:
-            st.declare_empty(name, index_space, **kw)
-
-    def run(self, program: NodeProgram) -> RunStats:
-        """Load ``program`` onto every processor and run to completion.
-
-        Raises :class:`DegradedRunError` — carrying the partial stats and
-        a checkpoint of surviving symbol tables — when the fault model
-        crashed any processor.  After *any* raising run the engine remains
-        reusable: the next ``run()`` starts from clean per-run state.
-        """
-        self._reset_run_state()
-        procs = []
-        for pid in range(self.nprocs):
-            ctx = ProcessorContext(pid, self.symtabs[pid], self.nprocs)
-            procs.append(_Proc(pid, ctx, program(ctx)))
-        self._procs = procs
-        try:
-            self._run_loop(procs)
-        except BaseException:
-            self._close_generators(procs)
-            raise
-        stats = self._collect_stats(procs)
-        if self._crashed:
-            self._close_generators(procs)
-            crashed = tuple(self._crashed)
-            raise DegradedRunError(
-                "degraded run: processor(s) "
-                + ", ".join(f"P{p + 1}" for p in crashed)
-                + f" fail-stopped; {self.nprocs - len(crashed)} of "
-                f"{self.nprocs} survive (partial stats and surviving "
-                "symbol-table checkpoint attached)",
-                stats=stats,
-                crashed=crashed,
-                checkpoint={
-                    p.pid: self.symtabs[p.pid] for p in procs if not p.crashed
-                },
+        if transport is None:
+            transport = make_transport(backend)
+        elif backend is not None and backend != transport.name:
+            raise ValueError(
+                f"backend={backend!r} contradicts the supplied "
+                f"{transport.name!r} transport"
             )
-        return stats
-
-    def _run_loop(self, procs: list[_Proc]) -> None:
-        # The run queue holds one (clock, pid) entry per runnable
-        # processor; heap order reproduces the min-(clock, pid) schedule
-        # of the original full-scan loop in O(log P) per step.
-        runq = self._runq = [(p.clock, p.pid) for p in procs]
-        # Already sorted (all clocks 0, pids ascending) — valid heap.
-
-        proc_faults = self.faults is not None and self.faults.has_proc_faults
-        budget = self.max_effects
-        while True:
-            proc = self._next_runnable()
-            if proc is None:
-                if all(p.done or p.crashed for p in procs):
-                    break
-                blocked = [
-                    p for p in procs if not p.crashed and p.blocked_on is not None
-                ]
-                if self._try_unblock(blocked):
-                    continue
-                # Quiescence: virtual time has passed every event that
-                # could wake the blocked processors, so any crash still
-                # scheduled for them fires now (claim-time consult).
-                if proc_faults and self._crash_stragglers(blocked):
-                    continue
-                if self._crashed:
-                    break  # survivors can make no progress: degrade
-                self._report_deadlock(blocked)
-                continue
-            if proc_faults:
-                verdict = self._apply_proc_faults(proc)
-                if verdict is not _STEP:
-                    continue  # crashed, or stalled and re-queued
-            budget -= 1
-            if budget < 0:
-                raise BudgetExhaustedError(
-                    f"effect budget ({self.max_effects}) exhausted — this is "
-                    "a resource limit, not a proven deadlock: raise "
-                    "max_effects for long programs, or suspect a runaway "
-                    "program or livelock"
-                )
-            self._effects += 1
-            self._step(proc)
-            if proc.runnable:
-                heapq.heappush(runq, (proc.clock, proc.pid))
-
-    @staticmethod
-    def _close_generators(procs: list[_Proc]) -> None:
-        """Tear down still-suspended node programs after an aborted run.
-
-        Leaving generators suspended would let them resume in a later
-        run's context (or emit GeneratorExit warnings at GC time); the
-        engine's reuse guarantee includes runs that raised.
-        """
-        for p in procs:
-            if not p.done:
-                try:
-                    p.gen.close()
-                except Exception:  # pragma: no cover - defensive
-                    pass
-
-    # ------------------------------------------------------------------ #
-    # scheduling
-    # ------------------------------------------------------------------ #
-
-    def _next_runnable(self) -> _Proc | None:
-        """Pop the runnable processor with the smallest (clock, pid)."""
-        runq = self._runq
-        procs = self._procs
-        while runq:
-            clock, pid = heapq.heappop(runq)
-            proc = procs[pid]
-            # Stale entries (processor stepped/blocked/finished since the
-            # push, or its clock moved) are discarded lazily.
-            if proc.runnable and proc.clock == clock:
-                return proc
-        return None
-
-    def _push_runnable(self, proc: _Proc) -> None:
-        heapq.heappush(self._runq, (proc.clock, proc.pid))
-
-    # ------------------------------------------------------------------ #
-    # processor faults (stalls, fail-stop crashes)
-    # ------------------------------------------------------------------ #
-
-    def _apply_proc_faults(self, proc: _Proc) -> str:
-        """Consult the fault model for ``proc`` before stepping it.
-
-        Fail-stop granularity is the effect boundary: a crash scheduled at
-        virtual time ``at`` fires the first time the processor is picked
-        with ``clock >= at``.  A stall advances the clock and *re-queues*
-        the processor instead of stepping it, so the min-(clock, pid)
-        schedule stays correct after the jump.
-        """
-        crash_at = self._crash_sched.get(proc.pid)
-        if crash_at is not None and crash_at <= proc.clock:
-            self._crash(proc)
-            return _CRASHED
-        stalls = self._stall_sched.get(proc.pid)
-        if stalls and stalls[0].at <= proc.clock:
-            stall = stalls.popleft()
-            proc.clock += stall.duration
-            proc.stats.stall_time += stall.duration
-            self._emit(
-                proc.clock, proc.pid, "stall",
-                f"+{stall.duration:.2f} (scheduled at t={stall.at:.2f})",
-            )
-            self._push_runnable(proc)
-            return _REQUEUE
-        return _STEP
-
-    def _crash(self, proc: _Proc) -> None:
-        """Fail-stop ``proc``: it never executes again, its undelivered
-        completions are lost, its pending receives are withdrawn (so a
-        dead node cannot swallow pooled messages meant for the living),
-        and its data degrades to *transitional* — unpredictable in the
-        paper's terms, which ``strict`` mode turns into
-        :class:`OwnershipError` on read."""
-        proc.crashed = True
-        proc.blocked_on = None
-        proc.completions = []
-        proc.stats.finish_time = proc.clock
-        self._crashed.append(proc.pid)
-        del self._crash_sched[proc.pid]
-        try:
-            proc.gen.close()
-        except Exception:  # pragma: no cover - defensive
-            pass
-        for entry in proc.ctx.symtab.variables():
-            for d in entry.segdescs:
-                d.state = SegmentState.TRANSITIONAL
-        for key in list(self._pending):
-            index = self._pending[key]
-            while index.claim_for(proc.pid) is not None:
-                pass
-            if not index.live:
-                del self._pending[key]
-        self._emit(proc.clock, proc.pid, "crash", f"fail-stop at t={proc.clock:.2f}")
-
-    def _crash_stragglers(self, blocked: list[_Proc]) -> bool:
-        """At quiescence, fire pending crashes of blocked processors."""
-        crashed = False
-        for proc in blocked:
-            if proc.pid in self._crash_sched:
-                self._crash(proc)
-                crashed = True
-        return crashed
-
-    # ------------------------------------------------------------------ #
-    # core stepping
-    # ------------------------------------------------------------------ #
-
-    def _step(self, proc: _Proc) -> None:
-        self._apply_due_completions(proc)
-        try:
-            effect = proc.gen.send(proc.send_value)
-        except StopIteration:
-            proc.done = True
-            proc.stats.finish_time = proc.clock
-            self._emit(proc.clock, proc.pid, "done", "")
-            return
-        proc.send_value = None
-        if isinstance(effect, Compute):
-            proc.clock += effect.cost
-            proc.stats.compute_time += effect.cost
-            proc.stats.flops += effect.flops
-            if effect.what:
-                self._emit(proc.clock, proc.pid, "compute", effect.what)
-        elif isinstance(effect, Send):
-            self._do_send(proc, effect)
-        elif isinstance(effect, RecvInit):
-            self._do_recv_init(proc, effect)
-        elif isinstance(effect, WaitAccessible):
-            self._do_wait(proc, effect)
-        elif isinstance(effect, Log):
-            self._logs.append((proc.clock, proc.pid, effect.text))
-            self._emit(proc.clock, proc.pid, "log", effect.text)
-        else:
-            raise TypeError(f"unknown effect {effect!r} from P{proc.pid + 1}")
-
-    # ------------------------------------------------------------------ #
-    # sends
-    # ------------------------------------------------------------------ #
-
-    def _do_send(self, proc: _Proc, eff: Send) -> None:
-        st = proc.ctx.symtab
-        name = MessageName(eff.var, eff.sec)
-        if eff.kind is TransferKind.VALUE:
-            # "E ->": E must be an exclusive section owned by p.  No
-            # accessibility check — XDP does not test state automatically.
-            if not st.iown(eff.var, eff.sec):
-                raise OwnershipError(
-                    f"P{proc.pid + 1} sends unowned section {name}"
-                )
-            payload: np.ndarray | None = st.read(eff.var, eff.sec)
-        else:
-            # Owner sends block until accessible; the program yields a
-            # WaitAccessible first, and release_ownership re-validates.
-            payload = st.release_ownership(
-                eff.var, eff.sec, with_value=eff.kind is TransferKind.OWN_VALUE
-            )
-
-        # Multicast is *serialized injection*: the sender's clock (and its
-        # send overhead) accumulates o_send per destination BEFORE each
-        # copy is stamped, so the i-th destination's send_time and
-        # arrive_time are o_send * i later than the first — one network
-        # interface injecting the copies back-to-back.  Pinned by
-        # tests/test_engine.py::TestValueTransfer::test_multicast_serialized_injection;
-        # do not "optimize" this into a single timestamp.
-        dests: Iterable[int | None] = eff.dests if eff.dests is not None else (None,)
-        for dst in dests:
-            proc.clock += self.model.o_send
-            proc.stats.send_overhead += self.model.o_send
-            nbytes = HEADER_BYTES + (0 if payload is None else payload.nbytes)
-            msg = Message(
-                seq=next(self._seq),
-                kind=eff.kind,
-                name=name,
-                payload=None if payload is None else payload.copy(),
-                src=proc.pid,
-                dst=dst,
-                send_time=proc.clock,
-                arrive_time=proc.clock + self.model.message_cost(nbytes),
-            )
-            proc.stats.msgs_sent += 1
-            proc.stats.bytes_sent += nbytes
-            self._emit(proc.clock, proc.pid, "send", str(msg))
-            if self.faults is None:
-                self._route(msg)
-            else:
-                self._inject_faulty(msg, nbytes)
-
-    def _inject_faulty(self, msg: Message, nbytes: int) -> None:
-        """Injection-time fault-model consult for one transmitted copy.
-
-        With a reliable transport configured, the ack/timeout/retransmit
-        exchange is played out analytically (see reliable.py): the copy
-        always reaches the pool — at the first surviving transmission's
-        arrival time — or the retransmit budget dies and a
-        :class:`TransportError` surfaces.  Without it, the raw lossy
-        transport applies: a dropped copy vanishes, a duplicated copy is
-        routed twice (the duplicate can mismatch a later receive — the
-        paper's section-2.7 'unpredictable results', which the engine
-        reports as :class:`ProtocolError`), a delayed copy arrives late.
-        """
-        spec = self.faults.spec_for(msg.name)
-        rng = self._rng
-        if self.reliable is not None:
-            outcome = self.reliable.transmit(
-                send_time=msg.send_time,
-                latency=self.model.message_cost(nbytes),
-                ack_latency=self.model.ack_cost(),
-                spec=spec,
-                rng=rng,
-            )
-            if outcome.delivery is None:
-                raise TransportError(
-                    f"transport failure: {msg} lost after {outcome.attempts} "
-                    f"transmissions (retransmit budget "
-                    f"{self.reliable.max_retries} exhausted)",
-                    name=msg.name,
-                    src=msg.src,
-                    dst=msg.dst,
-                    attempts=outcome.attempts,
-                )
-            self._retransmits += outcome.retransmits
-            self._dups_suppressed += len(outcome.duplicates)
-            if outcome.acked_at is not None:
-                self._acks += 1
-            if outcome.retransmits:
-                self._emit(
-                    outcome.delivery, msg.src, "retransmit",
-                    f"{msg} delivered on attempt {outcome.attempts}",
-                )
-            for dup_at in outcome.duplicates:
-                self._emit(dup_at, msg.src, "dup-suppressed", str(msg))
-            msg.arrive_time = outcome.delivery
-            msg.attempt = outcome.attempts
-            self._route(msg)
-            return
-        # Raw lossy transport: faults reach the program.
-        if spec.drop and rng.random() < spec.drop:
-            self._dropped += 1
-            self._emit(msg.send_time, msg.src, "drop", str(msg))
-            return
-        if spec.delay and rng.random() < spec.delay:
-            msg.arrive_time += rng.random() * spec.max_jitter
-        self._route(msg)
-        if spec.duplicate and rng.random() < spec.duplicate:
-            dup = Message(
-                seq=next(self._seq),
-                kind=msg.kind,
-                name=msg.name,
-                payload=None if msg.payload is None else msg.payload.copy(),
-                src=msg.src,
-                dst=msg.dst,
-                send_time=msg.send_time,
-                arrive_time=msg.arrive_time,
-                attempt=1,
-            )
-            if spec.delay and rng.random() < spec.delay:
-                dup.arrive_time = msg.send_time + (
-                    self.model.message_cost(nbytes) + rng.random() * spec.max_jitter
-                )
-            self._duplicated += 1
-            self._emit(dup.send_time, dup.src, "dup", str(dup))
-            self._route(dup)
-
-    def _route(self, msg: Message) -> None:
-        key = (msg.kind, msg.name)
-        index = self._pending.get(key)
-        if index is not None:
-            recv = (
-                index.claim_any() if msg.dst is None
-                else index.claim_for(msg.dst)
-            )
-            if recv is not None:
-                if not index.live:
-                    del self._pending[key]
-                self._match(msg, recv)
-                return
-        pool = self._unclaimed.get(key)
-        if pool is None:
-            pool = self._unclaimed[key] = MessagePool()
-        pool.add(msg)
-
-    # ------------------------------------------------------------------ #
-    # receives
-    # ------------------------------------------------------------------ #
-
-    def _do_recv_init(self, proc: _Proc, eff: RecvInit) -> None:
-        st = proc.ctx.symtab
-        proc.clock += self.model.o_recv
-        proc.stats.recv_overhead += self.model.o_recv
-        into_var, into_sec = eff.destination()
-        name = MessageName(eff.var, eff.sec)
-        if eff.kind is TransferKind.VALUE:
-            st.begin_value_receive(into_var, into_sec)
-        else:
-            st.acquire_ownership(into_var, into_sec, transitional=True)
-        recv = _PendingRecv(
-            seq=next(self._seq),
-            pid=proc.pid,
-            init_time=proc.clock,
-            kind=eff.kind,
-            name=name,
-            into_var=into_var,
-            into_sec=into_sec,
+        if reliable is not None:
+            transport = ReliableDelivery(transport, reliable)
+        elif faults is not None:
+            transport = FaultInjection(transport, faults)
+        super().__init__(
+            nprocs,
+            model,
+            transport=transport,
+            strict=strict,
+            trace=trace,
+            max_effects=max_effects,
+            seed=seed,
+            faults=faults,
+            reliable=reliable,
         )
-        self._emit(proc.clock, proc.pid, "recv-init", f"{eff.kind.value} {name}")
-        key = (eff.kind, name)
-        pool = self._unclaimed.get(key)
-        if pool is not None:
-            msg = pool.claim_for(proc.pid)
-            if msg is not None:
-                if not pool.live:
-                    del self._unclaimed[key]
-                self._match(msg, recv)
-                return
-        index = self._pending.get(key)
-        if index is None:
-            index = self._pending[key] = _RecvIndex()
-        index.add(recv)
 
-    def _match(self, msg: Message, recv: _PendingRecv) -> None:
-        ctime = max(recv.init_time, msg.arrive_time)
-        receiver = self._procs[recv.pid]
-        st = receiver.ctx.symtab
-        msg.claimed = True
-        if msg.kind is TransferKind.VALUE:
-            expected = recv.into_sec.size
-            got = 0 if msg.payload is None else msg.payload.size
-            if got != expected:
-                raise ProtocolError(
-                    f"section mismatch: message {msg.name} carries {got} "
-                    f"elements, receive destination {recv.into_var}{recv.into_sec} "
-                    f"has {expected} (paper section 2.7: results unpredictable)"
-                )
-
-            def apply(msg=msg, recv=recv):
-                st.complete_value_receive(recv.into_var, recv.into_sec, msg.payload)
-        else:
-
-            def apply(msg=msg, recv=recv):
-                st.complete_ownership_receive(recv.into_var, recv.into_sec, msg.payload)
-
-        heapq.heappush(
-            receiver.completions,
-            _Completion(ctime, next(self._seq), apply, msg.nbytes),
-        )
-        receiver.stats.msgs_received += 1
-        self._emit(ctime, recv.pid, "recv-done", f"{msg.kind.value} {msg.name}")
-        # A blocked receiver may now have its wake-up event: unblock it
-        # eagerly so it re-enters scheduling at its correct wake time.
-        if receiver.blocked_on is not None:
-            self._try_unblock([receiver])
-
-    # ------------------------------------------------------------------ #
-    # waiting and completions
-    # ------------------------------------------------------------------ #
-
-    def _apply_due_completions(self, proc: _Proc) -> None:
-        """Apply every completion due at or before the processor's clock.
-
-        Batched: one partition pass splits due from future completions,
-        the due ones are applied in (time, seq) order, and the heap is
-        rebuilt only if future completions remain — instead of one
-        O(log n) sift per applied completion.
-        """
-        comps = proc.completions
-        if not comps or comps[0].time > proc.clock:
-            return
-        clock = proc.clock
-        due: list[_Completion] = []
-        later: list[_Completion] = []
-        for c in comps:
-            (due if c.time <= clock else later).append(c)
-        due.sort()
-        for c in due:
-            c.apply()
-            proc.stats.bytes_received += c.nbytes
-        if later:
-            heapq.heapify(later)
-        proc.completions = later
-
-    def _do_wait(self, proc: _Proc, eff: WaitAccessible) -> None:
-        st = proc.ctx.symtab
-        self._apply_due_completions(proc)
-        if st.accessible(eff.var, eff.sec):
-            proc.send_value = True
-            return
-        # Drain future completions until the section becomes accessible.
-        t0 = proc.clock
-        while proc.completions:
-            c = heapq.heappop(proc.completions)
-            c.apply()
-            proc.stats.bytes_received += c.nbytes
-            if st.accessible(eff.var, eff.sec):
-                proc.clock = max(proc.clock, c.time)
-                proc.stats.idle_time += proc.clock - t0
-                proc.send_value = True
-                self._emit(proc.clock, proc.pid, "awake", f"{eff.var}{eff.sec}")
-                return
-        # Nothing scheduled can wake us: block until a new match appears.
-        proc.blocked_on = (eff.var, eff.sec)
-        self._emit(proc.clock, proc.pid, "block", f"{eff.var}{eff.sec}")
-
-    def _try_unblock(self, blocked: list[_Proc]) -> bool:
-        """Re-examine blocked processors after state changed; True if any woke.
-
-        A woken processor is re-queued in the scheduler heap (blocked
-        processors have no run-queue entry).
-        """
-        woke = False
-        for proc in blocked:
-            var, sec = proc.blocked_on
-            st = proc.ctx.symtab
-            t0 = proc.clock
-            while proc.completions:
-                c = heapq.heappop(proc.completions)
-                c.apply()
-                proc.stats.bytes_received += c.nbytes
-                if st.accessible(var, sec):
-                    proc.clock = max(proc.clock, c.time)
-                    proc.stats.idle_time += proc.clock - t0
-                    proc.blocked_on = None
-                    proc.send_value = True
-                    self._emit(proc.clock, proc.pid, "awake", f"{var}{sec}")
-                    self._push_runnable(proc)
-                    woke = True
-                    break
-        return woke
-
-    def _report_deadlock(self, blocked: list[_Proc]) -> None:
-        """Raise a :class:`DeadlockError` whose text alone diagnoses the
-        cycle: per-pid awaited sections *and* pending-receive tags, plus
-        the full unclaimed :class:`MessagePool` contents — under faults a
-        deadlock is usually a dropped message, and its absence from the
-        pool listing is the tell."""
-        pending_by_pid: dict[int, list[tuple[float, str]]] = {}
-        for (kind, name), index in self._pending.items():
-            for r in index:
-                pending_by_pid.setdefault(r.pid, []).append((
-                    r.init_time,
-                    f"{kind.value} {name} (into {r.into_var}{r.into_sec}, "
-                    f"posted t={r.init_time:.2f})",
-                ))
-        # Sort every listing (pids, and tags by post time then text) so the
-        # report is a deterministic function of the deadlocked state and
-        # golden tests can pin it byte-for-byte.
-        for tags in pending_by_pid.values():
-            tags.sort()
-        lines = ["deadlock: every live processor is blocked"]
-        for p in sorted(blocked, key=lambda q: q.pid):
-            var, sec = p.blocked_on
-            lines.append(
-                f"  P{p.pid + 1} at t={p.clock:.2f} awaiting {var}{sec} "
-                f"(state {p.ctx.symtab.state_of(var, sec).value})"
-            )
-            for _, tag in pending_by_pid.pop(p.pid, ()):
-                lines.append(f"    pending receive: {tag}")
-        for pid in sorted(pending_by_pid):
-            lines.append(f"  P{pid + 1} (not blocked):")
-            for _, tag in pending_by_pid[pid]:
-                lines.append(f"    pending receive: {tag}")
-        n_unclaimed = sum(len(q) for q in self._unclaimed.values())
-        n_pending = sum(len(q) for q in self._pending.values())
-        lines.append(
-            f"  {n_unclaimed} unclaimed messages, {n_pending} unmatched receives"
-        )
-        if n_unclaimed:
-            lines.append("  unclaimed message pool:")
-            for _, pool in sorted(
-                self._unclaimed.items(), key=lambda kv: (kv[0][0].value, str(kv[0][1]))
-            ):
-                for m in pool:
-                    lines.append(f"    {m}")
-        if self._dropped:
-            lines.append(
-                f"  note: the fault model dropped {self._dropped} message(s) "
-                "this run (raw transport, no reliable layer)"
-            )
-        raise DeadlockError("\n".join(lines))
-
-    # ------------------------------------------------------------------ #
-    # bookkeeping
-    # ------------------------------------------------------------------ #
-
-    def _emit(self, time: float, pid: int, kind: str, detail: str) -> None:
-        if self.trace_enabled:
-            self._trace.append(TraceEvent(time, pid, kind, detail))
-
-    def _collect_stats(self, procs: list[_Proc]) -> RunStats:
-        # Apply any leftover completions (non-blocking receives the program
-        # never awaited) so final data is as-delivered.  A crashed
-        # processor's queued completions are lost with it.
-        for p in procs:
-            if p.crashed:
-                p.completions = []
-                continue
-            while p.completions:
-                c = heapq.heappop(p.completions)
-                c.apply()
-                p.stats.bytes_received += c.nbytes
-                p.stats.finish_time = max(p.stats.finish_time, c.time)
-        stats = RunStats(
-            procs=[p.stats for p in procs],
-            makespan=max((p.stats.finish_time for p in procs), default=0.0),
-            total_messages=sum(p.stats.msgs_sent for p in procs),
-            total_bytes=sum(p.stats.bytes_sent for p in procs),
-            unclaimed_messages=sum(len(q) for q in self._unclaimed.values()),
-            unmatched_receives=sum(len(q) for q in self._pending.values()),
-            effects_processed=self._effects,
-            seed=self.seed,
-            msgs_dropped=self._dropped,
-            msgs_duplicated=self._duplicated,
-            retransmits=self._retransmits,
-            acks=self._acks,
-            dups_suppressed=self._dups_suppressed,
-            crashed=tuple(self._crashed),
-            logs=self._logs,
-            trace=self._trace,
-        )
-        # A degraded run reports through DegradedRunError; unmatched
-        # traffic is then expected, not a protocol violation.
-        if self.strict and not self._crashed and (
-            stats.unclaimed_messages or stats.unmatched_receives
-        ):
-            raise ProtocolError(
-                f"program ended with {stats.unclaimed_messages} unclaimed "
-                f"messages and {stats.unmatched_receives} unmatched receives "
-                "(the compiler must generate matching sends and receives)"
-            )
-        return stats
+    @property
+    def backend(self) -> str:
+        """Name of the transport backend this engine is bound to."""
+        return self.transport.name

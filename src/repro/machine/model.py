@@ -42,10 +42,46 @@ class MachineModel:
     elem_bytes: int = 8
     #: Size of a reliable-layer acknowledgement (header-only return leg).
     ack_bytes: int = 16
+    # -- shared-address binding constants (the paper's KSR1-style target;
+    # used only by the shmem transport backend, see docs/BACKENDS.md) --
+    #: Cache-line / transfer-unit granularity of the global address space.
+    line_bytes: int = 64
+    #: Processor occupancy of issuing one poststore (the store instruction
+    #: itself; the memory system moves the lines asynchronously).
+    o_post: float = 2.0
+    #: Processor occupancy of issuing one prefetch.
+    o_prefetch: float = 2.0
+    #: Per-line injection occupancy of a poststore (the store buffer
+    #: drains one line at a time through the processor's port).
+    line_issue: float = 0.25
+    #: Remote-memory round-trip latency (one line, uncontended).
+    mem_latency: float = 60.0
 
     def message_cost(self, nbytes: int) -> float:
         """Departure-to-arrival delay of one message."""
         return self.alpha + nbytes * self.per_byte
+
+    # -- shared-address costs ------------------------------------------- #
+
+    def lines(self, nbytes: int) -> int:
+        """Transfer units occupied by ``nbytes`` (min. 1: the name/fence
+        token itself occupies a line even for a pure ownership transfer)."""
+        return max(1, -(-nbytes // self.line_bytes))
+
+    def post_occupancy(self, nbytes: int) -> float:
+        """Sender-side occupancy of one poststore: issue plus store-buffer
+        drain, line by line."""
+        return self.o_post + self.line_issue * self.lines(nbytes)
+
+    def store_cost(self, nbytes: int) -> float:
+        """Delay from poststore issue until the lines are resident at the
+        consumer (directed poststore) or at home (undirected store)."""
+        return self.mem_latency + nbytes * self.per_byte
+
+    def pull_cost(self, nbytes: int) -> float:
+        """Extra delay a fence pays when the producer did *not* poststore
+        toward this consumer: the lines must be pulled from their home."""
+        return self.mem_latency + nbytes * self.per_byte
 
     def elems_cost(self, nelems: int) -> float:
         """Wire delay of ``nelems`` array elements."""

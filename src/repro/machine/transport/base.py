@@ -1,0 +1,350 @@
+"""The ``Transport`` protocol and the shared tag-rendezvous machinery.
+
+A transport is the engine's binding of XDP transfer effects to concrete
+communication primitives (paper section 5).  The scheduler core calls
+``send`` / ``recv_init`` / ``on_crash`` / ``reset`` and asks for
+diagnostics; the transport calls back
+:meth:`~repro.machine.scheduler.Scheduler.complete` once a transfer's
+completion time is bound.  Injection of each transmitted copy goes
+through ``self.injector.inject(msg, nbytes)`` so middleware (fault
+injection, reliable delivery) can interpose on any backend.
+
+:class:`TagTransport` implements the rendezvous relation both shipped
+backends share — FIFO-by-seq matching per ``(kind, name)`` tag, with
+directed traffic split per destination and undirected traffic claimable
+by anyone — and leaves the *binding* to subclasses: wire size, occupancy
+and transit costs, completion-time rule, and trace vocabulary.  Keeping
+the relation identical across backends is what guarantees result
+transparency (same final arrays, different timings); see docs/BACKENDS.md.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from ...core.errors import OwnershipError
+from ...core.sections import Section
+from ..effects import RecvInit, Send
+from ..message import Message, MessageName, MessagePool, TransferKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scheduler import Scheduler, _Proc
+
+__all__ = ["PendingRecv", "RecvIndex", "TagTransport", "Transport"]
+
+
+@dataclass
+class PendingRecv:
+    """One posted receive (msg backend) or prefetch fence (shmem backend)."""
+
+    seq: int
+    pid: int
+    init_time: float
+    kind: TransferKind
+    name: MessageName
+    into_var: str
+    into_sec: Section
+    claimed: bool = field(default=False, compare=False)
+
+
+class RecvIndex:
+    """Pending receives for one ``(kind, name)`` tag, claimable two ways.
+
+    An arriving *unspecified-destination* message must match the earliest
+    pending receive overall; a *directed* message must match the earliest
+    pending receive posted by its destination.  Each receive therefore
+    appears in two FIFO queues — the global one and its processor's — and
+    a claim through either marks it ``claimed`` so the other queue skips
+    the husk lazily.  Both claim paths are amortized O(1).
+    """
+
+    __slots__ = ("fifo", "by_pid", "live")
+
+    def __init__(self) -> None:
+        self.fifo: deque[PendingRecv] = deque()
+        self.by_pid: dict[int, deque[PendingRecv]] = {}
+        self.live = 0
+
+    def __len__(self) -> int:
+        return self.live
+
+    def __iter__(self) -> Iterator[PendingRecv]:
+        """Unclaimed pending receives in seq order (diagnostics only)."""
+        return (r for r in self.fifo if not r.claimed)
+
+    def add(self, recv: PendingRecv) -> None:
+        self.fifo.append(recv)
+        self.by_pid.setdefault(recv.pid, deque()).append(recv)
+        self.live += 1
+
+    @staticmethod
+    def _pop_live(queue: deque[PendingRecv] | None) -> PendingRecv | None:
+        while queue:
+            recv = queue.popleft()
+            if not recv.claimed:
+                recv.claimed = True
+                return recv
+        return None
+
+    def claim_any(self) -> PendingRecv | None:
+        """Pop the earliest unclaimed receive regardless of processor."""
+        recv = self._pop_live(self.fifo)
+        if recv is not None:
+            self.live -= 1
+        return recv
+
+    def claim_for(self, pid: int) -> PendingRecv | None:
+        """Pop the earliest unclaimed receive posted by ``pid``."""
+        recv = self._pop_live(self.by_pid.get(pid))
+        if recv is not None:
+            self.live -= 1
+        return recv
+
+
+class Transport:
+    """Interface between the scheduler core and a communication backend.
+
+    Subclasses (or middleware) must provide the traffic operations; the
+    class attributes name the backend's primitives in traces and
+    diagnostics.  ``injector`` is the entry point of the middleware chain
+    for each transmitted copy — it is ``self`` for a bare transport and
+    the outermost middleware once wrapped.
+    """
+
+    #: Backend name as used by ``--backend`` and ``RunStats`` consumers.
+    name = "?"
+    #: Trace-event vocabulary (msg: send/recv-init/recv-done).
+    send_event = "send"
+    recv_event = "recv-init"
+    completion_event = "recv-done"
+    #: Deadlock-report vocabulary.
+    pending_label = "pending receive"
+    pool_header = "unclaimed message pool:"
+
+    def __init__(self) -> None:
+        self.core: "Scheduler | None" = None
+        self.injector: "Transport" = self
+
+    def bind(self, core: "Scheduler") -> None:
+        """Attach to the scheduler core (seq numbers, rng, model, emit)."""
+        self.core = core
+
+    # -- per-run lifecycle --------------------------------------------- #
+
+    def reset(self) -> None:
+        """Drop all transport-private per-run state (pools, fences)."""
+        raise NotImplementedError
+
+    # -- traffic -------------------------------------------------------- #
+
+    def send(self, proc: "_Proc", eff: Send) -> None:
+        raise NotImplementedError
+
+    def recv_init(self, proc: "_Proc", eff: RecvInit) -> None:
+        raise NotImplementedError
+
+    def inject(self, msg: Message, nbytes: int) -> None:
+        """Put one transmitted copy on the network (middleware seam)."""
+        self.route(msg)
+
+    def route(self, msg: Message) -> None:
+        """Deliver one arrived copy: match a pending receive or queue it."""
+        raise NotImplementedError
+
+    def transit(self, nbytes: int) -> float:
+        """Departure-to-arrival delay of one copy (used by middleware)."""
+        raise NotImplementedError
+
+    def on_crash(self, proc: "_Proc") -> None:
+        """Withdraw the crashed processor's pending obligations."""
+        raise NotImplementedError
+
+    # -- diagnostics ---------------------------------------------------- #
+
+    def unclaimed_count(self) -> int:
+        raise NotImplementedError
+
+    def unmatched_count(self) -> int:
+        raise NotImplementedError
+
+    def pending_by_pid(self) -> dict[int, list[tuple[float, str]]]:
+        raise NotImplementedError
+
+    def unclaimed_listing(self) -> Iterator[str]:
+        raise NotImplementedError
+
+
+class TagTransport(Transport):
+    """Shared rendezvous machinery: FIFO-by-seq matching per tag.
+
+    Subclasses bind the costs and vocabulary:
+
+    * :meth:`wire_bytes` — bytes one copy occupies on the wire;
+    * :meth:`send_occupancy` / :meth:`recv_occupancy` — processor
+      overhead charged at initiation;
+    * :meth:`transit` — departure-to-arrival delay;
+    * :meth:`completion_time` — when the matched pair completes.
+    """
+
+    def reset(self) -> None:
+        self._unclaimed: dict[tuple[TransferKind, MessageName], MessagePool] = {}
+        self._pending: dict[tuple[TransferKind, MessageName], RecvIndex] = {}
+
+    # -- binding hooks -------------------------------------------------- #
+
+    def wire_bytes(self, payload: np.ndarray | None) -> int:
+        raise NotImplementedError
+
+    def send_occupancy(self, nbytes: int) -> float:
+        raise NotImplementedError
+
+    def recv_occupancy(self) -> float:
+        raise NotImplementedError
+
+    def completion_time(self, msg: Message, recv: PendingRecv) -> float:
+        return max(recv.init_time, msg.arrive_time)
+
+    # -- traffic -------------------------------------------------------- #
+
+    def send(self, proc: "_Proc", eff: Send) -> None:
+        core = self.core
+        st = proc.ctx.symtab
+        name = MessageName(eff.var, eff.sec)
+        if eff.kind is TransferKind.VALUE:
+            # "E ->": E must be an exclusive section owned by p.  No
+            # accessibility check — XDP does not test state automatically.
+            if not st.iown(eff.var, eff.sec):
+                raise OwnershipError(
+                    f"P{proc.pid + 1} sends unowned section {name}"
+                )
+            payload: np.ndarray | None = st.read(eff.var, eff.sec)
+        else:
+            # Owner sends block until accessible; the program yields a
+            # WaitAccessible first, and release_ownership re-validates.
+            payload = st.release_ownership(
+                eff.var, eff.sec, with_value=eff.kind is TransferKind.OWN_VALUE
+            )
+
+        # Multicast is *serialized injection*: the sender's clock (and its
+        # send overhead) accumulates the per-copy occupancy BEFORE each
+        # copy is stamped, so the i-th destination's send_time and
+        # arrive_time are one occupancy later than the (i-1)-th — one
+        # network interface (or store buffer) injecting the copies
+        # back-to-back.  Pinned by
+        # tests/test_engine.py::TestValueTransfer::test_multicast_serialized_injection;
+        # do not "optimize" this into a single timestamp.
+        dests = eff.dests if eff.dests is not None else (None,)
+        for dst in dests:
+            nbytes = self.wire_bytes(payload)
+            occupancy = self.send_occupancy(nbytes)
+            proc.clock += occupancy
+            proc.stats.send_overhead += occupancy
+            msg = Message(
+                seq=next(core._seq),
+                kind=eff.kind,
+                name=name,
+                payload=None if payload is None else payload.copy(),
+                src=proc.pid,
+                dst=dst,
+                send_time=proc.clock,
+                arrive_time=proc.clock + self.transit(nbytes),
+            )
+            proc.stats.msgs_sent += 1
+            proc.stats.bytes_sent += nbytes
+            core._emit(proc.clock, proc.pid, self.send_event, str(msg))
+            self.injector.inject(msg, nbytes)
+
+    def recv_init(self, proc: "_Proc", eff: RecvInit) -> None:
+        core = self.core
+        st = proc.ctx.symtab
+        occupancy = self.recv_occupancy()
+        proc.clock += occupancy
+        proc.stats.recv_overhead += occupancy
+        into_var, into_sec = eff.destination()
+        name = MessageName(eff.var, eff.sec)
+        if eff.kind is TransferKind.VALUE:
+            st.begin_value_receive(into_var, into_sec)
+        else:
+            st.acquire_ownership(into_var, into_sec, transitional=True)
+        recv = PendingRecv(
+            seq=next(core._seq),
+            pid=proc.pid,
+            init_time=proc.clock,
+            kind=eff.kind,
+            name=name,
+            into_var=into_var,
+            into_sec=into_sec,
+        )
+        core._emit(proc.clock, proc.pid, self.recv_event, f"{eff.kind.value} {name}")
+        key = (eff.kind, name)
+        pool = self._unclaimed.get(key)
+        if pool is not None:
+            msg = pool.claim_for(proc.pid)
+            if msg is not None:
+                if not pool.live:
+                    del self._unclaimed[key]
+                self._match(msg, recv)
+                return
+        index = self._pending.get(key)
+        if index is None:
+            index = self._pending[key] = RecvIndex()
+        index.add(recv)
+
+    def route(self, msg: Message) -> None:
+        key = (msg.kind, msg.name)
+        index = self._pending.get(key)
+        if index is not None:
+            recv = (
+                index.claim_any() if msg.dst is None
+                else index.claim_for(msg.dst)
+            )
+            if recv is not None:
+                if not index.live:
+                    del self._pending[key]
+                self._match(msg, recv)
+                return
+        pool = self._unclaimed.get(key)
+        if pool is None:
+            pool = self._unclaimed[key] = MessagePool()
+        pool.add(msg)
+
+    def _match(self, msg: Message, recv: PendingRecv) -> None:
+        self.core.complete(msg, recv, self.completion_time(msg, recv))
+
+    def on_crash(self, proc: "_Proc") -> None:
+        for key in list(self._pending):
+            index = self._pending[key]
+            while index.claim_for(proc.pid) is not None:
+                pass
+            if not index.live:
+                del self._pending[key]
+
+    # -- diagnostics ---------------------------------------------------- #
+
+    def unclaimed_count(self) -> int:
+        return sum(len(q) for q in self._unclaimed.values())
+
+    def unmatched_count(self) -> int:
+        return sum(len(q) for q in self._pending.values())
+
+    def pending_by_pid(self) -> dict[int, list[tuple[float, str]]]:
+        out: dict[int, list[tuple[float, str]]] = {}
+        for (kind, name), index in self._pending.items():
+            for r in index:
+                out.setdefault(r.pid, []).append((
+                    r.init_time,
+                    f"{kind.value} {name} (into {r.into_var}{r.into_sec}, "
+                    f"posted t={r.init_time:.2f})",
+                ))
+        return out
+
+    def unclaimed_listing(self) -> Iterator[str]:
+        for _, pool in sorted(
+            self._unclaimed.items(), key=lambda kv: (kv[0][0].value, str(kv[0][1]))
+        ):
+            for m in pool:
+                yield str(m)

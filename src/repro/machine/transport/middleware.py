@@ -1,0 +1,211 @@
+"""Transport middleware: fault injection and reliable delivery.
+
+Both were originally welded into the engine's send path; they are now
+decorators over any base transport.  A middleware interposes on the
+per-copy injection seam — the base transport stamps each transmitted
+copy and hands it to ``self.injector.inject(msg, nbytes)``, which is the
+*outermost* middleware of the stack; each layer transforms the copy and
+passes it inward until the base transport's ``inject`` routes it.
+
+Determinism: every stochastic decision draws from the scheduler core's
+single per-run ``random.Random(seed)`` in exactly the order of the
+original engine code (drop → jitter → route → duplicate → dup-jitter on
+the raw path; the analytic reliable exchange otherwise), so seeded runs
+remain bit-identical with pre-refactor behavior.  See docs/FAULTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ...core.errors import TransportError
+from ..faults import FaultModel
+from ..message import Message
+from ..reliable import ReliableTransport
+from .base import Transport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..effects import RecvInit, Send
+    from ..scheduler import Scheduler, _Proc
+
+__all__ = ["FaultInjection", "ReliableDelivery", "TransportMiddleware"]
+
+
+class TransportMiddleware(Transport):
+    """Delegating wrapper around an inner transport.
+
+    Wrapping re-points the *base* transport's ``injector`` at the new
+    outermost layer, so copies always enter the stack from the outside;
+    middleware layers pass them inward via ``self.inner.inject``.
+    """
+
+    def __init__(self, inner: Transport):
+        super().__init__()
+        self.inner = inner
+        base = inner
+        while isinstance(base, TransportMiddleware):
+            base = base.inner
+        self.base = base
+        base.injector = self
+
+    # -- vocabulary follows the wrapped backend -------------------------- #
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.inner.name
+
+    @property
+    def send_event(self) -> str:  # type: ignore[override]
+        return self.inner.send_event
+
+    @property
+    def recv_event(self) -> str:  # type: ignore[override]
+        return self.inner.recv_event
+
+    @property
+    def completion_event(self) -> str:  # type: ignore[override]
+        return self.inner.completion_event
+
+    @property
+    def pending_label(self) -> str:  # type: ignore[override]
+        return self.inner.pending_label
+
+    @property
+    def pool_header(self) -> str:  # type: ignore[override]
+        return self.inner.pool_header
+
+    # -- delegation ------------------------------------------------------ #
+
+    def bind(self, core: "Scheduler") -> None:
+        self.core = core
+        self.inner.bind(core)
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    def send(self, proc: "_Proc", eff: "Send") -> None:
+        self.inner.send(proc, eff)
+
+    def recv_init(self, proc: "_Proc", eff: "RecvInit") -> None:
+        self.inner.recv_init(proc, eff)
+
+    def inject(self, msg: Message, nbytes: int) -> None:
+        self.inner.inject(msg, nbytes)
+
+    def route(self, msg: Message) -> None:
+        self.inner.route(msg)
+
+    def transit(self, nbytes: int) -> float:
+        return self.inner.transit(nbytes)
+
+    def on_crash(self, proc: "_Proc") -> None:
+        self.inner.on_crash(proc)
+
+    def unclaimed_count(self) -> int:
+        return self.inner.unclaimed_count()
+
+    def unmatched_count(self) -> int:
+        return self.inner.unmatched_count()
+
+    def pending_by_pid(self) -> dict[int, list[tuple[float, str]]]:
+        return self.inner.pending_by_pid()
+
+    def unclaimed_listing(self) -> Iterator[str]:
+        return self.inner.unclaimed_listing()
+
+
+class FaultInjection(TransportMiddleware):
+    """Raw lossy network: faults reach the program.
+
+    Injection-time fault-model consult for one transmitted copy: a
+    dropped copy vanishes, a duplicated copy is routed twice (the
+    duplicate can mismatch a later receive — the paper's section-2.7
+    'unpredictable results', which the engine reports as
+    :class:`ProtocolError`), a delayed copy arrives late.
+    """
+
+    def __init__(self, inner: Transport, faults: FaultModel):
+        super().__init__(inner)
+        self.faults = faults
+
+    def inject(self, msg: Message, nbytes: int) -> None:
+        core = self.core
+        spec = self.faults.spec_for(msg.name)
+        rng = core._rng
+        if spec.drop and rng.random() < spec.drop:
+            core._dropped += 1
+            core._emit(msg.send_time, msg.src, "drop", str(msg))
+            return
+        if spec.delay and rng.random() < spec.delay:
+            msg.arrive_time += rng.random() * spec.max_jitter
+        self.inner.inject(msg, nbytes)
+        if spec.duplicate and rng.random() < spec.duplicate:
+            dup = Message(
+                seq=next(core._seq),
+                kind=msg.kind,
+                name=msg.name,
+                payload=None if msg.payload is None else msg.payload.copy(),
+                src=msg.src,
+                dst=msg.dst,
+                send_time=msg.send_time,
+                arrive_time=msg.arrive_time,
+                attempt=1,
+            )
+            if spec.delay and rng.random() < spec.delay:
+                dup.arrive_time = msg.send_time + (
+                    self.base.transit(nbytes) + rng.random() * spec.max_jitter
+                )
+            core._duplicated += 1
+            core._emit(dup.send_time, dup.src, "dup", str(dup))
+            self.inner.inject(dup, nbytes)
+
+
+class ReliableDelivery(TransportMiddleware):
+    """Exact delivery over a lossy network via ack/timeout/retransmit.
+
+    The exchange is played out analytically at injection time (see
+    reliable.py): the copy always reaches the matching layer — at the
+    first surviving transmission's arrival time — or the retransmit
+    budget dies and a :class:`TransportError` surfaces.  The fault model
+    consulted is the scheduler core's (normalized to
+    :meth:`FaultModel.none` when reliable is configured alone).
+    """
+
+    def __init__(self, inner: Transport, reliable: ReliableTransport):
+        super().__init__(inner)
+        self.reliable = reliable
+
+    def inject(self, msg: Message, nbytes: int) -> None:
+        core = self.core
+        spec = core.faults.spec_for(msg.name)
+        outcome = self.reliable.transmit(
+            send_time=msg.send_time,
+            latency=self.base.transit(nbytes),
+            ack_latency=core.model.ack_cost(),
+            spec=spec,
+            rng=core._rng,
+        )
+        if outcome.delivery is None:
+            raise TransportError(
+                f"transport failure: {msg} lost after {outcome.attempts} "
+                f"transmissions (retransmit budget "
+                f"{self.reliable.max_retries} exhausted)",
+                name=msg.name,
+                src=msg.src,
+                dst=msg.dst,
+                attempts=outcome.attempts,
+            )
+        core._retransmits += outcome.retransmits
+        core._dups_suppressed += len(outcome.duplicates)
+        if outcome.acked_at is not None:
+            core._acks += 1
+        if outcome.retransmits:
+            core._emit(
+                outcome.delivery, msg.src, "retransmit",
+                f"{msg} delivered on attempt {outcome.attempts}",
+            )
+        for dup_at in outcome.duplicates:
+            core._emit(dup_at, msg.src, "dup-suppressed", str(msg))
+        msg.arrive_time = outcome.delivery
+        msg.attempt = outcome.attempts
+        self.inner.inject(msg, nbytes)

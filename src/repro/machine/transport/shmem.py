@@ -1,0 +1,73 @@
+"""The shared-address transport backend (``shmem``).
+
+The second half of the paper's section-5 delayed binding: on a
+shared-address machine (the paper names the KSR1) "receives and sends
+might be translated as prefetch and poststore instructions".  Here:
+
+* ``E ->`` / ``E =>`` becomes a non-blocking **poststore**: the producer
+  issues a store of the section into the global address space (cost:
+  :meth:`~repro.machine.model.MachineModel.post_occupancy` — issue plus
+  per-line store-buffer drain) and continues immediately; the lines
+  become resident after
+  :meth:`~repro.machine.model.MachineModel.store_cost`.  A *bound*
+  destination (from the ``DestinationBinding`` pass's owner arithmetic)
+  pushes the lines all the way into the consumer's cache; an unbound
+  store leaves them at their home node.
+* ``U <-`` / ``U <=`` becomes a non-blocking **prefetch**: the consumer
+  posts a fence for the named section (cost ``o_prefetch``) and
+  continues; ``await`` binds to the fence's completion.
+* The fence completes at ``max(prefetch, store-resident)`` — plus a
+  :meth:`~repro.machine.model.MachineModel.pull_cost` penalty when the
+  store was unbound and the lines must still travel home→consumer.
+
+There is **no marshalled header**: the name tag *is* the address (the
+section's place in the global address space), so a copy occupies exactly
+its payload bytes.  The rendezvous relation itself — FIFO by seq per
+``(kind, name)`` tag — is inherited unchanged from
+:class:`~repro.machine.transport.base.TagTransport`; that the relation
+is identical across backends is precisely the paper's argument for why
+delayed binding is semantics-preserving (result transparency), and the
+engine's cross-backend bit-identity tests check it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..message import Message
+from .base import PendingRecv, TagTransport
+
+__all__ = ["SharedAddressTransport"]
+
+
+class SharedAddressTransport(TagTransport):
+    """Sends and receives bind to non-blocking poststore / prefetch."""
+
+    name = "shmem"
+    send_event = "poststore"
+    recv_event = "prefetch"
+    completion_event = "fence"
+    pending_label = "pending fence"
+    pool_header = "unfenced store buffer:"
+
+    def wire_bytes(self, payload: np.ndarray | None) -> int:
+        # The tag is the address — nothing but the data crosses the wire.
+        return 0 if payload is None else payload.nbytes
+
+    def send_occupancy(self, nbytes: int) -> float:
+        return self.core.model.post_occupancy(nbytes)
+
+    def recv_occupancy(self) -> float:
+        return self.core.model.o_prefetch
+
+    def transit(self, nbytes: int) -> float:
+        return self.core.model.store_cost(nbytes)
+
+    def completion_time(self, msg: Message, recv: PendingRecv) -> float:
+        ctime = max(recv.init_time, msg.arrive_time)
+        if msg.dst is None:
+            # Unbound store: resident at its home, not at the consumer —
+            # the fence pays the home-to-consumer pull.  This is the cost
+            # asymmetry DestinationBinding's owner arithmetic removes.
+            ctime += self.core.model.pull_cost(msg.nbytes)
+        return ctime

@@ -24,10 +24,13 @@ See docs/TUNING.md for the full design.
 from .cost import (
     CALIBRATION_RTOL,
     ProgramCostEstimate,
+    SharedAddressCosts,
+    TransportCosts,
     estimate_program,
     estimate_workqueue,
     phase_compute_cost,
     redistribution_cost,
+    transport_costs,
 )
 from .evaluate import EvalCache, EvalResult, EvalTask, evaluate_candidates
 from .rewrite import PhaseSpec, detect_phases, generate_phased_program
@@ -42,6 +45,8 @@ __all__ = [
     "LayoutCandidate",
     "PhaseSpec",
     "ProgramCostEstimate",
+    "SharedAddressCosts",
+    "TransportCosts",
     "TuneError",
     "TuneResult",
     "candidate_segmentation",
@@ -54,5 +59,6 @@ __all__ = [
     "phase_compute_cost",
     "phase_layouts",
     "redistribution_cost",
+    "transport_costs",
     "tune",
 ]

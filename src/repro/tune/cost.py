@@ -54,6 +54,7 @@ from ..distributions import ProcessorGrid, RedistributionPlan
 from ..machine.engine import HEADER_BYTES
 from ..machine.message import TransferKind
 from ..machine.model import MachineModel
+from ..machine.transport import default_backend
 from ..runtime.symtab import MAXINT, MININT
 
 __all__ = [
@@ -61,10 +62,13 @@ __all__ = [
     "EstimateError",
     "ProcCost",
     "ProgramCostEstimate",
+    "SharedAddressCosts",
+    "TransportCosts",
     "estimate_program",
     "estimate_workqueue",
     "phase_compute_cost",
     "redistribution_cost",
+    "transport_costs",
 ]
 
 #: Stated calibration tolerance: the analytic estimate must stay within
@@ -78,6 +82,89 @@ CALIBRATION_RTOL = 0.02
 class EstimateError(Exception):
     """The program is outside the analytic model (data-dependent control
     flow, an unknown kernel, a deadlock in the abstract timeline)."""
+
+
+# ---------------------------------------------------------------------- #
+# per-backend cost tables
+# ---------------------------------------------------------------------- #
+
+
+class TransportCosts:
+    """Analytic twin of one transport backend's timing hooks.
+
+    Mirrors :mod:`repro.machine.transport` exactly — same wire-byte,
+    occupancy, transit and completion arithmetic as the corresponding
+    ``Transport`` subclass — so the estimates stay engine-calibrated per
+    backend (asserted in tests/test_tune.py).  The base class is the
+    message-passing table.
+    """
+
+    backend = "msg"
+
+    def wire_bytes(self, payload_bytes: int) -> int:
+        return HEADER_BYTES + payload_bytes
+
+    def send_occupancy(self, model: MachineModel, nbytes: int) -> float:
+        return model.o_send
+
+    def recv_occupancy(self, model: MachineModel) -> float:
+        return model.o_recv
+
+    def transit(self, model: MachineModel, nbytes: int) -> float:
+        return model.message_cost(nbytes)
+
+    def completion_lag(
+        self, model: MachineModel, nbytes: int, bound: bool
+    ) -> float:
+        """Extra time between rendezvous and data accessibility."""
+        return 0.0
+
+
+class SharedAddressCosts(TransportCosts):
+    """Shared-address prefetch/poststore table (paper section 5).
+
+    No marshalled header (the tag is the address), per-line poststore
+    occupancy, memory-system store latency for transit, and a pull
+    penalty at the fence when the store was unbound (the lines sit at
+    their home node instead of the consumer's cache).
+    """
+
+    backend = "shmem"
+
+    def wire_bytes(self, payload_bytes: int) -> int:
+        return payload_bytes
+
+    def send_occupancy(self, model: MachineModel, nbytes: int) -> float:
+        return model.post_occupancy(nbytes)
+
+    def recv_occupancy(self, model: MachineModel) -> float:
+        return model.o_prefetch
+
+    def transit(self, model: MachineModel, nbytes: int) -> float:
+        return model.store_cost(nbytes)
+
+    def completion_lag(
+        self, model: MachineModel, nbytes: int, bound: bool
+    ) -> float:
+        return 0.0 if bound else model.pull_cost(nbytes)
+
+
+_TRANSPORT_COSTS: dict[str, TransportCosts] = {
+    "msg": TransportCosts(),
+    "shmem": SharedAddressCosts(),
+}
+
+
+def transport_costs(backend: str | None = None) -> TransportCosts:
+    """The cost table of ``backend`` (default: the session's backend)."""
+    name = backend if backend is not None else default_backend()
+    try:
+        return _TRANSPORT_COSTS[name]
+    except KeyError:
+        raise EstimateError(
+            f"unknown backend {name!r} "
+            f"(choose from {sorted(_TRANSPORT_COSTS)})"
+        ) from None
 
 
 # ---------------------------------------------------------------------- #
@@ -182,6 +269,7 @@ def redistribution_cost(
     itemsize: int = 8,
     realization: str = "bulk",
     outer_axis: int | None = None,
+    backend: str | None = None,
 ) -> float:
     """Exposed (non-overlapped) cost of realising a redistribution plan.
 
@@ -197,6 +285,7 @@ def redistribution_cost(
     receiver occupancy, one fragment's wire time, and the per-fragment
     synchronisation (an ``await`` intrinsic each) exposed.
     """
+    tc = transport_costs(backend)
     sends: Counter[int] = Counter()
     recvs: Counter[int] = Counter()
     max_bytes = 0
@@ -208,12 +297,12 @@ def redistribution_cost(
         sends[m.src] += frags
         recvs[m.dst] += frags
         total_frags += frags
-        max_bytes = max(max_bytes, HEADER_BYTES + (m.elements // frags) * itemsize)
+        max_bytes = max(max_bytes, tc.wire_bytes((m.elements // frags) * itemsize))
     if not plan.moves:
         return 0.0
-    send_occ = model.o_send * max(sends.values())
-    recv_occ = model.o_recv * max(recvs.values())
-    wire = model.message_cost(max_bytes)
+    send_occ = tc.send_occupancy(model, max_bytes) * max(sends.values())
+    recv_occ = tc.recv_occupancy(model) * max(recvs.values())
+    wire = tc.transit(model, max_bytes)
     if realization == "bulk":
         return send_occ + wire + recv_occ
     per_recv_frags = max(recvs.values())
@@ -233,6 +322,7 @@ def estimate_workqueue(
     costs: Sequence[float] | None = None,
     model: MachineModel | None = None,
     scheme: str = "dynamic",
+    backend: str | None = None,
 ) -> ProgramCostEstimate:
     """Analytic timeline of the section-2.7 workqueue node program.
 
@@ -251,11 +341,16 @@ def estimate_workqueue(
         from ..apps.workqueue import make_job_costs
 
         costs = make_job_costs(njobs)
-    nbytes = HEADER_BYTES + 8  # one float64 job descriptor
-    wire = model.message_cost(nbytes)
+    tc = transport_costs(backend)
+    nbytes = tc.wire_bytes(8)  # one float64 job descriptor
+    wire = tc.transit(model, nbytes)
+    occ = tc.send_occupancy(model, nbytes)
+    # The pool's sends name no recipient, so on shmem every claim pays
+    # the unbound-store pull at the fence; the static deal is bound.
+    lag = tc.completion_lag(model, nbytes, bound=(scheme == "static"))
     total = njobs + (nprocs - 1 if scheme == "dynamic" else 0)
-    arrive = [(k + 1) * model.o_send + wire for k in range(total)]
-    master_finish = total * model.o_send
+    arrive = [(k + 1) * occ + wire for k in range(total)]
+    master_finish = total * occ
 
     workers = list(range(1, nprocs))
     clock = {w: 0.0 for w in workers}
@@ -264,13 +359,14 @@ def estimate_workqueue(
     got = {w: 0 for w in workers}
     finish = {w: 0.0 for w in workers}
 
+    r_occ = tc.recv_occupancy(model)
     if scheme == "dynamic":
         live = set(workers)
         for k in range(total):
             w = min(live, key=lambda p: (clock[p], p))
-            init = clock[w] + model.o_recv
-            recv_oh[w] += model.o_recv
-            done = max(init, arrive[k])
+            init = clock[w] + r_occ
+            recv_oh[w] += r_occ
+            done = max(init, arrive[k]) + lag
             idle[w] += done - init
             got[w] += 1
             if k < njobs:
@@ -283,9 +379,9 @@ def estimate_workqueue(
         nworkers = nprocs - 1
         for w in workers:
             for k in range(w - 1, njobs, nworkers):
-                init = clock[w] + model.o_recv
-                recv_oh[w] += model.o_recv
-                done = max(init, arrive[k])
+                init = clock[w] + r_occ
+                recv_oh[w] += r_occ
+                done = max(init, arrive[k]) + lag
                 idle[w] += done - init
                 got[w] += 1
                 clock[w] = done + float(costs[k])
@@ -888,19 +984,21 @@ def estimate_program(
     nprocs: int,
     *,
     model: MachineModel | None = None,
+    backend: str | None = None,
 ) -> ProgramCostEstimate:
     """Estimate a program's run without executing it.
 
     Abstractly walks the IL on every processor (data-independent control
     flow required) and times the effect streams with the engine's
-    discrete-event rules.  Raises :class:`EstimateError` for programs
-    outside the model.
+    discrete-event rules, priced by ``backend``'s cost table.  Raises
+    :class:`EstimateError` for programs outside the model.
     """
     if isinstance(program, str):
         from ..core.ir.parser import parse_program
 
         program = parse_program(program)
     model = model if model is not None else MachineModel()
+    tc = transport_costs(backend)
     grid = ProcessorGrid((nprocs,))
     segmentations = build_layouts(program, grid)
     itemsizes = {
@@ -933,7 +1031,9 @@ def estimate_program(
 
     def match(key: tuple, msg: _AbsMsg, recv: _AbsRecv) -> None:
         nonlocal_ = None  # noqa: F841 (clarity: closure mutates procs only)
-        ctime = max(recv.init_time, msg.arrive)
+        ctime = max(recv.init_time, msg.arrive) + tc.completion_lag(
+            model, msg.nbytes, bound=msg.dst is not None
+        )
         receiver = procs[recv.pid]
         tracker = trackers[recv.pid][recv.into_var]
         if recv.kind is TransferKind.VALUE:
@@ -991,19 +1091,21 @@ def estimate_program(
                 tracker.release(sec)
             payload = 0 if kind is TransferKind.OWNERSHIP \
                 else sec.size * tracker.itemsize
-            nbytes = HEADER_BYTES + payload
+            nbytes = tc.wire_bytes(payload)
+            s_occ = tc.send_occupancy(model, nbytes)
             for dst in dests if dests is not None else (None,):
-                proc.clock += model.o_send
-                proc.send_oh += model.o_send
+                proc.clock += s_occ
+                proc.send_oh += s_occ
                 proc.msgs_sent += 1
                 proc.bytes_sent += nbytes
                 msg = _AbsMsg(next(seq), dst,
-                              proc.clock + model.message_cost(nbytes), nbytes)
+                              proc.clock + tc.transit(model, nbytes), nbytes)
                 route((kind, var, sec), msg)
         elif tag == "recv":
             _, kind, var, sec, into_var, into_sec = eff
-            proc.clock += model.o_recv
-            proc.recv_oh += model.o_recv
+            r_occ = tc.recv_occupancy(model)
+            proc.clock += r_occ
+            proc.recv_oh += r_occ
             tracker = trackers[proc.pid][into_var]
             try:
                 if kind is TransferKind.VALUE:

@@ -38,12 +38,13 @@ class EvalTask:
     path: str = "vm"
     seed: int = 7
     label: str = ""
+    backend: str = "msg"
 
     @property
     def digest(self) -> str:
         src = self.program if isinstance(self.program, str) else repr(self.program)
         key = repr((src, self.nprocs, sorted(asdict(self.model).items()),
-                    self.path, self.seed))
+                    self.path, self.seed, self.backend))
         return hashlib.sha256(key.encode()).hexdigest()
 
     def parsed(self) -> Program:
@@ -138,7 +139,8 @@ _COMPILE_LOCK = threading.Lock()
 def _run_task(task: EvalTask) -> EvalResult:
     program = task.parsed()
     with _COMPILE_LOCK:
-        runner = lower(program, task.nprocs, model=task.model)
+        runner = lower(program, task.nprocs, model=task.model,
+                       backend=task.backend)
     for name, arr in seed_arrays(program, task.seed).items():
         runner.write_global(name, arr)
     stats = runner.run()

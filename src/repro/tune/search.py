@@ -31,6 +31,7 @@ from ..distributions import Distribution, ProcessorGrid, plan_redistribution
 from ..core.analysis.layouts import build_segmentation
 from ..core.analysis.verify_comm import verify_communication
 from ..machine.model import MachineModel
+from ..machine.transport import default_backend
 from .cost import phase_compute_cost, redistribution_cost
 from .evaluate import EvalCache, EvalResult, EvalTask, evaluate_candidates
 from .rewrite import PhaseSpec, TuneError, detect_phases, generate_phased_program
@@ -66,6 +67,7 @@ class TuneResult:
     analytic: list[dict] = field(default_factory=list)
     results: list[EvalResult] = field(default_factory=list)
     cache: EvalCache = field(default_factory=EvalCache)
+    backend: str = "msg"
 
     @property
     def speedup(self) -> float:
@@ -100,6 +102,7 @@ def _edge_cost(
     itemsize: int,
     realization: str,
     first_edge: bool,
+    backend: str,
 ) -> float:
     key = (source, cand)
     plan = plans.get(key)
@@ -116,6 +119,7 @@ def _edge_cost(
     return redistribution_cost(
         plan, model, itemsize=itemsize, realization=real,
         outer_axis=src_axes[0] if len(src_axes) == 1 else None,
+        backend=backend,
     )
 
 
@@ -132,6 +136,7 @@ def tune(
     seed: int = 7,
     cache: EvalCache | None = None,
     specs: Sequence[str] = ("BLOCK", "CYCLIC"),
+    backend: str | None = None,
 ) -> TuneResult:
     """Search the placement space of a phased program.
 
@@ -147,6 +152,7 @@ def tune(
         program = parse_program(program)
     model = model if model is not None else MachineModel()
     cache = cache if cache is not None else EvalCache()
+    backend = backend if backend is not None else default_backend()
 
     phases = detect_phases(program)
     names = {p.var for p in phases}
@@ -188,7 +194,7 @@ def tune(
         for li, cand in enumerate(path):
             score += _edge_cost(
                 plans, prev, cand, decl, nprocs, model, itemsize,
-                realization, first_edge=(li == 0),
+                realization, first_edge=(li == 0), backend=backend,
             )
             score += node_cost[(li, cand)]
             prev = dists[cand]
@@ -217,7 +223,7 @@ def tune(
                     for cand in layer:
                         s = score + _edge_cost(
                             plans, prev, cand, decl, nprocs, model, itemsize,
-                            realization, first_edge=(li == 0),
+                            realization, first_edge=(li == 0), backend=backend,
                         ) + node_cost[(li, cand)]
                         grown.append((s, path + (cand,), dists[cand]))
                 grown.sort(key=lambda g: (g[0], tuple(c.key for c in g[1])))
@@ -254,7 +260,8 @@ def tune(
         # The rewriter's output must be communication-safe before we spend
         # engine time on it; a bad candidate is a rewriter bug, not a bad
         # score, so fail loudly instead of silently ranking it.
-        report = verify_communication(parse_program(src), nprocs)
+        report = verify_communication(parse_program(src), nprocs,
+                                      backend=backend)
         if not report.ok:
             raise TuneError(
                 "generated candidate "
@@ -265,11 +272,12 @@ def tune(
     if not chosen:
         raise TuneError("search produced no candidates")
 
-    baseline_task = EvalTask(program, nprocs, model, seed=seed, label="baseline")
+    baseline_task = EvalTask(program, nprocs, model, seed=seed,
+                             label="baseline", backend=backend)
     baseline = evaluate_candidates([baseline_task], cache=cache, parallel=False)[0]
 
     tasks = [
-        EvalTask(src, nprocs, model, seed=seed,
+        EvalTask(src, nprocs, model, seed=seed, backend=backend,
                  label=f"{sp.realization}:" + " | ".join(c.key for c in sp.layouts))
         for sp, src in chosen
     ]
@@ -315,6 +323,7 @@ def tune(
             analytic=analytic,
             results=results,
             cache=cache,
+            backend=backend,
         )
 
     # Winner confirmation goes through the cache — by construction a hit,
@@ -334,4 +343,5 @@ def tune(
         analytic=analytic,
         results=results,
         cache=cache,
+        backend=backend,
     )

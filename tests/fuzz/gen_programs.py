@@ -33,7 +33,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-__all__ = ["FuzzProgram", "generate_battery", "FAMILIES"]
+__all__ = ["FuzzProgram", "generate_battery", "FAMILIES", "SHMEM_FAMILIES"]
 
 
 @dataclass(frozen=True)
@@ -347,6 +347,96 @@ def _t_translated(rng: random.Random) -> tuple[list[_L], int]:
     return [_L(ln) for ln in out.splitlines()], P
 
 
+def _t_shmem_fence(rng: random.Random) -> tuple[list[_L], int]:
+    """A poststore pipeline read through prefetch fences (section 5).
+
+    On the shared-address binding ``->`` is a poststore into the global
+    address space and ``<-`` posts a prefetch fence; the ``await`` *is*
+    the fence.  Each pid multiplies its right boundary, poststores it to
+    its right neighbour's fence slot ``F``, and the neighbour folds the
+    value in — but only behind the fence.  The signature shmem fault is
+    seeded by ``missing_fence``: the await vanishes and the consumer
+    reads the prefetched lines before they are resident.
+    """
+    P = rng.randint(2, 4)
+    b = rng.randint(2, 3)
+    n = P * b
+    lines = [
+        _L(f"array A[1:{n}] dist (BLOCK) seg ({b})"),
+        _L(f"array F[1:{2 * P}] dist (BLOCK) seg (2)"),
+        _L(""),
+    ]
+    for p in range(1, P):
+        lb, ub = _block(P, n, b, p)
+        nlb, _ = _block(P, n, b, p + 1)
+        f = 2 * (p + 1) - 1
+        wrong_dest = p + 2 if p + 2 <= P else 1
+        lines += [
+            _L(f"mypid == {p} : {{"),
+            _L(f"  A[{ub}] = A[{ub}] * 2"),
+            _L(f"  A[{ub}] -> {{{p + 1}}}", tag="send",
+               alts={"wrong_dest": f"  A[{ub}] -> {{{wrong_dest}}}"}),
+            _L("}"),
+            _L(f"mypid == {p + 1} : {{"),
+            _L(f"  F[{f}] <- A[{ub}]", tag="recv",
+               alts={"wrong_tag": f"  F[{f}] <- A[{lb}]"}),
+            _L(f"  await(F[{f}]) : {{",
+               alts={"missing_fence": f"  mypid == {p + 1} : {{"}),
+            _L(f"    A[{nlb}] = A[{nlb}] + F[{f}]"),
+            _L("  }"),
+            _L("}"),
+        ]
+    return lines, P
+
+
+def _t_shmem_relay(rng: random.Random) -> tuple[list[_L], int]:
+    """An ownership relay chain with a store-before-ownership fault site.
+
+    Block ``p`` travels ``p -> p+1`` as an ownership-with-values store;
+    the receiver fences, updates, and keeps it.  The seeded shmem faults:
+    ``store_before_ownership`` makes P2 poststore lines of block 1 before
+    the relay has delivered their ownership (stores of unowned lines),
+    and ``missing_fence`` drops an ownership fence.
+    """
+    P = rng.randint(3, 4)
+    b = rng.randint(2, 3)
+    n = P * b
+    lines = [
+        _L(f"array A[1:{n}] dist (BLOCK) seg ({b})"),
+        _L(""),
+        # P2 stores an element of block 1 into the global space before
+        # its ownership has arrived from P1 — the relay delivers it only
+        # in the receive stage below.
+        _L(None, alts={
+            "store_before_ownership": f"mypid == 2 : {{ A[1] -> {{{P}}} }}",
+        }),
+    ]
+    for p in range(1, P):
+        lb, ub = _block(P, n, b, p)
+        send = _L(f"mypid == {p} : {{ A[{lb}:{ub}] -=> {{{p + 1}}} }}",
+                  tag="send")
+        wrong = p + 2 if p + 2 <= P else 1
+        if wrong != p + 1:
+            send.alts["wrong_dest"] = (
+                f"mypid == {p} : {{ A[{lb}:{ub}] -=> {{{wrong}}} }}"
+            )
+        lines.append(send)
+    for p in range(1, P):
+        lb, ub = _block(P, n, b, p)
+        lines += [
+            _L(f"mypid == {p + 1} : {{"),
+            _L(f"  A[{lb}:{ub}] <=-", tag="recv",
+               alts={"wrong_tag": f"  A[{lb}:{ub - 1}] <=-"} if ub - lb >= 1
+               else {}),
+            _L(f"  await(A[{lb}:{ub}]) : {{",
+               alts={"missing_fence": f"  mypid == {p + 1} : {{"}),
+            _L(f"    A[{lb}] = A[{lb}] + {p}"),
+            _L("  }"),
+            _L("}"),
+        ]
+    return lines, P
+
+
 FAMILIES = {
     "halo": _t_halo,
     "ring": _t_ring,
@@ -355,29 +445,42 @@ FAMILIES = {
     "translated": _t_translated,
 }
 
+#: Shared-address fault families, kept separate so the recorded default
+#: battery (and its pinned determinism/false-positive numbers) is
+#: untouched; the differential harness runs them with ``backend="shmem"``.
+SHMEM_FAMILIES = {
+    "shmem-fence": _t_shmem_fence,
+    "shmem-relay": _t_shmem_relay,
+}
+
 
 # --------------------------------------------------------------------- #
 # battery assembly
 # --------------------------------------------------------------------- #
 
 
-def generate_battery(count: int, base_seed: int = 0) -> list[FuzzProgram]:
+def generate_battery(
+    count: int, base_seed: int = 0, families: dict | None = None
+) -> list[FuzzProgram]:
     """The first ``count`` programs of the deterministic battery.
 
-    Template instances round-robin over families; after each good program
-    come up to three seeded mutants of it.  A prefix of a larger battery
-    is always a smaller battery: ``generate_battery(50, s)`` is the first
-    50 entries of ``generate_battery(200, s)``.
+    Template instances round-robin over ``families`` (default: the
+    message-passing :data:`FAMILIES`; pass :data:`SHMEM_FAMILIES` for the
+    shared-address fault battery); after each good program come up to
+    three seeded mutants of it.  A prefix of a larger battery is always a
+    smaller battery: ``generate_battery(50, s)`` is the first 50 entries
+    of ``generate_battery(200, s)``.
     """
+    families = FAMILIES if families is None else families
     programs: list[FuzzProgram] = []
-    names = sorted(FAMILIES)
+    names = sorted(families)
     seed = base_seed
     while len(programs) < count:
         name = names[seed % len(names)]
         # Seed with a string: random.Random hashes tuples with the
         # process-randomized hash(), but strings go through sha512.
         rng = random.Random(f"fuzz:{seed}:{name}")
-        lines, nprocs = FAMILIES[name](rng)
+        lines, nprocs = families[name](rng)
         programs.append(FuzzProgram(name, seed, nprocs, None, _render(lines)))
         sites = _mutations(lines)
         for idx, mutation in rng.sample(sites, min(3, len(sites))):

@@ -108,6 +108,7 @@ class TestWorkQueue:
         assert sum(dyn.jobs_per_worker.values()) == 40
         assert sum(stat.jobs_per_worker.values()) == 40
 
+    @pytest.mark.msg_timing
     def test_uniform_costs_near_parity(self):
         costs = np.full(24, 100.0)
         stat = run_workqueue(24, 4, scheme="static", costs=costs, model=FAST)
@@ -138,6 +139,7 @@ class TestMonitor:
         assert r.monitored_pids() == sched
         assert len(r.stats.logs) == len(sched)
 
+    @pytest.mark.msg_timing
     def test_ownership_only_messages(self):
         # Pure ownership transfers: header-only messages.
         sched = [0, 1, 2]

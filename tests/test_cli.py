@@ -115,6 +115,7 @@ class TestFFT:
 
 
 class TestBench:
+    @pytest.mark.msg_timing
     def test_bench_writes_json(self, tmp_path, capsys):
         import json
 
@@ -148,6 +149,7 @@ class TestBench:
         assert f"vs {out_file}" in out
         assert "old eff/s" in out and "x" in out
 
+    @pytest.mark.msg_timing
     def test_bench_fft_program(self, tmp_path, capsys):
         out_file = tmp_path / "bench.json"
         assert main([

@@ -81,6 +81,7 @@ class TestValueTransfer:
         assert stats.total_messages == 1
         assert stats.unclaimed_messages == 0
 
+    @pytest.mark.msg_timing
     def test_latency_respected(self):
         eng = self.make_engine()
 
@@ -162,6 +163,7 @@ class TestValueTransfer:
         with pytest.raises(ProtocolError):
             eng.run(prog)
 
+    @pytest.mark.msg_timing
     def test_multicast_costs_per_destination(self):
         eng = Engine(3, MachineModel(o_send=5, o_recv=1, alpha=10, per_byte=0))
         eng.declare("X", linear_seg(3, 3))
@@ -180,6 +182,7 @@ class TestValueTransfer:
         assert stats.procs[0].msgs_sent == 2
         assert stats.procs[0].send_overhead == 10.0
 
+    @pytest.mark.msg_timing
     def test_multicast_serialized_injection(self):
         """Pin the serialized-injection multicast model: each destination
         pays o_send on the sender's clock before its copy is stamped, so
@@ -235,6 +238,7 @@ class TestOwnershipTransfer:
         assert eng.symtabs[0].memory.live_bytes == 0
         assert eng.symtabs[0].memory.total_freed_bytes == 8
 
+    @pytest.mark.msg_timing
     def test_ownership_only_move(self):
         eng = self.make_engine()
 
@@ -322,6 +326,7 @@ class TestDeadlockDetection:
         with pytest.raises(DeadlockError, match="awaiting"):
             eng.run(prog)
 
+    @pytest.mark.msg_timing
     def test_report_text_is_pinned(self):
         """The deadlock diagnosis is a deterministic function of the
         deadlocked state: pids, pending tags and the pool listing are all

@@ -159,6 +159,7 @@ class TestReliableTransport:
 
 
 class TestRawLossyTransport:
+    @pytest.mark.msg_timing
     def test_dropped_message_vanishes_and_deadlock_names_it(self):
         eng = make_engine(faults=FaultModel.lossy(drop=1.0))
         with pytest.raises(DeadlockError) as exc:
@@ -470,6 +471,7 @@ class TestEngineReuseAfterRaise:
 
 
 class TestDeadlockReport:
+    @pytest.mark.msg_timing
     def test_report_lists_pending_tags_and_pool(self):
         eng = Engine(2, MODEL)
         eng.declare("X", linear_seg(4, 2))

@@ -28,11 +28,12 @@ from repro.core.errors import XDPError
 from repro.core.interp import run_program
 from repro.core.ir.parser import parse_program
 
-from .fuzz.gen_programs import FuzzProgram, generate_battery
+from .fuzz.gen_programs import SHMEM_FAMILIES, FuzzProgram, generate_battery
 
 BATTERY_SIZE = 220   # acceptance floor is 200; a little margin
 SMOKE_SIZE = 50      # the CI verify-fuzz-smoke subset (battery prefix)
 BASE_SEED = 0
+SHMEM_BATTERY_SIZE = 120  # shared-address fault battery (section 5 binding)
 
 
 @dataclass
@@ -46,10 +47,11 @@ class Outcome:
         return self.engine_error is None
 
 
-def _run_one(fp: FuzzProgram) -> Outcome:
-    report = verify_communication(parse_program(fp.source), fp.nprocs)
+def _run_one(fp: FuzzProgram, backend: str | None = None) -> Outcome:
+    kw = {} if backend is None else {"backend": backend}
+    report = verify_communication(parse_program(fp.source), fp.nprocs, **kw)
     try:
-        run_program(fp.source, fp.nprocs, strict=True)
+        run_program(fp.source, fp.nprocs, strict=True, **kw)
         err = None
     except XDPError as e:
         err = e
@@ -133,6 +135,84 @@ def test_battery_has_coverage():
         "drop_send", "drop_recv", "double_recv", "drop_await",
         "wrong_dest", "wrong_tag", "unowned_read", "acquire_overlap",
     }
+
+
+_shmem_cache: list[Outcome] = []
+
+
+def _shmem_outcomes() -> list[Outcome]:
+    """Shared-address fault battery, both oracles on the shmem binding."""
+    if not _shmem_cache:
+        _shmem_cache.extend(
+            _run_one(fp, backend="shmem")
+            for fp in generate_battery(
+                SHMEM_BATTERY_SIZE, BASE_SEED, families=SHMEM_FAMILIES
+            )
+        )
+    return _shmem_cache
+
+
+def test_shmem_battery_directions():
+    """The two oracle-agreement directions hold on the shared-address
+    binding too: the verifier speaks prefetch/poststore/fence, the strict
+    engine executes the shmem transport."""
+    _check(_shmem_outcomes())
+
+
+def test_shmem_good_programs_are_clean_and_run():
+    bad = [
+        o for o in _shmem_outcomes()
+        if o.program.mutation is None and not (o.report.clean and o.engine_ok)
+    ]
+    assert not bad, (
+        f"{len(bad)} shmem template instance(s) not clean+runnable:\n\n"
+        + "\n\n".join(_describe(o) for o in bad[:5])
+    )
+
+
+def test_shmem_fault_classes_covered_and_flagged():
+    """Both seeded shared-address fault classes occur in the battery and
+    every instance is flagged by the verifier AND rejected by the strict
+    engine — a missing fence or a store of unowned lines is never a
+    warning-free pass."""
+    outcomes = _shmem_outcomes()
+    by_class = {
+        m: [o for o in outcomes if o.program.mutation == m]
+        for m in ("missing_fence", "store_before_ownership")
+    }
+    for mutation, members in by_class.items():
+        assert members, f"no {mutation} mutants in the shmem battery"
+        unflagged = [o for o in members if o.report.ok or o.engine_ok]
+        assert not unflagged, (
+            f"{len(unflagged)} {mutation} mutant(s) slipped through:\n\n"
+            + "\n\n".join(_describe(o) for o in unflagged[:5])
+        )
+
+
+def test_shmem_vocabulary_in_findings():
+    """Diagnostics on the shmem binding use section-5 vocabulary (fences,
+    stores), not message-passing terms alone."""
+    text = "\n".join(
+        f.message
+        for o in _shmem_outcomes() if o.report.findings
+        for f in o.report.findings
+    )
+    assert "fence" in text
+    assert "store" in text or "unowned" in text
+
+
+def test_shmem_battery_leaves_default_battery_untouched():
+    """SHMEM_FAMILIES is a separate dict: the pinned 220-program default
+    battery must not contain shared-address templates (its recorded
+    determinism and false-positive numbers depend on that)."""
+    default = generate_battery(24, BASE_SEED)
+    assert not any(fp.family.startswith("shmem") for fp in default)
+    shmem = generate_battery(24, BASE_SEED, families=SHMEM_FAMILIES)
+    assert {fp.family for fp in shmem} == set(SHMEM_FAMILIES)
+    # determinism + prefix property hold for the shmem battery as well
+    assert shmem[:12] == generate_battery(
+        12, BASE_SEED, families=SHMEM_FAMILIES
+    )
 
 
 def test_report_rates(capsys):

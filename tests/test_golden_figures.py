@@ -35,6 +35,7 @@ FIGURES = {
 
 
 @pytest.mark.parametrize("name", sorted(FIGURES))
+@pytest.mark.msg_timing
 def test_figure_matches_golden(name):
     expected = (GOLDEN / f"{name}.txt").read_text()
     assert FIGURES[name]() + "\n" == expected
@@ -46,6 +47,7 @@ def test_figure1_reports_all_pass():
     assert "[FAIL]" not in text and text.count("[PASS]") == 11
 
 
+@pytest.mark.msg_timing
 def test_cli_figures_all_is_the_goldens_joined(capsys):
     from repro.cli import main
 

@@ -73,6 +73,7 @@ class TestAccessiblePolling:
         assert p2_poll.idle_time < p2_plain.idle_time
         assert p2_poll.compute_time > p2_plain.compute_time
 
+    @pytest.mark.msg_timing
     def test_polling_overhead_is_bounded(self):
         plain = run(False)
         poll = run(True)

@@ -22,6 +22,7 @@ from repro.report import (
 
 
 class TestFigure1:
+    @pytest.mark.msg_timing
     def test_every_rule_passes(self):
         rows = figure1_check()
         failures = [r for r, _, ok in rows if not ok]
@@ -34,6 +35,7 @@ class TestFigure1:
                          "states", "unowned"):
             assert expected in rules
 
+    @pytest.mark.msg_timing
     def test_text_render(self):
         text = figure1_text()
         assert "PASS" in text and "FAIL" not in text

@@ -1,6 +1,7 @@
 """Tests for event tracing and log collection."""
 
 import numpy as np
+import pytest
 
 from repro.core.interp import Interpreter
 from repro.core.ir.parser import parse_program
@@ -25,17 +26,20 @@ class TestTrace:
         it.write_global("A", np.array([5.0, 0.0]))
         return it.run()
 
+    @pytest.mark.msg_timing
     def test_event_kinds_present(self):
         stats = self.run()
         kinds = {e.kind for e in stats.trace}
         assert {"send", "recv-init", "recv-done", "done"} <= kinds
 
+    @pytest.mark.msg_timing
     def test_send_precedes_matching_completion(self):
         stats = self.run()
         send_t = next(e.time for e in stats.trace if e.kind == "send")
         done_t = next(e.time for e in stats.trace if e.kind == "recv-done")
         assert send_t < done_t
 
+    @pytest.mark.msg_timing
     def test_event_pids(self):
         stats = self.run()
         send = next(e for e in stats.trace if e.kind == "send")
