@@ -28,6 +28,11 @@ BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 #: many times faster than the seed engine on the workqueue at P=256.
 REQUIRED_SPEEDUP_AT_256 = 2.0
 
+#: Acceptance bar for the batched columnar core: at least this many times
+#: the scalar seed-reference baseline's throughput on the workqueue at
+#: P=64 (the ~40k effects/sec dispatch ceiling the rewrite breaks).
+REQUIRED_BATCHED_RATIO_AT_64 = 5.0
+
 
 def _emit_results(results: dict) -> None:
     rows = [
@@ -57,6 +62,51 @@ def test_p1_smoke_small_scale(benchmark):
         lambda: run_engine_bench((8,), ("workqueue",), jobs_per_proc=8,
                                  seed_reference=False),
         rounds=1, iterations=1,
+    )
+
+
+def test_p1_batched_dispatch_ratio():
+    """CI ratio gate: batched core >= 5x the scalar baseline on wq@64.
+
+    The denominator is the :class:`SeedReferenceEngine` — the scalar
+    engine with the seed's matching path, i.e. the recorded pre-rewrite
+    dispatch ceiling this PR's columnar core is meant to break.  Both
+    sides run live in this process, interleaved best-of-three, so the
+    gate measures the algorithmic ratio rather than host speed.  The
+    batched/indexed-scalar mode ratio is printed for context but not
+    gated (it sits lower because the indexed scalar engine shares most
+    transport/symtab improvements).
+    """
+    from repro.apps.enginebench import (
+        SeedReferenceEngine, _batched_engine, _run_case,
+    )
+    from repro.machine.engine import Engine as IndexedEngine
+
+    # Warm both paths before timing.
+    for cls in (IndexedEngine, _batched_engine, SeedReferenceEngine):
+        _run_case("workqueue", 2, "warmup", cls, jobs_per_proc=2)
+
+    best: dict[str, int] = {}
+    for _ in range(3):  # interleaved so drift hits all variants equally
+        for name, cls in (
+            ("batched", _batched_engine),
+            ("scalar", IndexedEngine),
+            ("seed", SeedReferenceEngine),
+        ):
+            case = _run_case("workqueue", 64, name, cls, jobs_per_proc=16)
+            best[name] = max(best.get(name, 0), case.effects_per_sec)
+
+    assert best["seed"] > 0
+    ratio = best["batched"] / best["seed"]
+    print(
+        f"\nwq@64 effects/sec — batched {best['batched']}, "
+        f"indexed-scalar {best['scalar']}, seed-reference {best['seed']}; "
+        f"batched/seed {ratio:.2f}x, "
+        f"batched/indexed {best['batched'] / max(best['scalar'], 1):.2f}x"
+    )
+    assert ratio >= REQUIRED_BATCHED_RATIO_AT_64, (
+        f"batched core is only {ratio:.2f}x the scalar seed baseline on "
+        f"workqueue@64 (need >= {REQUIRED_BATCHED_RATIO_AT_64}x)"
     )
 
 

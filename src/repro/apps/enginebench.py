@@ -24,6 +24,16 @@ Both engines must produce *identical virtual results* (makespan, message
 counts) — the bench asserts this, so it doubles as a semantics regression
 check on the scheduler/matching rewrite.
 
+Each case also runs on the **batched columnar core** (``engine="batched"``,
+same scheduler API) and the sweep finishes with a DAMOV-style bottleneck
+classifier: the top-scale case of every program is profiled once per
+engine and its wall time is bucketed into *dispatch* (scheduler loops),
+*matching* (transport rendezvous), *completion-application* (symbol-table
+and memory updates) and *app* (node programs); its virtual time is split
+into *compute*, *network* (send/recv occupancy) and *fence* (idle).  The
+dominant bucket names the bottleneck, so a regression report says "this
+made dispatch the bottleneck again" rather than just "it got slower".
+
 Results are recorded to ``BENCH_engine.json`` by ``repro bench`` (or the
 ``benchmarks/test_bench_p1_engine_scaling.py`` harness) and compared with
 ``repro bench --diff BENCH_engine.json``.
@@ -31,13 +41,15 @@ Results are recorded to ``BENCH_engine.json`` by ``repro bench`` (or the
 
 from __future__ import annotations
 
+import cProfile
 import heapq
+import pstats
 import time
 from collections import deque
 from dataclasses import asdict, dataclass
 
 from ..core.errors import BudgetExhaustedError
-from ..core.sections import section
+from ..core.sections import section, unit_sections_1d
 from ..distributions import Block, Distribution, ProcessorGrid, Segmentation
 from ..machine.effects import Compute, RecvInit, Send, WaitAccessible
 from ..machine.engine import Engine, ProcessorContext, _Proc
@@ -54,6 +66,7 @@ __all__ = [
     "SeedReferenceEngine",
     "run_fft_pipeline",
     "run_engine_bench",
+    "classify_case",
     "measure_faults_overhead",
     "format_bench",
     "diff_bench",
@@ -74,6 +87,10 @@ class _SeedReferenceTransport(MessagePassingTransport):
     """
 
     def reset(self) -> None:
+        # Parent reset provides what the inherited ``send`` needs (name
+        # interning, model-constant snapshots); the flat deque dicts then
+        # shadow the indexed structures with the seed's linear-scan ones.
+        super().reset()
         self._unclaimed = {}
         self._pending = {}
 
@@ -161,6 +178,9 @@ class SeedReferenceEngine(Engine):
 
     def __init__(self, nprocs, model=None, **kw):
         kw.setdefault("transport", _SeedReferenceTransport())
+        # The baseline is always the scalar core with uncached symbol
+        # tables, whatever REPRO_ENGINE_MODE says — it measures the seed.
+        kw.setdefault("engine", "scalar")
         super().__init__(nprocs, model, **kw)
 
     def run(self, program) -> RunStats:
@@ -326,33 +346,41 @@ def run_fft_pipeline(
     engine.declare("A", _linear_seg(extent, nprocs))
     engine.declare("B", _linear_seg(extent, nprocs))
 
+    # The placement is static, so the section descriptors (and the
+    # loop-invariant compute effects) are built once up front — the
+    # compile-time explicitness the engine's tag caches key off — rather
+    # than re-deriving ~4(P-1) fresh sections inside every node program.
+    secs = unit_sections_1d(1, extent)
+    col_fx = Compute(col_cost, flops=int(col_cost))
+    consume_fx = Compute(consume_cost, flops=int(consume_cost))
+
     def prog(ctx: ProcessorContext):
         P = ctx.nprocs
-        base = ctx.pid * P
+        pid = ctx.pid
+        base = pid * P
         # Post every receive up front: one incoming slab per peer.
         for src in range(P):
-            if src == ctx.pid:
+            if src == pid:
                 continue
-            sent_elem = section(src * P + ctx.pid + 1)
             yield RecvInit(
-                TransferKind.VALUE, "A", sent_elem,
-                into_var="B", into_sec=section(base + src + 1),
+                TransferKind.VALUE, "A", secs[src * P + pid],
+                into_var="B", into_sec=secs[base + src],
             )
         # Compute each column; ship it to its transpose owner immediately.
+        write = ctx.symtab.write
         for j in range(P):
-            yield Compute(col_cost, flops=int(col_cost))
-            if j == ctx.pid:
+            yield col_fx
+            if j == pid:
                 continue  # the diagonal column stays local
-            elem = section(base + j + 1)
-            ctx.symtab.write("A", elem, float(base + j))
+            elem = secs[base + j]
+            write("A", elem, float(base + j))
             yield Send(TransferKind.VALUE, "A", elem, dests=(j,))
         # Consume incoming slabs as they complete.
         for src in range(P):
-            if src == ctx.pid:
+            if src == pid:
                 continue
-            slab = section(base + src + 1)
-            yield WaitAccessible("B", slab)
-            yield Compute(consume_cost, flops=int(consume_cost))
+            yield WaitAccessible("B", secs[base + src])
+            yield consume_fx
 
     return engine.run(prog)
 
@@ -376,37 +404,142 @@ class BenchCase:
     messages: int
 
 
+def _batched_engine(nprocs, model=None, **kw) -> Engine:
+    """Engine factory pinned to the batched columnar core."""
+    kw.setdefault("engine", "batched")
+    return Engine(nprocs, model, **kw)
+
+
+def _execute(
+    program: str, nprocs: int, engine_cls, *, jobs_per_proc: int
+) -> RunStats:
+    """Run one bench program to completion; the timing is the caller's."""
+    if program == "workqueue":
+        njobs = jobs_per_proc * nprocs
+        costs = make_job_costs(njobs, skew=4.0, seed=7)
+        return run_workqueue(
+            njobs, nprocs, scheme="dynamic", costs=costs,
+            model=BENCH_MODEL, engine_cls=engine_cls,
+        ).stats
+    if program == "fft":
+        return run_fft_pipeline(nprocs, engine_cls=engine_cls)
+    raise ValueError(f"unknown bench program {program!r}")
+
+
 def _run_case(
     program: str,
     nprocs: int,
     engine_name: str,
-    engine_cls: type[Engine],
+    engine_cls,
     *,
     jobs_per_proc: int,
 ) -> BenchCase:
     t0 = time.perf_counter()
-    if program == "workqueue":
-        njobs = jobs_per_proc * nprocs
-        costs = make_job_costs(njobs, skew=4.0, seed=7)
-        stats = run_workqueue(
-            njobs, nprocs, scheme="dynamic", costs=costs,
-            model=BENCH_MODEL, engine_cls=engine_cls,
-        ).stats
-    elif program == "fft":
-        stats = run_fft_pipeline(nprocs, engine_cls=engine_cls)
-    else:
-        raise ValueError(f"unknown bench program {program!r}")
+    stats = _execute(program, nprocs, engine_cls, jobs_per_proc=jobs_per_proc)
     wall = time.perf_counter() - t0
+    # Rate guard: perf_counter can return equal stamps around a very fast
+    # run (coarse clock, suspended VM).  Clamp the divisor to the clock's
+    # plausible resolution instead of recording a zero or infinite rate,
+    # and round the rate to a whole number so recorded files diff cleanly.
+    rate = stats.effects_processed / max(wall, 1e-9)
     return BenchCase(
         program=program,
         nprocs=nprocs,
         engine=engine_name,
         wall_s=round(wall, 4),
         effects=stats.effects_processed,
-        effects_per_sec=round(stats.effects_processed / wall) if wall > 0 else 0,
+        effects_per_sec=int(round(rate)),
         makespan=stats.makespan,
         messages=stats.total_messages,
     )
+
+
+# ---------------------------------------------------------------------- #
+# DAMOV-style bottleneck classification
+# ---------------------------------------------------------------------- #
+
+#: Wall-time bucket per source area.  Python-level frames are attributed
+#: to the layer that owns the file; C primitives (dict/heapq/numpy calls)
+#: have no frame of their own and land in ``other``, so the buckets rank
+#: *interpreted* work — exactly the dispatch overhead the columnar core
+#: attacks.
+_WALL_BUCKETS = (
+    ("matching", ("/machine/transport/", "/machine/message.py",
+                  "/machine/reliable.py", "/machine/faults.py")),
+    ("dispatch", ("/machine/scheduler.py", "/machine/batched.py",
+                  "/machine/engine.py")),
+    ("completion", ("/runtime/symtab.py", "/runtime/memory.py",
+                    "/core/sections.py")),
+    ("app", ("/apps/",)),
+)
+
+
+def _classify_wall(profile: cProfile.Profile) -> dict[str, float]:
+    """Bucket a profile's per-frame internal time by engine layer."""
+    buckets = dict.fromkeys(
+        [name for name, _ in _WALL_BUCKETS] + ["other"], 0.0
+    )
+    for (filename, _lineno, _fn), (_cc, _nc, tt, _ct, _callers) in (
+        pstats.Stats(profile).stats.items()
+    ):
+        f = filename.replace("\\", "/")
+        for bucket, needles in _WALL_BUCKETS:
+            if any(n in f for n in needles):
+                buckets[bucket] += tt
+                break
+        else:
+            buckets["other"] += tt
+    total = sum(buckets.values())
+    if total <= 0.0:
+        return {k: 0.0 for k in buckets}
+    return {k: round(v / total, 4) for k, v in buckets.items()}
+
+
+def _classify_virtual(stats: RunStats) -> dict[str, float]:
+    """Split aggregate virtual processor-time into compute/network/fence."""
+    parts = {
+        "compute": stats.total_compute_time,
+        "network": stats.total_overhead,
+        "fence": stats.total_idle_time,
+    }
+    total = sum(parts.values())
+    if total <= 0.0:
+        return {k: 0.0 for k in parts}
+    return {k: round(v / total, 4) for k, v in parts.items()}
+
+
+def classify_case(
+    program: str,
+    nprocs: int,
+    engine_name: str,
+    engine_cls,
+    *,
+    jobs_per_proc: int,
+) -> dict:
+    """Profile one case and name its wall-time and virtual-time bottleneck.
+
+    The wall answer says where the *implementation* spends host time
+    (dispatch vs. matching vs. completion-application vs. the node
+    programs); the virtual answer says what the *simulated machine* is
+    bound by (compute vs. network occupancy vs. fence/idle time).  The
+    two axes are independent — e.g. a fence-bound program can still be
+    dispatch-bound on the host.
+    """
+    profile = cProfile.Profile()
+    profile.enable()
+    stats = _execute(program, nprocs, engine_cls, jobs_per_proc=jobs_per_proc)
+    profile.disable()
+    wall = _classify_wall(profile)
+    virtual = _classify_virtual(stats)
+    return {
+        "program": program,
+        "nprocs": nprocs,
+        "engine": engine_name,
+        "wall": wall,
+        "bottleneck_wall": max(wall, key=wall.__getitem__),
+        "virtual": virtual,
+        "bottleneck_virtual": max(virtual, key=virtual.__getitem__),
+    }
 
 
 def run_engine_bench(
@@ -416,29 +549,61 @@ def run_engine_bench(
     jobs_per_proc: int = 16,
     seed_reference: bool = True,
     seed_fft_max_procs: int = 64,
+    batched: bool = True,
+    classify: bool = True,
 ) -> dict:
     """Run the scaling sweep; return a JSON-serializable results dict.
 
-    The seed-reference baseline is skipped for the FFT transpose above
-    ``seed_fft_max_procs`` processors (its O(P) scan over O(P^2) effects
-    makes the baseline itself cubic — the very pathology the rewrite
-    removes).  When both engines run a case, their virtual results must
-    agree exactly; a mismatch raises.
+    Every case runs on the indexed scalar engine and (with ``batched``)
+    on the batched columnar core; the two must agree bit-for-bit on
+    makespan, message count, and effect count — the sweep doubles as a
+    cross-mode semantics regression.  The seed-reference baseline is
+    skipped for the FFT transpose above ``seed_fft_max_procs``
+    processors (its O(P) scan over O(P^2) effects makes the baseline
+    itself cubic — the very pathology the rewrite removes).  When both
+    engines run a case, their virtual results must agree exactly; a
+    mismatch raises.  With ``classify``, the largest case of each
+    program is profiled once per engine and its bottleneck recorded
+    (see :func:`classify_case`).
     """
     # Untimed warmup: the first engine run in a process pays one-time
     # numpy/code-path initialization that would otherwise be billed to
     # whichever case happens to run first.
-    for engine_cls in (Engine, SeedReferenceEngine) if seed_reference else (Engine,):
+    warm: list = [Engine]
+    if batched:
+        warm.append(_batched_engine)
+    if seed_reference:
+        warm.append(SeedReferenceEngine)
+    for engine_cls in warm:
         _run_case("workqueue", 2, "warmup", engine_cls, jobs_per_proc=2)
 
     cases: list[BenchCase] = []
     speedups: dict[str, float] = {}
+    batched_speedups: dict[str, float] = {}
     for program in programs:
         for nprocs in nprocs_list:
             new = _run_case(
                 program, nprocs, "indexed", Engine, jobs_per_proc=jobs_per_proc
             )
             cases.append(new)
+            if batched:
+                fast = _run_case(
+                    program, nprocs, "batched", _batched_engine,
+                    jobs_per_proc=jobs_per_proc,
+                )
+                cases.append(fast)
+                if (fast.makespan, fast.messages, fast.effects) != (
+                    new.makespan, new.messages, new.effects
+                ):
+                    raise AssertionError(
+                        f"engine modes diverged on {program}@{nprocs}: "
+                        f"batched {(fast.makespan, fast.messages, fast.effects)}"
+                        f" vs scalar {(new.makespan, new.messages, new.effects)}"
+                    )
+                if new.effects_per_sec:
+                    batched_speedups[f"{program}@{nprocs}"] = round(
+                        fast.effects_per_sec / new.effects_per_sec, 2
+                    )
             if not seed_reference:
                 continue
             if program == "fft" and nprocs > seed_fft_max_procs:
@@ -460,8 +625,20 @@ def run_engine_bench(
                 speedups[f"{program}@{nprocs}"] = round(
                     new.effects_per_sec / old.effects_per_sec, 2
                 )
+    classifier: list[dict] = []
+    if classify:
+        top = max(nprocs_list)
+        engines: list[tuple[str, object]] = [("indexed", Engine)]
+        if batched:
+            engines.append(("batched", _batched_engine))
+        for program in programs:
+            for engine_name, engine_cls in engines:
+                classifier.append(classify_case(
+                    program, top, engine_name, engine_cls,
+                    jobs_per_proc=jobs_per_proc,
+                ))
     return {
-        "schema": 1,
+        "schema": 2,
         "config": {
             "nprocs": list(nprocs_list),
             "programs": list(programs),
@@ -470,6 +647,8 @@ def run_engine_bench(
         },
         "cases": [asdict(c) for c in cases],
         "speedups": speedups,
+        "batched_speedups": batched_speedups,
+        "classifier": classifier,
         "faults_off": measure_faults_overhead(
             min(64, max(nprocs_list)), jobs_per_proc=jobs_per_proc
         ),
@@ -491,6 +670,27 @@ def format_bench(results: dict) -> str:
     if results.get("speedups"):
         pairs = ", ".join(f"{k}: {v}x" for k, v in results["speedups"].items())
         lines.append(f"speedup vs seed engine — {pairs}")
+    if results.get("batched_speedups"):
+        pairs = ", ".join(
+            f"{k}: {v}x" for k, v in results["batched_speedups"].items()
+        )
+        lines.append(f"batched core vs scalar mode — {pairs}")
+    for e in results.get("classifier", []):
+        wall = e["wall"]
+        virt = e["virtual"]
+        wall_s = ", ".join(
+            f"{k} {wall[k] * 100:.0f}%"
+            for k in ("dispatch", "matching", "completion", "app", "other")
+        )
+        virt_s = ", ".join(
+            f"{k} {virt[k] * 100:.0f}%"
+            for k in ("compute", "network", "fence")
+        )
+        lines.append(
+            f"bottleneck {e['program']}@{e['nprocs']} ({e['engine']}): "
+            f"wall -> {e['bottleneck_wall']} ({wall_s}); "
+            f"virtual -> {e['bottleneck_virtual']} ({virt_s})"
+        )
     fo = results.get("faults_off")
     if fo:
         lines.append(
@@ -516,12 +716,12 @@ def diff_bench(old: dict, new: dict) -> str:
         if prev is None:
             lines.append(f"{label:32s} {'-':>10s} {c['effects_per_sec']:10d}")
             continue
-        ratio = (
-            c["effects_per_sec"] / prev["effects_per_sec"]
-            if prev["effects_per_sec"] else float("inf")
-        )
+        if prev["effects_per_sec"]:
+            ratio = f"{c['effects_per_sec'] / prev['effects_per_sec']:6.2f}x"
+        else:
+            ratio = f"{'-':>7s}"  # unusable record (zero-rate guard hit)
         lines.append(
             f"{label:32s} {prev['effects_per_sec']:10d} "
-            f"{c['effects_per_sec']:10d} {ratio:6.2f}x"
+            f"{c['effects_per_sec']:10d} {ratio}"
         )
     return "\n".join(lines)

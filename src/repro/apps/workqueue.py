@@ -161,29 +161,40 @@ def run_workqueue(
     claimed: dict[int, int] = {p: 0 for p in range(1, nprocs)}
 
     job_sec = section(1)
+    # Effects are immutable values; the loop-invariant ones are built once
+    # (explicit compile-time placement extends to the effect stream).
+    send_job = Send(TransferKind.VALUE, "JOB", job_sec)
+    compute_job = [
+        Compute(float(c), flops=int(c)) for c in job_costs
+    ]
 
     def dynamic(ctx: ProcessorContext):
         if ctx.pid == 0:
             # Master: one send per job, then one sentinel per worker.
+            write = ctx.symtab.write
             for j in range(1, njobs + 1):
-                ctx.symtab.write("JOB", job_sec, float(j))
-                yield Send(TransferKind.VALUE, "JOB", job_sec)
+                write("JOB", job_sec, float(j))
+                yield send_job
             for _ in range(nprocs - 1):
-                ctx.symtab.write("JOB", job_sec, 0.0)
-                yield Send(TransferKind.VALUE, "JOB", job_sec)
+                write("JOB", job_sec, 0.0)
+                yield send_job
             return
         my_slot = section(ctx.pid + 1)
+        recv_job = RecvInit(
+            TransferKind.VALUE, "JOB", job_sec,
+            into_var="SLOT", into_sec=my_slot,
+        )
+        await_slot = WaitAccessible("SLOT", my_slot)
+        read = ctx.symtab.read
+        pid = ctx.pid
         while True:
-            yield RecvInit(
-                TransferKind.VALUE, "JOB", job_sec,
-                into_var="SLOT", into_sec=my_slot,
-            )
-            yield WaitAccessible("SLOT", my_slot)
-            job_id = int(ctx.symtab.read("SLOT", my_slot)[0])
+            yield recv_job
+            yield await_slot
+            job_id = int(read("SLOT", my_slot)[0])
             if job_id == 0:
                 return
-            claimed[ctx.pid] += 1
-            yield Compute(float(job_costs[job_id - 1]), flops=int(job_costs[job_id - 1]))
+            claimed[pid] += 1
+            yield compute_job[job_id - 1]
 
     def static(ctx: ProcessorContext):
         if ctx.pid == 0:

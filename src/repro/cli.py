@@ -394,6 +394,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         programs,
         jobs_per_proc=args.jobs_per_proc,
         seed_reference=not args.no_seed_reference,
+        batched=not args.no_batched,
+        classify=not args.no_classify,
     )
     print(format_bench(results))
     if args.diff:
@@ -552,6 +554,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="workqueue jobs per processor")
     b.add_argument("--no-seed-reference", action="store_true",
                    help="skip the (slow) seed-engine baseline runs")
+    b.add_argument("--no-batched", action="store_true",
+                   help="skip the batched columnar-core runs")
+    b.add_argument("--no-classify", action="store_true",
+                   help="skip the profiled bottleneck classification")
     b.add_argument("--out", default="BENCH_engine.json",
                    help="where to record results")
     b.add_argument("--diff", metavar="FILE",

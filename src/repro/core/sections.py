@@ -31,6 +31,7 @@ __all__ = [
     "Section",
     "triplet",
     "section",
+    "unit_sections_1d",
     "covers",
     "disjoint_cover_equal",
     "triplet_difference",
@@ -171,7 +172,7 @@ def triplet(lo: int, hi: int | None = None, step: int = 1) -> Triplet:
     return Triplet(lo, hi, step)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True)
 class Section:
     """A concrete rank-``r`` section: the Cartesian product of ``r`` triplets.
 
@@ -179,7 +180,13 @@ class Section:
     belongs to.  The IR pairs a variable name with a ``Section`` (see
     :mod:`repro.core.ir.nodes`); the run-time symbol table stores segment
     bounds as ``Section`` objects (paper Figure 2's ``segdesc`` records).
+
+    Sections are immutable and serve as the engine's rendezvous *tags*
+    (dict keys on every send/receive/ownership operation), so the hash,
+    element count and shape are memoized lazily in non-field slots.
     """
+
+    __slots__ = ("dims", "_hash", "_size", "_shape")
 
     dims: tuple[Triplet, ...]
 
@@ -188,6 +195,30 @@ class Section:
             object.__setattr__(self, "dims", tuple(self.dims))
         if not self.dims:
             raise ValueError("a section must have rank >= 1")
+        # Eager sentinels: a None check on access is ~10x cheaper than
+        # catching AttributeError on single-use sections (intersections).
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_size", None)
+        object.__setattr__(self, "_shape", None)
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash(self.dims)
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    # Manual __slots__ (rather than ``slots=True``) leaves room for the
+    # memo slots; restate the state protocol the dataclass machinery
+    # would otherwise synthesize, skipping the memos.
+    def __getstate__(self):
+        return (self.dims,)
+
+    def __setstate__(self, state) -> None:
+        object.__setattr__(self, "dims", state[0])
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_size", None)
+        object.__setattr__(self, "_shape", None)
 
     # ------------------------------------------------------------------ #
     # basic queries
@@ -200,14 +231,21 @@ class Section:
     @property
     def size(self) -> int:
         """Number of elements in the section."""
-        n = 1
-        for t in self.dims:
-            n *= t.size
+        n = self._size
+        if n is None:
+            n = 1
+            for t in self.dims:
+                n *= t.size
+            object.__setattr__(self, "_size", n)
         return n
 
     @property
     def shape(self) -> tuple[int, ...]:
-        return tuple(t.size for t in self.dims)
+        s = self._shape
+        if s is None:
+            s = tuple(t.size for t in self.dims)
+            object.__setattr__(self, "_shape", s)
+        return s
 
     def __contains__(self, point: Sequence[int]) -> bool:
         if len(point) != self.rank:
@@ -263,6 +301,32 @@ class Section:
 
     def __str__(self) -> str:
         return "[" + ",".join(str(t) for t in self.dims) + "]"
+
+
+def unit_sections_1d(lo: int, hi: int, step: int = 1) -> list[Section]:
+    """One single-member rank-1 section per member of ``lo:hi:step``.
+
+    The bulk twin of ``[section(v) for v in range(lo, hi + 1, step)]``:
+    segment tables with unit segment shape hold one such section per owned
+    element, and at scale the validating constructors dominate declaration
+    time, so the (trivially valid) objects are built directly.
+    """
+    out: list[Section] = []
+    append = out.append
+    new = object.__new__
+    setattr_ = object.__setattr__
+    for v in range(lo, hi + 1, step):
+        t = new(Triplet)
+        setattr_(t, "lo", v)
+        setattr_(t, "hi", v)
+        setattr_(t, "step", 1)
+        sec = new(Section)
+        setattr_(sec, "dims", (t,))
+        setattr_(sec, "_hash", None)
+        setattr_(sec, "_size", 1)
+        setattr_(sec, "_shape", (1,))
+        append(sec)
+    return out
 
 
 def section(*dims: Triplet | int | tuple[int, int] | tuple[int, int, int]) -> Section:

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from ..core.errors import DistributionError
-from ..core.sections import Section, Triplet
+from ..core.sections import Section, Triplet, unit_sections_1d
 from .layout import Distribution
 
 __all__ = ["Segmentation", "chunk_triplet"]
@@ -93,6 +93,13 @@ class Segmentation:
             return cached
         out: list[Section] = []
         for owned in self.distribution.owned_sections(pid):
+            if self.segment_shape == (1,) and len(owned.dims) == 1:
+                # Unit rank-1 segments — one per owned member, exactly what
+                # chunk_triplet + rec below would build (single-member
+                # chunks canonicalize to step 1), bulk-constructed.
+                t = owned.dims[0]
+                out.extend(unit_sections_1d(t.lo, t.hi, t.step))
+                continue
             per_dim = [
                 chunk_triplet(t, m) for t, m in zip(owned.dims, self.segment_shape)
             ]

@@ -2,7 +2,15 @@
 effects, per-processor memory, statistics, and the discrete-event engine."""
 
 from .effects import Compute, Effect, Log, RecvInit, Send, WaitAccessible
-from .engine import BACKENDS, HEADER_BYTES, Engine, NodeProgram, ProcessorContext
+from .engine import (
+    BACKENDS,
+    ENGINE_MODES,
+    HEADER_BYTES,
+    Engine,
+    NodeProgram,
+    ProcessorContext,
+    default_engine_mode,
+)
 from .scheduler import Scheduler
 from .transport import (
     FaultInjection,
@@ -31,6 +39,8 @@ __all__ = [
     "NodeProgram",
     "HEADER_BYTES",
     "BACKENDS",
+    "ENGINE_MODES",
+    "default_engine_mode",
     "Scheduler",
     "Transport",
     "MessagePassingTransport",

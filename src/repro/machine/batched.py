@@ -1,0 +1,436 @@
+"""The columnar/batched execution core (``engine="batched"``).
+
+The scalar loop of :mod:`repro.machine.scheduler` pays the full generic
+dispatch price for every effect: one heap pop, an isinstance chain, a
+deferred-application closure per completion, and a fresh symbol-table
+section resolution per touch.  At bench scale that machinery — not
+virtual-time algorithmics — is the throughput ceiling (the DAMOV
+observation: measure the bottleneck class before optimizing it).
+
+This core keeps the *explicit* representation the paper argues for at
+compile time available at run time too:
+
+* **Deadline columns** — per-processor completion deadlines live in one
+  flat column (``next_due``; exported as a numpy array by
+  :meth:`BatchedState.deadline_column`); the pending completions
+  themselves are plain ``(time, seq, fin, var, sec, payload, nbytes)``
+  tuples in per-processor heaps — data, not closures.  A processor's due
+  work is a single column compare away, and the end-of-run flush selects
+  leftover work with one scan of the column.  (Measured: the hot loop
+  reads one deadline per effect, and a Python-list scalar read beats a
+  numpy scalar index ~3x at that grain, so the column is a list and the
+  numpy view is materialized on demand.)
+* **Ready frontier** — each tick pops the *entire* run of queue entries
+  at the minimum virtual time and steps them as one batch in pid order,
+  instead of re-sifting the heap between same-time effects.  Lockstep
+  phases (the FFT transpose) produce frontiers of width P.
+* **Memoized placement resolution** — the symbol tables of a batched
+  engine run with their section-resolution cache enabled (see
+  :meth:`~repro.runtime.symtab.RuntimeSymbolTable.enable_section_cache`),
+  so the owned-segment lookup behind every send/receive/await is a dict
+  hit instead of a fresh interval intersection.
+
+Semantics are bit-identical to the scalar core — same min-``(clock,
+pid)`` total order, same FIFO-by-seq matching (the shared sequence
+counter is drawn in exactly the scalar order), same completion
+``(time, seq)`` application order, same deadlock reports.  The
+equivalence suite in ``tests/test_transport_contract.py`` pins this, and
+the scalar loop remains the semantic oracle: faults, reliable delivery,
+and tracing all run scalar (see ``Scheduler._use_batched_core``).
+
+A measured note on "why still a heap": with continuous clock
+distributions (the workqueue) frontiers are near-singletons, and a
+vectorized argmin over a P-wide clock column costs more per effect than
+one O(log P) heap pop; the columns earn their keep on the completion
+path and on wide frontiers.  ``repro bench --classify`` records where
+the time actually goes.
+"""
+
+from __future__ import annotations
+
+import gc
+import heapq
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.errors import BudgetExhaustedError, ProtocolError
+from .effects import Compute, Log, RecvInit, Send, WaitAccessible
+from .message import TransferKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .message import Message
+    from .scheduler import Scheduler, _Proc
+    from .transport.base import PendingRecv
+
+__all__ = ["BatchedState", "run_batched"]
+
+_INF = float("inf")
+
+
+class BatchedState:
+    """Per-run columnar state of the batched core.
+
+    ``next_due`` is the per-processor earliest-completion-deadline
+    column; ``comp_q`` holds each
+    processor's pending completions as ``(time, seq, fin, var, sec,
+    payload, nbytes)`` tuples in a heap (``fin`` selects the symtab
+    completion routine: 0 = value receive, 1 = ownership receive).
+    ``seq`` is globally unique, so tuple ordering never compares
+    payloads.
+    """
+
+    __slots__ = ("next_due", "comp_q", "cur_clock", "preempt")
+
+    def __init__(self, nprocs: int):
+        #: Earliest pending-completion deadline per processor.  A plain
+        #: Python list: the hot loop reads one scalar per effect, and a
+        #: C-float list read is ~3x cheaper than a numpy scalar index;
+        #: :meth:`deadline_column` materializes the numpy view on demand.
+        self.next_due: list[float] = [_INF] * nprocs
+        self.comp_q: list[list[tuple]] = [[] for _ in range(nprocs)]
+        #: Virtual time of the frontier currently being stepped.
+        self.cur_clock = 0.0
+        #: Set when a wake-up produces a runnable processor at the current
+        #: frontier time — the frontier must be abandoned and reselected
+        #: so the min-(clock, pid) total order is preserved.
+        self.preempt = False
+
+    def deadline_column(self) -> np.ndarray:
+        """The completion-deadline column as a numpy array (diagnostics)."""
+        return np.asarray(self.next_due, dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+
+    def complete(
+        self, core: "Scheduler", msg: "Message", recv: "PendingRecv",
+        ctime: float,
+    ) -> None:
+        """Columnar twin of :meth:`Scheduler.complete` — same validation,
+        same ``(time, seq)`` order, no closure allocation."""
+        pid = recv.pid
+        receiver = core._procs[pid]
+        msg.claimed = True
+        payload = msg.payload
+        if msg.kind is TransferKind.VALUE:
+            expected = recv.into_sec.size
+            got = 0 if payload is None else payload.size
+            if got != expected:
+                raise ProtocolError(
+                    f"section mismatch: message {msg.name} carries {got} "
+                    f"elements, receive destination "
+                    f"{recv.into_var}{recv.into_sec} has {expected} "
+                    "(paper section 2.7: results unpredictable)"
+                )
+            fin = 0
+        else:
+            fin = 1
+        heapq.heappush(
+            self.comp_q[pid],
+            (
+                ctime, next(core._seq), fin, recv.into_var, recv.into_sec,
+                payload, 0 if payload is None else payload.nbytes,
+            ),
+        )
+        if ctime < self.next_due[pid]:
+            self.next_due[pid] = ctime
+        receiver.stats.msgs_received += 1
+        if receiver.blocked_on is not None:
+            self.unblock(core, receiver)
+
+    def unblock(self, core: "Scheduler", proc: "_Proc") -> bool:
+        """Columnar twin of :meth:`Scheduler._try_unblock` for one
+        processor: drain completions until the awaited section is
+        accessible, then re-queue the processor at its wake time."""
+        var_w, sec_w = proc.blocked_on
+        st = proc.ctx.symtab
+        pid = proc.pid
+        q = self.comp_q[pid]
+        stats = proc.stats
+        t0 = proc.clock
+        woke = False
+        while q:
+            t, _s, fin, var, sec, payload, nbytes = heapq.heappop(q)
+            if fin:
+                st.complete_ownership_receive(var, sec, payload)
+            else:
+                st.complete_value_receive(var, sec, payload)
+            stats.bytes_received += nbytes
+            if st.accessible(var_w, sec_w):
+                if t > proc.clock:
+                    proc.clock = t
+                stats.idle_time += proc.clock - t0
+                proc.blocked_on = None
+                proc.send_value = True
+                proc.nqueued += 1
+                heapq.heappush(core._runq, (proc.clock, pid))
+                if proc.clock <= self.cur_clock:
+                    self.preempt = True
+                woke = True
+                break
+        self.next_due[pid] = q[0][0] if q else _INF
+        return woke
+
+
+def _do_wait(core, bs, proc, eff, q) -> None:
+    """Columnar twin of :meth:`Scheduler._do_wait`."""
+    st = proc.ctx.symtab
+    pid = proc.pid
+    clock = proc.clock
+    stats = proc.stats
+    heappop = heapq.heappop
+    next_due = bs.next_due
+    while q and q[0][0] <= clock:
+        _t, _s, fin, var, sec, payload, nbytes = heappop(q)
+        if fin:
+            st.complete_ownership_receive(var, sec, payload)
+        else:
+            st.complete_value_receive(var, sec, payload)
+        stats.bytes_received += nbytes
+    var_w, sec_w = eff.var, eff.sec
+    if st.accessible(var_w, sec_w):
+        next_due[pid] = q[0][0] if q else _INF
+        proc.send_value = True
+        return
+    # Drain future completions until the section becomes accessible.
+    while q:
+        t, _s, fin, var, sec, payload, nbytes = heappop(q)
+        if fin:
+            st.complete_ownership_receive(var, sec, payload)
+        else:
+            st.complete_value_receive(var, sec, payload)
+        stats.bytes_received += nbytes
+        if st.accessible(var_w, sec_w):
+            if t > proc.clock:
+                proc.clock = t
+            stats.idle_time += proc.clock - clock
+            next_due[pid] = q[0][0] if q else _INF
+            proc.send_value = True
+            return
+    # Nothing scheduled can wake us: block until a new match appears.
+    next_due[pid] = _INF
+    proc.blocked_on = (var_w, sec_w)
+
+
+def _step_effect_fallback(core, bs, proc, effect, q) -> None:
+    """Effect-subclass tolerance: the hot loop dispatches on exact type;
+    subclasses of the effect dataclasses land here (isinstance chain,
+    mirroring the scalar ``_step``)."""
+    if isinstance(effect, Compute):
+        proc.clock += effect.cost
+        proc.stats.compute_time += effect.cost
+        proc.stats.flops += effect.flops
+    elif isinstance(effect, Send):
+        core.transport.send(proc, effect)
+    elif isinstance(effect, RecvInit):
+        core.transport.recv_init(proc, effect)
+    elif isinstance(effect, WaitAccessible):
+        _do_wait(core, bs, proc, effect, q)
+    elif isinstance(effect, Log):
+        core._logs.append((proc.clock, proc.pid, effect.text))
+    else:
+        raise TypeError(f"unknown effect {effect!r} from P{proc.pid + 1}")
+
+
+def run_batched(core: "Scheduler", procs: "list[_Proc]") -> None:
+    """Run the loaded node programs to completion on the columnar core.
+
+    Mirrors ``Scheduler._run_loop`` + ``_step`` with the generic
+    machinery stripped: effects dispatch on exact type, completions are
+    tuples applied straight from the deadline columns, and every run of
+    equal-time queue entries is stepped as one ready frontier.
+    """
+    nprocs = core.nprocs
+    bs = core._bstate = BatchedState(nprocs)
+    transport = core.transport
+    t_send = transport.send
+    t_recv = transport.recv_init
+    logs = core._logs
+    comp_q = bs.comp_q
+    next_due = bs.next_due
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    runq = core._runq = [(0.0, pid) for pid in range(nprocs)]
+    for p in procs:
+        p.nqueued = 1
+    budget = core.max_effects
+    effects = 0
+    # The run allocates heavily (messages, sections, completion tuples)
+    # but creates no reference cycles of its own; cyclic GC passes over
+    # the live simulation state are pure overhead (~40% wall on
+    # cache-heavy runs), so collection is suspended for the duration.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        while True:
+            if not runq:
+                if all(p.done for p in procs):
+                    break
+                blocked = [p for p in procs if p.blocked_on is not None]
+                woke = False
+                for p in blocked:
+                    woke = bs.unblock(core, p) or woke
+                if woke:
+                    continue
+                core._report_deadlock(blocked)
+                continue
+            clock, pid = heappop(runq)
+            proc = procs[pid]
+            proc.nqueued -= 1
+            if proc.done or proc.blocked_on is not None:
+                continue
+            if proc.clock != clock:
+                # Stale key for a runnable processor: re-queue under the
+                # corrected key if this was its only live entry.
+                if proc.nqueued == 0:
+                    proc.nqueued = 1
+                    heappush(runq, (proc.clock, pid))
+                continue
+            # -- select the whole ready frontier at this tick ---------- #
+            # Heap pops of equal-clock entries arrive in pid order, so the
+            # frontier list is the exact min-(clock, pid) prefix.
+            frontier = [pid]
+            while runq and runq[0][0] == clock:
+                qpid = heappop(runq)[1]
+                qp = procs[qpid]
+                qp.nqueued -= 1
+                if not qp.done and qp.blocked_on is None:
+                    if qp.clock == clock:
+                        frontier.append(qpid)
+                    elif qp.nqueued == 0:
+                        qp.nqueued = 1
+                        heappush(runq, (qp.clock, qpid))
+            bs.cur_clock = clock
+            bs.preempt = False
+            fi = 0
+            nfront = len(frontier)
+            while fi < nfront:
+                fpid = frontier[fi]
+                fi += 1
+                proc = procs[fpid]
+                gen = proc.gen
+                gen_send = gen.send
+                stats = proc.stats
+                q = comp_q[fpid]
+                while True:
+                    pclock = proc.clock
+                    if next_due[fpid] <= pclock:
+                        # Batch-apply the due completions before stepping
+                        # (the scalar path's _apply_due_completions).
+                        st = proc.ctx.symtab
+                        while q and q[0][0] <= pclock:
+                            _t, _s, fin, var, sec, payload, nbytes = \
+                                heappop(q)
+                            if fin:
+                                st.complete_ownership_receive(
+                                    var, sec, payload
+                                )
+                            else:
+                                st.complete_value_receive(var, sec, payload)
+                            stats.bytes_received += nbytes
+                        next_due[fpid] = q[0][0] if q else _INF
+                    budget -= 1
+                    if budget < 0:
+                        raise BudgetExhaustedError(
+                            f"effect budget ({core.max_effects}) exhausted "
+                            "— this is a resource limit, not a proven "
+                            "deadlock: raise max_effects for long programs, "
+                            "or suspect a runaway program or livelock"
+                        )
+                    effects += 1
+                    try:
+                        effect = gen_send(proc.send_value)
+                    except StopIteration:
+                        proc.done = True
+                        stats.finish_time = proc.clock
+                        break
+                    proc.send_value = None
+                    cls = effect.__class__
+                    if cls is Compute:
+                        cost = effect.cost
+                        proc.clock = pclock + cost
+                        stats.compute_time += cost
+                        stats.flops += effect.flops
+                    elif cls is RecvInit:
+                        t_recv(proc, effect)
+                    elif cls is Send:
+                        t_send(proc, effect)
+                    elif cls is WaitAccessible:
+                        _do_wait(core, bs, proc, effect, q)
+                        if proc.blocked_on is not None:
+                            break
+                    elif cls is Log:
+                        logs.append((proc.clock, fpid, effect.text))
+                    else:
+                        _step_effect_fallback(core, bs, proc, effect, q)
+                        if proc.blocked_on is not None:
+                            break
+                    nc = proc.clock
+                    if nc != clock:
+                        # Still globally next at the advanced clock?  Then
+                        # keep stepping this processor without the heap
+                        # round-trip and frontier reselect.  Sound because
+                        # every competing step is either a runq entry
+                        # (compared against, and stale keys only ever
+                        # understate a processor's true clock) or a wake,
+                        # which lands in runq or raises ``preempt``.
+                        if (
+                            not bs.preempt
+                            and fi == nfront
+                            and (
+                                not runq
+                                or nc < runq[0][0]
+                                or (nc == runq[0][0] and fpid < runq[0][1])
+                            )
+                        ):
+                            clock = nc
+                            bs.cur_clock = nc
+                            continue
+                        proc.nqueued += 1
+                        heappush(runq, (nc, fpid))
+                        break
+                    if bs.preempt:
+                        break
+                if bs.preempt:
+                    # A zero-cost wake introduced a runnable processor at
+                    # this very tick: put the unfinished frontier back and
+                    # reselect, so the woken processor is ordered by pid.
+                    if not proc.done and proc.blocked_on is None \
+                            and proc.nqueued == 0:
+                        proc.nqueued = 1
+                        heappush(runq, (proc.clock, proc.pid))
+                    for qpid in frontier[fi:]:
+                        qp = procs[qpid]
+                        if not qp.done and qp.blocked_on is None \
+                                and qp.nqueued == 0:
+                            qp.nqueued = 1
+                            heappush(runq, (qp.clock, qpid))
+                    break
+        # -- end of run: flush leftover completions --------------------- #
+        # Never-awaited receives still deliver; the deadline column names
+        # exactly the processors with work left.
+        for lpid, due in enumerate(next_due):
+            if due == _INF:
+                continue
+            p = procs[lpid]
+            q = comp_q[lpid]
+            st = p.ctx.symtab
+            stats = p.stats
+            finish = stats.finish_time
+            while q:
+                t, _s, fin, var, sec, payload, nbytes = heappop(q)
+                if fin:
+                    st.complete_ownership_receive(var, sec, payload)
+                else:
+                    st.complete_value_receive(var, sec, payload)
+                stats.bytes_received += nbytes
+                if t > finish:
+                    finish = t
+            stats.finish_time = finish
+            next_due[lpid] = _INF
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        core._effects += effects

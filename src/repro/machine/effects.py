@@ -26,7 +26,7 @@ from .message import TransferKind
 __all__ = ["Compute", "Send", "RecvInit", "WaitAccessible", "Log", "Effect"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Compute:
     """Local computation occupying the processor for ``cost`` time units."""
 
@@ -35,7 +35,7 @@ class Compute:
     what: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Send:
     """Initiation of a send statement.
 
@@ -52,7 +52,7 @@ class Send:
     dests: tuple[int, ...] | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RecvInit:
     """Initiation of a receive statement.
 
@@ -73,7 +73,7 @@ class RecvInit:
         return self.into_var, self.into_sec
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WaitAccessible:
     """Block until the named section is accessible on this processor."""
 
@@ -81,7 +81,7 @@ class WaitAccessible:
     sec: Section
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Log:
     """A trace-visible message from the program (used by the debugger-
     monitor example; costs nothing)."""

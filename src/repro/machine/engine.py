@@ -64,11 +64,13 @@ from .faults import FaultModel
 from .model import MachineModel
 from .reliable import ReliableTransport
 from .scheduler import (  # noqa: F401  (re-exported: public API + bench shims)
+    ENGINE_MODES,
     NodeProgram,
     ProcessorContext,
     Scheduler,
     _Completion,
     _Proc,
+    default_engine_mode,
 )
 from .transport import (
     BACKENDS,
@@ -81,7 +83,15 @@ from .transport.base import PendingRecv as _PendingRecv  # noqa: F401 (bench shi
 from .transport.base import RecvIndex as _RecvIndex  # noqa: F401 (bench shim)
 from .transport.msg import HEADER_BYTES  # noqa: F401  (re-export)
 
-__all__ = ["Engine", "ProcessorContext", "NodeProgram", "HEADER_BYTES", "BACKENDS"]
+__all__ = [
+    "BACKENDS",
+    "ENGINE_MODES",
+    "Engine",
+    "HEADER_BYTES",
+    "NodeProgram",
+    "ProcessorContext",
+    "default_engine_mode",
+]
 
 
 class Engine(Scheduler):
@@ -94,6 +104,13 @@ class Engine(Scheduler):
     middleware stacks).  ``faults``/``reliable`` wrap the chosen backend
     in the corresponding middleware exactly as the monolithic engine
     behaved: reliable delivery *replaces* the raw lossy path.
+
+    ``engine`` selects the execution core (``"scalar"`` or ``"batched"``;
+    default: the ``REPRO_ENGINE_MODE`` environment variable, else
+    ``scalar``).  Both cores are virtual-time bit-identical; the batched
+    core is the columnar fast path of :mod:`repro.machine.batched` and
+    silently defers to the scalar oracle whenever faults, reliable
+    delivery, or tracing are active.
     """
 
     def __init__(
@@ -109,6 +126,7 @@ class Engine(Scheduler):
         reliable: ReliableTransport | None = None,
         backend: str | None = None,
         transport: Transport | None = None,
+        engine: str | None = None,
     ):
         if transport is None:
             transport = make_transport(backend)
@@ -131,6 +149,7 @@ class Engine(Scheduler):
             seed=seed,
             faults=faults,
             reliable=reliable,
+            engine=engine,
         )
 
     @property

@@ -30,6 +30,11 @@ class TransferKind(enum.Enum):
     OWNERSHIP = "ownership"  # E =>   /  U <=
     OWN_VALUE = "own_value"  # E -=>  /  U <=-
 
+    # Members are singletons compared by identity, so the C-level identity
+    # hash is equivalent to (and ~5x cheaper than) Enum.__hash__, which is
+    # a Python-level call — and a kind sits in every rendezvous-tag key.
+    __hash__ = object.__hash__
+
     @property
     def moves_value(self) -> bool:
         return self is not TransferKind.OWNERSHIP
@@ -41,16 +46,40 @@ class TransferKind(enum.Enum):
 
 @dataclass(frozen=True)
 class MessageName:
-    """The tag associating a send with its receive: variable + section."""
+    """The tag associating a send with its receive: variable + section.
+
+    Hashed on every pool/pending-index lookup; the hash is memoized in a
+    non-field slot (sections, and hence names, are immutable).
+    """
+
+    __slots__ = ("var", "sec", "_hash")
 
     var: str
     sec: Section
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", None)
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash((self.var, self.sec))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __getstate__(self):
+        return (self.var, self.sec)
+
+    def __setstate__(self, state) -> None:
+        object.__setattr__(self, "var", state[0])
+        object.__setattr__(self, "sec", state[1])
+        object.__setattr__(self, "_hash", None)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.var}{self.sec}"
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One in-flight transfer."""
 

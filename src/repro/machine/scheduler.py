@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
 import random
 from collections import deque
 from dataclasses import dataclass
@@ -55,10 +56,33 @@ from .stats import ProcStats, RunStats, TraceEvent
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .transport.base import PendingRecv, Transport
 
-__all__ = ["Scheduler", "ProcessorContext", "NodeProgram"]
+__all__ = [
+    "ENGINE_MODES",
+    "NodeProgram",
+    "ProcessorContext",
+    "Scheduler",
+    "default_engine_mode",
+]
 
 # Verdicts of the per-processor fault check at scheduling time.
 _STEP, _REQUEUE, _CRASHED = "step", "requeue", "crashed"
+
+#: Execution cores of the scheduler.  ``scalar`` is the one-heap-pop-per-
+#: effect loop below — the semantic oracle; ``batched`` is the columnar
+#: ready-frontier core of :mod:`repro.machine.batched`, which must be
+#: virtual-time bit-identical and falls back to scalar whenever faults,
+#: reliable delivery, or tracing are active.
+ENGINE_MODES = ("scalar", "batched")
+
+
+def default_engine_mode() -> str:
+    """Engine mode selected by ``REPRO_ENGINE_MODE`` (default: scalar)."""
+    mode = os.environ.get("REPRO_ENGINE_MODE", "scalar")
+    if mode not in ENGINE_MODES:
+        raise ValueError(
+            f"REPRO_ENGINE_MODE={mode!r} is not one of {ENGINE_MODES}"
+        )
+    return mode
 
 
 @dataclass
@@ -91,7 +115,7 @@ NodeProgram = Callable[[ProcessorContext], Generator[Effect, object, None]]
 class _Proc:
     __slots__ = (
         "pid", "ctx", "gen", "clock", "blocked_on", "done", "crashed",
-        "completions", "stats", "send_value",
+        "completions", "stats", "send_value", "nqueued",
     )
 
     def __init__(self, pid: int, ctx: ProcessorContext, gen: Generator):
@@ -105,6 +129,7 @@ class _Proc:
         self.completions: list[_Completion] = []  # heap
         self.stats = ProcStats(pid)
         self.send_value: object = None  # value sent into the generator on resume
+        self.nqueued = 0  # live run-queue entries naming this processor
 
     @property
     def runnable(self) -> bool:
@@ -127,12 +152,18 @@ class Scheduler:
         seed: int = 0,
         faults: FaultModel | None = None,
         reliable: ReliableTransport | None = None,
+        engine: str | None = None,
     ):
         self.nprocs = nprocs
         self.model = model if model is not None else MachineModel()
         self.strict = strict
         self.trace_enabled = trace
         self.max_effects = max_effects
+        self.engine_mode = default_engine_mode() if engine is None else engine
+        if self.engine_mode not in ENGINE_MODES:
+            raise ValueError(
+                f"engine={self.engine_mode!r} is not one of {ENGINE_MODES}"
+            )
         #: One seed governs every stochastic behavior of a run (fault
         #: schedules included); the run rng is rebuilt from it each run.
         self.seed = seed
@@ -147,6 +178,16 @@ class Scheduler:
             RuntimeSymbolTable(pid, LocalMemory(pid), strict=strict)
             for pid in range(nprocs)
         ]
+        if self.engine_mode == "batched":
+            # The columnar core resolves the same few sections against the
+            # same segment geometry millions of times; the memoized
+            # resolution tables are its explicit-placement lookup columns.
+            for st in self.symtabs:
+                st.enable_section_cache()
+            # Let the transport take cache-aware shortcuts (fused
+            # ownership-checked reads); scalar mode keeps the two-step
+            # paper-shaped sequence.
+            transport.enable_fast_path()
         self._reset_run_state()
 
     def _reset_run_state(self) -> None:
@@ -159,6 +200,7 @@ class Scheduler:
         transport drops all of its private per-run state here too.
         """
         self._seq = itertools.count()
+        self._bstate = None  # live BatchedState while the columnar core runs
         self._trace: list[TraceEvent] = []
         self._logs: list[tuple[float, int, str]] = []
         self._effects = 0
@@ -209,10 +251,17 @@ class Scheduler:
             procs.append(_Proc(pid, ctx, program(ctx)))
         self._procs = procs
         try:
-            self._run_loop(procs)
+            if self._use_batched_core():
+                from .batched import run_batched
+
+                run_batched(self, procs)
+            else:
+                self._run_loop(procs)
         except BaseException:
             self._close_generators(procs)
             raise
+        finally:
+            self._bstate = None
         stats = self._collect_stats(procs)
         if self._crashed:
             self._close_generators(procs)
@@ -231,12 +280,29 @@ class Scheduler:
             )
         return stats
 
+    def _use_batched_core(self) -> bool:
+        """Whether this run executes on the columnar batched core.
+
+        The batched core is only engaged on clean runs: faults, reliable
+        delivery, and tracing all divert to the scalar loop (the semantic
+        oracle), so chaos semantics and trace streams are untouched by the
+        fast path.
+        """
+        return (
+            self.engine_mode == "batched"
+            and self.faults is None
+            and self.reliable is None
+            and not self.trace_enabled
+        )
+
     def _run_loop(self, procs: list[_Proc]) -> None:
         # The run queue holds one (clock, pid) entry per runnable
         # processor; heap order reproduces the min-(clock, pid) schedule
         # of the original full-scan loop in O(log P) per step.
         runq = self._runq = [(p.clock, p.pid) for p in procs]
         # Already sorted (all clocks 0, pids ascending) — valid heap.
+        for p in procs:
+            p.nqueued = 1
 
         proc_faults = self.faults is not None and self.faults.has_proc_faults
         budget = self.max_effects
@@ -274,6 +340,7 @@ class Scheduler:
             self._effects += 1
             self._step(proc)
             if proc.runnable:
+                proc.nqueued += 1
                 heapq.heappush(runq, (proc.clock, proc.pid))
 
     @staticmethod
@@ -296,19 +363,33 @@ class Scheduler:
     # ------------------------------------------------------------------ #
 
     def _next_runnable(self) -> _Proc | None:
-        """Pop the runnable processor with the smallest (clock, pid)."""
+        """Pop the runnable processor with the smallest (clock, pid).
+
+        Entries are invalidated lazily: a pop that names a processor which
+        stepped, blocked, or finished since the push is discarded.  A pop
+        whose *clock key* went stale (completions advanced the processor's
+        clock past its queued key) must not simply be discarded when it is
+        the processor's only live entry — that would strand a runnable
+        processor outside the queue and misreport quiescence — so it is
+        re-queued under its corrected key instead.  ``nqueued`` counts the
+        live entries per processor to make that test O(1).
+        """
         runq = self._runq
         procs = self._procs
         while runq:
             clock, pid = heapq.heappop(runq)
             proc = procs[pid]
-            # Stale entries (processor stepped/blocked/finished since the
-            # push, or its clock moved) are discarded lazily.
-            if proc.runnable and proc.clock == clock:
+            proc.nqueued -= 1
+            if not proc.runnable:
+                continue
+            if proc.clock == clock:
                 return proc
+            if proc.nqueued == 0:
+                self._push_runnable(proc)
         return None
 
     def _push_runnable(self, proc: _Proc) -> None:
+        proc.nqueued += 1
         heapq.heappush(self._runq, (proc.clock, proc.pid))
 
     # ------------------------------------------------------------------ #
@@ -417,7 +498,15 @@ class Scheduler:
         both transfer kinds (value vs. ownership differ only in which
         symtab completion routine runs), pushes the
         :class:`_Completion`, and eagerly re-examines a blocked receiver.
+
+        While the columnar core runs, the completion is recorded in its
+        per-processor deadline columns instead (same validation, same
+        (time, seq) ordering, no closure).
         """
+        bs = self._bstate
+        if bs is not None:
+            bs.complete(self, msg, recv, ctime)
+            return
         receiver = self._procs[recv.pid]
         st = receiver.ctx.symtab
         msg.claimed = True
@@ -442,10 +531,11 @@ class Scheduler:
             _Completion(ctime, next(self._seq), apply, msg.nbytes),
         )
         receiver.stats.msgs_received += 1
-        self._emit(
-            ctime, recv.pid, self.transport.completion_event,
-            f"{msg.kind.value} {msg.name}",
-        )
+        if self.trace_enabled:
+            self._emit(
+                ctime, recv.pid, self.transport.completion_event,
+                f"{msg.kind.value} {msg.name}",
+            )
         # A blocked receiver may now have its wake-up event: unblock it
         # eagerly so it re-enters scheduling at its correct wake time.
         if receiver.blocked_on is not None:
@@ -460,25 +550,18 @@ class Scheduler:
     def _apply_due_completions(self, proc: _Proc) -> None:
         """Apply every completion due at or before the processor's clock.
 
-        Batched: one partition pass splits due from future completions,
-        the due ones are applied in (time, seq) order, and the heap is
-        rebuilt only if future completions remain — instead of one
-        O(log n) sift per applied completion.
+        Pop-until-future: due completions come straight off the heap in
+        (time, seq) order until the head lies in the future.  The former
+        implementation partitioned the whole list and re-heapified the
+        future remainder on every call — O(n) per step even when one
+        completion was due; popping is O(log n) per *applied* completion
+        and touches nothing else.
         """
         comps = proc.completions
-        if not comps or comps[0].time > proc.clock:
-            return
         clock = proc.clock
-        due: list[_Completion] = []
-        later: list[_Completion] = []
-        for c in comps:
-            (due if c.time <= clock else later).append(c)
-        due.sort()
-        for c in due:
-            self._apply_completion(proc, c)
-        if later:
-            heapq.heapify(later)
-        proc.completions = later
+        heappop = heapq.heappop
+        while comps and comps[0].time <= clock:
+            self._apply_completion(proc, heappop(comps))
 
     # ------------------------------------------------------------------ #
     # waiting

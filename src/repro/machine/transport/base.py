@@ -37,7 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["PendingRecv", "RecvIndex", "TagTransport", "Transport"]
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingRecv:
     """One posted receive (msg backend) or prefetch fence (shmem backend)."""
 
@@ -128,10 +128,23 @@ class Transport:
     def __init__(self) -> None:
         self.core: "Scheduler | None" = None
         self.injector: "Transport" = self
+        self._fast = False
 
     def bind(self, core: "Scheduler") -> None:
         """Attach to the scheduler core (seq numbers, rng, model, emit)."""
         self.core = core
+
+    def enable_fast_path(self) -> None:
+        """Opt in to semantically identical cache-aware shortcuts.
+
+        The batched engine mode enables this together with the symbol
+        tables' section caches; transports may then fuse intrinsic
+        sequences (e.g. the value-send ownership check + gather) through
+        the cached resolution records.  Observable behaviour — clocks,
+        matching, errors and their texts — is unchanged.  Survives
+        :meth:`reset`.
+        """
+        self._fast = True
 
     # -- per-run lifecycle --------------------------------------------- #
 
@@ -190,9 +203,26 @@ class TagTransport(Transport):
     * :meth:`completion_time` — when the matched pair completes.
     """
 
+    #: Tag key: ``(kind, var, sec)``.  Keying the rendezvous dicts on the
+    #: raw triple (rather than a ``MessageName`` wrapper) keeps every
+    #: lookup a plain tuple hash; the interned ``MessageName`` objects in
+    #: ``_names`` are what messages and receives carry for diagnostics.
     def reset(self) -> None:
-        self._unclaimed: dict[tuple[TransferKind, MessageName], MessagePool] = {}
-        self._pending: dict[tuple[TransferKind, MessageName], RecvIndex] = {}
+        self._unclaimed: dict[tuple, MessagePool] = {}
+        self._pending: dict[tuple, RecvIndex] = {}
+        self._names: dict[tuple, MessageName] = {}
+        # Fast-path memos (populated only under ``enable_fast_path``):
+        # ``_effmemo`` caches per-effect-object derived values, keyed by
+        # ``id(eff)`` — sound because the record holds the effect itself,
+        # so a live entry's id can never be recycled.  ``_costmemo`` caches
+        # ``(wire_bytes, send_occupancy, transit)`` per payload byte size;
+        # both backends' cost hooks are pure in the byte count and the
+        # model constants snapshotted at reset.
+        # ``_keymemo`` maps an interned MessageName's id to its route key;
+        # interning is per ``(kind, var, sec)``, so the mapping is 1:1.
+        self._effmemo: dict[int, tuple] = {}
+        self._costmemo: dict[int, tuple] = {}
+        self._keymemo: dict[int, tuple] = {}
 
     # -- binding hooks -------------------------------------------------- #
 
@@ -213,15 +243,34 @@ class TagTransport(Transport):
     def send(self, proc: "_Proc", eff: Send) -> None:
         core = self.core
         st = proc.ctx.symtab
-        name = MessageName(eff.var, eff.sec)
+        if self._fast:
+            memo = self._effmemo.get(id(eff))
+            if memo is None:
+                nk = (eff.kind, eff.var, eff.sec)
+                name = self._names.get(nk)
+                if name is None:
+                    name = self._names[nk] = MessageName(eff.var, eff.sec)
+                self._effmemo[id(eff)] = (eff, name)
+            else:
+                name = memo[1]
+        else:
+            nk = (eff.kind, eff.var, eff.sec)
+            name = self._names.get(nk)
+            if name is None:
+                name = self._names[nk] = MessageName(eff.var, eff.sec)
         if eff.kind is TransferKind.VALUE:
             # "E ->": E must be an exclusive section owned by p.  No
             # accessibility check — XDP does not test state automatically.
-            if not st.iown(eff.var, eff.sec):
-                raise OwnershipError(
-                    f"P{proc.pid + 1} sends unowned section {name}"
-                )
-            payload: np.ndarray | None = st.read(eff.var, eff.sec)
+            if self._fast:
+                # One resolution-record probe covers both the ownership
+                # check and the gather (identical semantics and errors).
+                payload: np.ndarray | None = st.read_owned(eff.var, eff.sec)
+            else:
+                if not st.iown(eff.var, eff.sec):
+                    raise OwnershipError(
+                        f"P{proc.pid + 1} sends unowned section {name}"
+                    )
+                payload = st.read(eff.var, eff.sec)
         else:
             # Owner sends block until accessible; the program yields a
             # WaitAccessible first, and release_ownership re-validates.
@@ -238,74 +287,132 @@ class TagTransport(Transport):
         # tests/test_engine.py::TestValueTransfer::test_multicast_serialized_injection;
         # do not "optimize" this into a single timestamp.
         dests = eff.dests if eff.dests is not None else (None,)
-        for dst in dests:
+        # ``payload`` is already a private gather (read/release copy); the
+        # first transmitted copy takes it as-is and only the extra
+        # multicast copies pay another ``.copy()``.  Wire size, occupancy
+        # and transit depend only on the payload, so they are computed
+        # once — the *timestamps* still advance copy by copy.
+        fresh = payload
+        stats = proc.stats
+        trace = core.trace_enabled
+        seq = core._seq
+        inject = self.injector.inject
+        if self._fast:
+            pbytes = 0 if payload is None else payload.nbytes
+            costs = self._costmemo.get(pbytes)
+            if costs is None:
+                nbytes = self.wire_bytes(payload)
+                costs = self._costmemo[pbytes] = (
+                    nbytes, self.send_occupancy(nbytes), self.transit(nbytes),
+                )
+            nbytes, occupancy, transit = costs
+        else:
             nbytes = self.wire_bytes(payload)
             occupancy = self.send_occupancy(nbytes)
-            proc.clock += occupancy
-            proc.stats.send_overhead += occupancy
+            transit = self.transit(nbytes)
+        kind = eff.kind
+        pid = proc.pid
+        for dst in dests:
+            clock = proc.clock + occupancy
+            proc.clock = clock
+            stats.send_overhead += occupancy
+            if fresh is not None:
+                pl, fresh = fresh, None
+            else:
+                pl = None if payload is None else payload.copy()
             msg = Message(
-                seq=next(core._seq),
-                kind=eff.kind,
-                name=name,
-                payload=None if payload is None else payload.copy(),
-                src=proc.pid,
-                dst=dst,
-                send_time=proc.clock,
-                arrive_time=proc.clock + self.transit(nbytes),
+                next(seq), kind, name, pl, pid, dst, clock, clock + transit,
             )
-            proc.stats.msgs_sent += 1
-            proc.stats.bytes_sent += nbytes
-            core._emit(proc.clock, proc.pid, self.send_event, str(msg))
-            self.injector.inject(msg, nbytes)
+            stats.msgs_sent += 1
+            stats.bytes_sent += nbytes
+            if trace:
+                core._emit(clock, pid, self.send_event, str(msg))
+            inject(msg, nbytes)
 
     def recv_init(self, proc: "_Proc", eff: RecvInit) -> None:
         core = self.core
         st = proc.ctx.symtab
-        occupancy = self.recv_occupancy()
+        # Constant per the immutable model; snapshotted by subclass reset.
+        occupancy = self._recv_occ
         proc.clock += occupancy
         proc.stats.recv_overhead += occupancy
-        into_var, into_sec = eff.destination()
-        name = MessageName(eff.var, eff.sec)
+        if self._fast:
+            memo = self._effmemo.get(id(eff))
+            if memo is None:
+                into_var, into_sec = eff.destination()
+                nk = (eff.kind, eff.var, eff.sec)
+                name = self._names.get(nk)
+                if name is None:
+                    name = self._names[nk] = MessageName(eff.var, eff.sec)
+                self._effmemo[id(eff)] = (eff, name, nk, into_var, into_sec)
+            else:
+                _, name, nk, into_var, into_sec = memo
+        else:
+            into_var, into_sec = eff.destination()
+            nk = (eff.kind, eff.var, eff.sec)
+            name = self._names.get(nk)
+            if name is None:
+                name = self._names[nk] = MessageName(eff.var, eff.sec)
         if eff.kind is TransferKind.VALUE:
             st.begin_value_receive(into_var, into_sec)
         else:
             st.acquire_ownership(into_var, into_sec, transitional=True)
         recv = PendingRecv(
-            seq=next(core._seq),
-            pid=proc.pid,
-            init_time=proc.clock,
-            kind=eff.kind,
-            name=name,
-            into_var=into_var,
-            into_sec=into_sec,
+            next(core._seq), proc.pid, proc.clock, eff.kind, name,
+            into_var, into_sec,
         )
-        core._emit(proc.clock, proc.pid, self.recv_event, f"{eff.kind.value} {name}")
-        key = (eff.kind, name)
-        pool = self._unclaimed.get(key)
+        if core.trace_enabled:
+            core._emit(
+                proc.clock, proc.pid, self.recv_event,
+                f"{eff.kind.value} {name}",
+            )
+        pool = self._unclaimed.get(nk)
         if pool is not None:
             msg = pool.claim_for(proc.pid)
             if msg is not None:
                 if not pool.live:
-                    del self._unclaimed[key]
+                    del self._unclaimed[nk]
                 self._match(msg, recv)
                 return
-        index = self._pending.get(key)
-        if index is None:
-            index = self._pending[key] = RecvIndex()
-        index.add(recv)
+        # Single-use tags (the common case for fine-grained transfers)
+        # never pay for a RecvIndex: the first pending receive is stored
+        # bare and only a second same-tag receive promotes to an index.
+        pending = self._pending
+        cur = pending.get(nk)
+        if cur is None:
+            pending[nk] = recv
+        elif cur.__class__ is RecvIndex:
+            cur.add(recv)
+        else:
+            index = pending[nk] = RecvIndex()
+            index.add(cur)
+            index.add(recv)
 
     def route(self, msg: Message) -> None:
-        key = (msg.kind, msg.name)
+        name = msg.name
+        if self._fast:
+            # Interned names are pinned in ``_names`` for the whole run,
+            # so their ids are stable route-key handles.
+            key = self._keymemo.get(id(name))
+            if key is None:
+                key = self._keymemo[id(name)] = (msg.kind, name.var, name.sec)
+        else:
+            key = (msg.kind, name.var, name.sec)
         index = self._pending.get(key)
         if index is not None:
-            recv = (
-                index.claim_any() if msg.dst is None
-                else index.claim_for(msg.dst)
-            )
-            if recv is not None:
-                if not index.live:
-                    del self._pending[key]
-                self._match(msg, recv)
+            if index.__class__ is RecvIndex:
+                recv = (
+                    index.claim_any() if msg.dst is None
+                    else index.claim_for(msg.dst)
+                )
+                if recv is not None:
+                    if not index.live:
+                        del self._pending[key]
+                    self._match(msg, recv)
+                    return
+            elif msg.dst is None or msg.dst == index.pid:
+                del self._pending[key]
+                self._match(msg, index)
                 return
         pool = self._unclaimed.get(key)
         if pool is None:
@@ -318,6 +425,10 @@ class TagTransport(Transport):
     def on_crash(self, proc: "_Proc") -> None:
         for key in list(self._pending):
             index = self._pending[key]
+            if index.__class__ is not RecvIndex:
+                if index.pid == proc.pid:
+                    del self._pending[key]
+                continue
             while index.claim_for(proc.pid) is not None:
                 pass
             if not index.live:
@@ -329,22 +440,27 @@ class TagTransport(Transport):
         return sum(len(q) for q in self._unclaimed.values())
 
     def unmatched_count(self) -> int:
-        return sum(len(q) for q in self._pending.values())
+        return sum(
+            len(q) if q.__class__ is RecvIndex else 1
+            for q in self._pending.values()
+        )
 
     def pending_by_pid(self) -> dict[int, list[tuple[float, str]]]:
         out: dict[int, list[tuple[float, str]]] = {}
-        for (kind, name), index in self._pending.items():
-            for r in index:
+        for (kind, _var, _sec), index in self._pending.items():
+            rs = index if index.__class__ is RecvIndex else (index,)
+            for r in rs:
                 out.setdefault(r.pid, []).append((
                     r.init_time,
-                    f"{kind.value} {name} (into {r.into_var}{r.into_sec}, "
+                    f"{kind.value} {r.name} (into {r.into_var}{r.into_sec}, "
                     f"posted t={r.init_time:.2f})",
                 ))
         return out
 
     def unclaimed_listing(self) -> Iterator[str]:
         for _, pool in sorted(
-            self._unclaimed.items(), key=lambda kv: (kv[0][0].value, str(kv[0][1]))
+            self._unclaimed.items(),
+            key=lambda kv: (kv[0][0].value, f"{kv[0][1]}{kv[0][2]}"),
         ):
             for m in pool:
                 yield str(m)

@@ -36,14 +36,27 @@ class MessagePassingTransport(TagTransport):
     pending_label = "pending receive"
     pool_header = "unclaimed message pool:"
 
+    def reset(self) -> None:
+        super().reset()
+        # The model is immutable for the engine's lifetime; snapshot the
+        # constants so the per-copy cost hooks are plain attribute reads
+        # rather than core.model chains (hot path: one of each per copy).
+        model = self.core.model
+        self._o_send = model.o_send
+        self._o_recv = model.o_recv
+        self._alpha = model.alpha
+        self._per_byte = model.per_byte
+        self._recv_occ = self.recv_occupancy()
+
     def wire_bytes(self, payload: np.ndarray | None) -> int:
         return HEADER_BYTES + (0 if payload is None else payload.nbytes)
 
     def send_occupancy(self, nbytes: int) -> float:
-        return self.core.model.o_send
+        return self._o_send
 
     def recv_occupancy(self) -> float:
-        return self.core.model.o_recv
+        return self._o_recv
 
     def transit(self, nbytes: int) -> float:
-        return self.core.model.message_cost(nbytes)
+        # Inline of MachineModel.message_cost (bit-identical arithmetic).
+        return self._alpha + nbytes * self._per_byte

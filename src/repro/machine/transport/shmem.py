@@ -50,18 +50,36 @@ class SharedAddressTransport(TagTransport):
     pending_label = "pending fence"
     pool_header = "unfenced store buffer:"
 
+    def reset(self) -> None:
+        super().reset()
+        # Snapshot the (immutable) model constants so the per-copy cost
+        # hooks are plain attribute reads; arithmetic stays bit-identical
+        # to the MachineModel methods they inline.
+        model = self.core.model
+        self._o_post = model.o_post
+        self._o_prefetch = model.o_prefetch
+        self._line_issue = model.line_issue
+        self._line_bytes = model.line_bytes
+        self._mem_latency = model.mem_latency
+        self._per_byte = model.per_byte
+        self._recv_occ = self.recv_occupancy()
+
     def wire_bytes(self, payload: np.ndarray | None) -> int:
         # The tag is the address — nothing but the data crosses the wire.
         return 0 if payload is None else payload.nbytes
 
     def send_occupancy(self, nbytes: int) -> float:
-        return self.core.model.post_occupancy(nbytes)
+        # Inline of MachineModel.post_occupancy.
+        return self._o_post + self._line_issue * max(
+            1, -(-nbytes // self._line_bytes)
+        )
 
     def recv_occupancy(self) -> float:
-        return self.core.model.o_prefetch
+        return self._o_prefetch
 
     def transit(self, nbytes: int) -> float:
-        return self.core.model.store_cost(nbytes)
+        # Inline of MachineModel.store_cost.
+        return self._mem_latency + nbytes * self._per_byte
 
     def completion_time(self, msg: Message, recv: PendingRecv) -> float:
         ctime = max(recv.init_time, msg.arrive_time)
@@ -69,5 +87,6 @@ class SharedAddressTransport(TagTransport):
             # Unbound store: resident at its home, not at the consumer —
             # the fence pays the home-to-consumer pull.  This is the cost
             # asymmetry DestinationBinding's owner arithmetic removes.
-            ctime += self.core.model.pull_cost(msg.nbytes)
+            # (Inline of MachineModel.pull_cost.)
+            ctime += self._mem_latency + msg.nbytes * self._per_byte
         return ctime

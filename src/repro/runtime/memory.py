@@ -47,6 +47,30 @@ class LocalMemory:
         self.peak_bytes = max(self.peak_bytes, self.live_bytes)
         return handle, arr
 
+    def allocate_batch(
+        self, count: int, shape: tuple[int, ...], dtype: np.dtype
+    ) -> range:
+        """Allocate ``count`` same-shape chunks backed by one zeroed arena.
+
+        Accounting (byte totals, counts, peak) matches ``count`` individual
+        :meth:`allocate` calls; each returned handle maps to one row view
+        of the arena.  Declaration-time fast path for large segment tables.
+        """
+        arena = np.zeros((count,) + tuple(shape), dtype=dtype)
+        first = self._next_id
+        self._next_id = first + count
+        chunks = self._chunks
+        h = first
+        for row in arena:
+            chunks[h] = row
+            h += 1
+        self.live_bytes += arena.nbytes
+        self.total_allocated_bytes += arena.nbytes
+        self.allocations += count
+        if self.live_bytes > self.peak_bytes:
+            self.peak_bytes = self.live_bytes
+        return range(first, h)
+
     def adopt(self, data: np.ndarray) -> tuple[int, np.ndarray]:
         """Account for a chunk whose contents arrived from another processor."""
         arr = np.ascontiguousarray(data)

@@ -1,0 +1,149 @@
+"""Batched columnar core: scheduling regressions and delivery-order laws.
+
+Two bug classes this file pins:
+
+* **Stale run-queue keys.**  Both scheduling loops leave invalidated
+  ``(clock, pid)`` heap entries behind and discard them lazily on pop
+  (``nqueued`` tracking).  A bug there double-steps or skips a processor,
+  which changes the number of effects the engine processes — so the
+  workqueue@8 effect count is pinned exactly, for both engine modes.
+
+* **Completion delivery order.**  ``_apply_due_completions`` pops due
+  completions straight off the heap until the head lies in the future;
+  correctness requires every application to happen in global
+  ``(time, seq)`` order regardless of arrival interleaving.  A property
+  test drives randomized send/compute interleavings through both engine
+  modes and checks FIFO-by-initiation delivery and cross-mode equality.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sections import section
+from repro.distributions import Block, Distribution, ProcessorGrid, Segmentation
+from repro.machine.effects import Compute, RecvInit, Send, WaitAccessible
+from repro.machine.engine import Engine
+from repro.machine.message import TransferKind
+from repro.machine.model import MachineModel
+from repro.apps.workqueue import make_job_costs, run_workqueue
+
+MODEL = MachineModel(o_send=1.0, o_recv=1.0, alpha=10.0, per_byte=0.0)
+
+#: Pinned discrete-event "work" of the bench-config workqueue at P=8
+#: (128 jobs, cost seed 7).  Any stale-runq mishandling (double-stepping
+#: a processor whose heap key went stale, or dropping its only live
+#: entry) changes this count before it changes the makespan.
+WORKQUEUE8_EFFECTS = 541
+WORKQUEUE8_MAKESPAN = 13118.988033086574
+WORKQUEUE8_MESSAGES = 135
+
+
+def _mode_engine(mode):
+    def factory(nprocs, model=None, **kw):
+        kw.setdefault("engine", mode)
+        return Engine(nprocs, model, **kw)
+    return factory
+
+
+class TestRunqInvalidation:
+    @pytest.mark.msg_timing
+    def test_workqueue8_effect_count_pinned(self):
+        costs = make_job_costs(128, skew=4.0, seed=7)
+        for mode in ("scalar", "batched"):
+            r = run_workqueue(
+                128, 8, scheme="dynamic", costs=costs, model=MODEL,
+                engine_cls=_mode_engine(mode),
+            )
+            assert r.stats.effects_processed == WORKQUEUE8_EFFECTS, mode
+            assert r.makespan == WORKQUEUE8_MAKESPAN, mode
+            assert r.stats.total_messages == WORKQUEUE8_MESSAGES, mode
+
+    def test_rerun_same_engine_same_counts(self):
+        """A second run on the same instance replays the same schedule —
+        leftover stale keys from run one must not leak into run two."""
+        costs = make_job_costs(64, skew=4.0, seed=7)
+        eng_cls = _mode_engine("batched")
+
+        def one(engine_cls):
+            return run_workqueue(
+                64, 8, scheme="dynamic", costs=costs, model=MODEL,
+                engine_cls=engine_cls,
+            ).stats
+
+        first = one(eng_cls)
+        second = one(eng_cls)
+        assert first.effects_processed == second.effects_processed
+        assert first.makespan == second.makespan
+
+
+def _linear_seg(extent, nprocs):
+    dist = Distribution(
+        section((1, extent)), (Block(),), ProcessorGrid((nprocs,))
+    )
+    return Segmentation(dist, (1,))
+
+
+def _delivery_run(mode, send_gaps, recv_gaps):
+    """Sender ships values 1..N with compute gaps; receiver posts all
+    receives up front, then awaits slots in order after its own gaps."""
+    n = len(send_gaps)
+    eng = Engine(2, MODEL, engine=mode)
+    eng.declare("X", _linear_seg(2 * (n + 1), 2))
+
+    def prog(ctx):
+        if ctx.pid == 0:
+            for i, gap in enumerate(send_gaps):
+                if gap:
+                    yield Compute(gap)
+                ctx.symtab.write("X", section(1), float(i + 1))
+                yield Send(TransferKind.VALUE, "X", section(1), dests=(1,))
+        else:
+            base = n + 2  # receiver-owned half of the index space
+            for i in range(n):
+                yield RecvInit(
+                    TransferKind.VALUE, "X", section(1),
+                    into_var="X", into_sec=section(base + i),
+                )
+            for i, gap in enumerate(recv_gaps):
+                if gap:
+                    yield Compute(gap)
+                yield WaitAccessible("X", section(base + i))
+
+    stats = eng.run(prog)
+    base = n + 2
+    slots = np.array(
+        [eng.symtabs[1].read("X", section(base + i))[0] for i in range(n)]
+    )
+    return stats, slots
+
+
+class TestCompletionDeliveryOrder:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        gaps=st.lists(
+            st.tuples(
+                st.floats(0.0, 40.0, allow_nan=False, width=32),
+                st.floats(0.0, 40.0, allow_nan=False, width=32),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_fifo_by_initiation_both_modes(self, gaps):
+        """Whatever the timing interleaving, same-tag completions apply
+        in (time, seq) order, so slots fill FIFO-by-initiation — and the
+        batched core agrees with the scalar oracle bit for bit."""
+        send_gaps = [g[0] for g in gaps]
+        recv_gaps = [g[1] for g in gaps]
+        runs = {
+            mode: _delivery_run(mode, send_gaps, recv_gaps)
+            for mode in ("scalar", "batched")
+        }
+        for mode, (_stats, slots) in runs.items():
+            assert slots.tolist() == [float(i + 1) for i in range(len(gaps))], mode
+        sc, ba = runs["scalar"], runs["batched"]
+        assert sc[0].makespan == ba[0].makespan
+        assert sc[0].effects_processed == ba[0].effects_processed
+        assert sc[1].tobytes() == ba[1].tobytes()

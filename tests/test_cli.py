@@ -127,10 +127,14 @@ class TestBench:
         out = capsys.readouterr().out
         assert "speedup vs seed engine" in out
         data = json.loads(out_file.read_text())
-        assert data["schema"] == 1
+        assert data["schema"] == 2
         engines = {c["engine"] for c in data["cases"]}
-        assert engines == {"indexed", "seed-reference"}
+        assert engines == {"indexed", "batched", "seed-reference"}
         assert "workqueue@2" in data["speedups"]
+        assert "workqueue@2" in data["batched_speedups"]
+        assert {e["engine"] for e in data["classifier"]} == {"indexed", "batched"}
+        assert "batched core vs scalar mode" in out
+        assert "bottleneck workqueue@4" in out
 
     def test_bench_diff_mode(self, tmp_path, capsys):
         out_file = tmp_path / "bench.json"
