@@ -15,10 +15,11 @@ Results are recorded to ``BENCH_engine.json`` at the repo root; compare a
 later engine against it with ``python -m repro bench --diff``.
 """
 
-import json
 from pathlib import Path
 
 from conftest import emit
+
+from repro.report.record import write_json_atomic
 
 from repro.apps.enginebench import format_bench, run_engine_bench
 
@@ -131,7 +132,7 @@ def test_p1_engine_scaling_full(benchmark):
     }
     assert rate[("workqueue", 256)] >= 0.5 * rate[("workqueue", 8)]
 
-    BENCH_FILE.write_text(json.dumps(results, indent=2) + "\n")
+    write_json_atomic(BENCH_FILE, results)
     benchmark.extra_info["speedups"] = results["speedups"]
     benchmark.extra_info["bench_file"] = str(BENCH_FILE)
     benchmark.pedantic(

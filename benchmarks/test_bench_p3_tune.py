@@ -10,11 +10,12 @@ the memoized oracle must be doing real work (hit rate > 0).
 Results are recorded to ``BENCH_tune.json`` at the repo root.
 """
 
-import json
 import time
 from pathlib import Path
 
 from conftest import emit
+
+from repro.report.record import write_json_atomic
 
 from repro.apps.fft3d import run_fft3d
 from repro.apps.fft3d import fft3d_source
@@ -77,7 +78,7 @@ def test_p3_tuner_vs_hand_stages(benchmark):
         # the memoized oracle must actually be hit (winner confirmation)
         assert c["cache_hit_rate"] > 0, (label, c)
 
-    BENCH_FILE.write_text(json.dumps({"cases": cases}, indent=2) + "\n")
+    write_json_atomic(BENCH_FILE, {"cases": cases})
     benchmark.extra_info["bench_file"] = str(BENCH_FILE)
     benchmark.pedantic(
         lambda: tune(fft3d_source(8, 4, 0), 4, top_k=2),

@@ -31,6 +31,8 @@ from pathlib import Path
 import numpy as np
 from conftest import emit
 
+from repro.report.record import write_json_atomic
+
 from repro.apps.fft3d import run_fft3d
 from repro.apps.jacobi import run_jacobi
 from repro.machine.transport import BACKENDS
@@ -168,7 +170,7 @@ def test_p5_backends_full(benchmark):
         f"{committed_speedup}x"
     )
 
-    BENCH_FILE.write_text(json.dumps(results, indent=2) + "\n")
+    write_json_atomic(BENCH_FILE, results)
     benchmark.extra_info["makespan_ratios"] = (
         results["makespan_ratio_shmem_over_msg"]
     )

@@ -41,6 +41,15 @@ Commands
     transport, asserting that results match the fault-free run and that
     same-seed replays are bit-identical.  Exits 1 on any mismatch.
 
+``serve``
+    Run a compile/check/run(/tune) job session against a crash-safe
+    on-disk artifact store: supervised worker processes, per-job
+    timeouts, seeded backoff retries, poison quarantine, and degraded
+    tune fallback.  Re-running with the same ``--store`` directory
+    serves repeats from cache.  ``--chaos`` runs the service-layer
+    chaos battery (worker SIGKILLs, cache corruption, stalls, overload)
+    instead.
+
 Examples
 --------
 
@@ -56,6 +65,8 @@ Examples
     python -m repro bench --nprocs 8,64,256 --out BENCH_engine.json
     python -m repro bench --nprocs 8,64 --diff BENCH_engine.json
     python -m repro chaos --seed 7 --procs 8
+    python -m repro serve --store .xdp-store --rounds 2
+    python -m repro serve --chaos --seed 7
 """
 
 from __future__ import annotations
@@ -313,6 +324,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         parallel=not args.serial,
         seed=args.seed,
         backend=args.backend or default_backend(),
+        store=args.store,
     )
     print(f"tuning {what} at P={args.nprocs} ({args.model} model)")
     print(res.summary())
@@ -344,7 +356,9 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             "cache_misses": res.cache.misses,
             "analytic": res.analytic,
         }
-        Path(args.json).write_text(json.dumps(doc, indent=2) + "\n")
+        from .report.record import write_json_atomic
+
+        write_json_atomic(args.json, doc)
         print(f"wrote {args.json}")
     return 0 if res.semantics_preserved else 1
 
@@ -403,7 +417,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"\nvs {args.diff}:")
         print(diff_bench(old, results))
         return 0
-    Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+    from .report.record import write_json_atomic
+
+    write_json_atomic(args.out, results)
     print(f"wrote {args.out}")
     return 0
 
@@ -421,9 +437,52 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     print(format_chaos(report))
     if args.json:
-        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+        from .report.record import write_json_atomic
+
+        write_json_atomic(args.json, report)
         print(f"wrote {args.json}")
     return 0 if report["ok"] else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .report.record import write_json_atomic
+
+    if args.chaos:
+        from .serve import format_serve_chaos, run_serve_chaos
+
+        report = run_serve_chaos(seed=args.seed, nprocs=args.nprocs,
+                                 store_root=args.store)
+        print(format_serve_chaos(report))
+        if args.json:
+            write_json_atomic(args.json, report)
+            print(f"wrote {args.json}")
+        return 0 if report["ok"] else 1
+    if not args.store:
+        raise SystemExit("serve needs --store DIR (or --chaos)")
+    from .serve import format_serve, run_serve
+
+    report = run_serve(
+        store_root=args.store,
+        nprocs=args.nprocs,
+        rounds=args.rounds,
+        workers=args.workers,
+        backend=args.backend or default_backend(),
+        seed=args.seed,
+        include_tune=args.tune,
+        timeout_s=args.timeout,
+    )
+    print(format_serve(report))
+    ok = report["ok"]
+    if args.min_hit_rate is not None:
+        rate = report["summary"]["cache_hit_rate"]
+        if rate < args.min_hit_rate:
+            print(f"cache hit rate {rate:.1%} below required "
+                  f"{args.min_hit_rate:.1%}")
+            ok = False
+    if args.json:
+        write_json_atomic(args.json, report)
+        print(f"wrote {args.json}")
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -527,6 +586,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the winning generated program")
     u.add_argument("--json", metavar="FILE",
                    help="write the tuning report as JSON")
+    u.add_argument("--store", metavar="DIR",
+                   help="share engine evaluations through an on-disk "
+                        "artifact store (reused across runs/processes)")
     backend_arg(u)
     u.set_defaults(fn=_cmd_tune)
 
@@ -580,6 +642,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the full report as JSON")
     backend_arg(x)
     x.set_defaults(fn=_cmd_chaos)
+
+    v = sub.add_parser(
+        "serve",
+        help="run jobs against the crash-safe artifact store service",
+    )
+    v.add_argument("--store", metavar="DIR",
+                   help="artifact store directory (created if missing; "
+                        "reuse it across runs for warm-cache service)")
+    v.add_argument("--nprocs", type=int, default=4)
+    v.add_argument("--rounds", type=int, default=2,
+                   help="how many times to issue the demo workload "
+                        "(round 2+ replays round 1 warm)")
+    v.add_argument("--workers", type=int, default=2,
+                   help="supervised worker processes")
+    v.add_argument("--seed", type=int, default=7)
+    v.add_argument("--timeout", type=float, default=120.0,
+                   help="per-job timeout in seconds")
+    v.add_argument("--tune", action="store_true",
+                   help="include a tune job in each round")
+    v.add_argument("--min-hit-rate", type=float, metavar="FRAC",
+                   help="exit 1 unless the session cache hit rate "
+                        "reaches FRAC (e.g. 0.9)")
+    v.add_argument("--chaos", action="store_true",
+                   help="run the service-layer chaos battery instead "
+                        "(worker kills, cache corruption, stalls, "
+                        "overload, poison jobs)")
+    v.add_argument("--json", metavar="FILE",
+                   help="also write the full report as JSON")
+    backend_arg(v)
+    v.set_defaults(fn=_cmd_serve)
 
     return parser
 

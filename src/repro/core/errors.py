@@ -19,6 +19,11 @@ __all__ = [
     "DegradedRunError",
     "DistributionError",
     "CompilationError",
+    "ServeError",
+    "ServiceOverloadError",
+    "JobTimeoutError",
+    "PoisonJobError",
+    "ArtifactIntegrityError",
 ]
 
 
@@ -140,6 +145,38 @@ class DegradedRunError(XDPError):
         self.crashed = tuple(crashed)
         self.checkpoint = dict(checkpoint or {})
         super().__init__(message)
+
+
+class ServeError(XDPError):
+    """Base class for failures of the ``repro serve`` job service."""
+
+
+class ServiceOverloadError(ServeError):
+    """Raised when a job is submitted to a supervisor whose bounded queue
+    is full.  Load shedding instead of unbounded buffering: the caller
+    gets an immediate typed rejection (and may convert it into a ``shed``
+    outcome) rather than a silently growing backlog."""
+
+
+class JobTimeoutError(ServeError):
+    """A job exceeded its per-attempt execution timeout.  Recorded as the
+    failure cause of the attempt; the supervisor kills the hung worker and
+    either retries the job or takes its degraded fallback path."""
+
+
+class PoisonJobError(ServeError):
+    """A job failed (crash/timeout) on every one of its allowed attempts
+    and was quarantined as poison rather than retried forever."""
+
+
+class ArtifactIntegrityError(ServeError):
+    """A content-addressed artifact failed sha256 verification on read.
+
+    In normal operation the store quarantines the corrupt file and
+    reports a miss (the artifact is recomputed, never served); this error
+    is raised only by ``ArtifactStore.get(..., strict=True)`` callers that
+    want corruption to be loud.
+    """
 
 
 class DistributionError(XDPError):

@@ -110,7 +110,7 @@ class Engine(Scheduler):
     ``scalar``).  Both cores are virtual-time bit-identical; the batched
     core is the columnar fast path of :mod:`repro.machine.batched` and
     silently defers to the scalar oracle whenever faults, reliable
-    delivery, or tracing are active.
+    delivery, tracing, or a middleware-wrapped ``transport`` are active.
     """
 
     def __init__(

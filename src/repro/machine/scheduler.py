@@ -284,15 +284,21 @@ class Scheduler:
         """Whether this run executes on the columnar batched core.
 
         The batched core is only engaged on clean runs: faults, reliable
-        delivery, and tracing all divert to the scalar loop (the semantic
-        oracle), so chaos semantics and trace streams are untouched by the
-        fast path.
+        delivery, middleware-wrapped transports, and tracing all divert
+        to the scalar loop (the semantic oracle), so chaos semantics and
+        trace streams are untouched by the fast path.  The middleware
+        check matters for hand-stacked transports (``transport=
+        ReliableDelivery(FaultInjection(...))``) that arrive without the
+        ``faults=``/``reliable=`` constructor arguments.
         """
+        from .transport.middleware import TransportMiddleware
+
         return (
             self.engine_mode == "batched"
             and self.faults is None
             and self.reliable is None
             and not self.trace_enabled
+            and not isinstance(self.transport, TransportMiddleware)
         )
 
     def _run_loop(self, procs: list[_Proc]) -> None:

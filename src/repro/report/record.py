@@ -1,0 +1,41 @@
+"""Atomic on-disk record writes for benchmark and report artifacts.
+
+Every ``BENCH_*.json`` record (and any other JSON report the CLI or the
+benchmark harness persists) goes through :func:`write_json_atomic`: the
+document is serialized to a temporary file in the destination directory,
+fsynced, and published with ``os.replace``.  A reader therefore observes
+either the previous complete record or the new complete record — an
+interrupted bench run can never leave a truncated file behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["write_json_atomic"]
+
+
+def write_json_atomic(path: str | Path, doc: object, *, indent: int = 2) -> Path:
+    """Serialize ``doc`` as JSON to ``path`` atomically; return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data = json.dumps(doc, indent=indent) + "\n"
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(data)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path

@@ -1,0 +1,64 @@
+"""The ``repro serve`` job service (ROADMAP: compile/tune service item).
+
+A long-running service front for the compiler and engine: compile,
+check, tune, and run jobs execute in supervised worker processes against
+a crash-safe, content-addressed, on-disk artifact cache shared across
+processes and sessions.
+
+* :mod:`~repro.serve.store` — the artifact store: atomic writes, sha256
+  verification on every read, quarantine of corrupt entries, file-lock
+  guarded concurrency;
+* :mod:`~repro.serve.jobs` — job specs, content addressing, and the
+  worker-side job bodies (with deterministic chaos injection);
+* :mod:`~repro.serve.supervisor` — bounded deadline-aware queue, worker
+  crash detection and restart, seeded backoff retries, poison
+  quarantine, degraded tune fallback;
+* :mod:`~repro.serve.service` — the session API and demo workload;
+* :mod:`~repro.serve.chaos` — the service-layer chaos battery
+  (``repro serve --chaos``).
+
+See docs/SERVE.md for the design and guarantees.
+"""
+
+from .chaos import format_serve_chaos, run_serve_chaos
+from .jobs import JOB_KINDS, JobOutcome, JobSpec, artifact_key, execute_job
+from .service import (
+    ServeSession,
+    demo_workload,
+    format_serve,
+    latency_percentiles,
+    run_serve,
+)
+from .store import (
+    ArtifactKey,
+    ArtifactStore,
+    StoreStats,
+    decode_payload,
+    encode_payload,
+    il_sha256,
+)
+from .supervisor import Supervisor, SupervisorConfig, SupervisorStats
+
+__all__ = [
+    "JOB_KINDS",
+    "ArtifactKey",
+    "ArtifactStore",
+    "JobOutcome",
+    "JobSpec",
+    "ServeSession",
+    "StoreStats",
+    "Supervisor",
+    "SupervisorConfig",
+    "SupervisorStats",
+    "artifact_key",
+    "decode_payload",
+    "demo_workload",
+    "encode_payload",
+    "execute_job",
+    "format_serve",
+    "format_serve_chaos",
+    "il_sha256",
+    "latency_percentiles",
+    "run_serve",
+    "run_serve_chaos",
+]

@@ -1,0 +1,462 @@
+"""Supervised worker-process pool for service jobs.
+
+The supervisor owns N worker processes, each connected by a private pair
+of pipes (no shared queue: a SIGKILLed worker can corrupt a shared
+queue's lock, but only ever truncates its own pipe, which the supervisor
+observes as EOF).  Jobs are dispatched earliest-deadline-first from a
+bounded pending set; the failure policy is:
+
+* **crash** (worker dies mid-job) — the worker is restarted fail-stop
+  style and the job retried with seeded exponential backoff + jitter,
+  up to its attempt budget, after which it is quarantined as **poison**;
+* **timeout** (attempt exceeds ``timeout_s``) — the hung worker is
+  killed and replaced; ``tune`` jobs take the **degraded** baseline
+  fallback path (the tuner's never-worse-than-input rule lifted to the
+  service layer), other kinds retry like a crash;
+* **typed error** (the job body raises) — reported as a clean ``failed``
+  outcome immediately; deterministic program errors are not retried;
+* **overload** — ``submit`` on a full queue raises
+  :class:`~repro.core.errors.ServiceOverloadError`; jobs whose deadline
+  expires before dispatch are **shed**.
+
+Backoff delays derive from ``random.Random(hash((seed, job_id,
+attempt)))``, so a fixed supervisor seed yields a bit-identical retry
+schedule — the property the service chaos battery pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing as mp
+import os
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import Connection, wait as conn_wait
+from typing import Iterable
+
+from ..core.errors import ServiceOverloadError
+from .jobs import JobOutcome, JobSpec, degraded_tune_result, execute_job
+
+__all__ = ["Supervisor", "SupervisorConfig", "SupervisorStats"]
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Service policy knobs (defaults suit tests and smoke runs)."""
+
+    workers: int = 2
+    queue_capacity: int = 64
+    timeout_s: float = 60.0
+    max_attempts: int = 3
+    backoff_base_s: float = 0.02
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.5
+    seed: int = 7
+    poll_s: float = 0.05
+
+
+@dataclass
+class SupervisorStats:
+    """Operational counters of one supervisor lifetime."""
+
+    dispatched: int = 0
+    retries: int = 0
+    workers_restarted: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    poisoned: int = 0
+    shed: int = 0
+    degraded: int = 0
+
+    def as_doc(self) -> dict:
+        return dict(self.__dict__)
+
+
+def _worker_main(inbox: Connection, outbox: Connection,
+                 store_root: str | None) -> None:
+    """Worker loop: one job in flight at a time, results on a private
+    pipe.  Job-body exceptions become typed error messages; anything
+    that kills the process (chaos SIGKILL included) surfaces to the
+    supervisor as EOF on the pipe."""
+    while True:
+        try:
+            item = inbox.recv()
+        except (EOFError, OSError):
+            return
+        if item is None:
+            return
+        spec, attempt = item
+        t0 = time.perf_counter()
+        try:
+            payload, cached = execute_job(spec, attempt, store_root)
+            outbox.send((
+                "ok", spec["job_id"], attempt, payload, cached,
+                time.perf_counter() - t0,
+            ))
+        except Exception as exc:  # typed failure: report, don't die
+            outbox.send((
+                "error", spec["job_id"], attempt, type(exc).__name__,
+                str(exc), time.perf_counter() - t0,
+            ))
+
+
+class _Worker:
+    """One supervised worker process and its private pipes."""
+
+    def __init__(self, ctx, store_root: str | None):
+        job_recv, job_send = mp.Pipe(duplex=False)
+        res_recv, res_send = mp.Pipe(duplex=False)
+        self.to_worker = job_send  # supervisor -> worker
+        self.from_worker = res_recv  # worker -> supervisor
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(job_recv, res_send, store_root),
+            daemon=True,
+        )
+        self.proc.start()
+        # The parent's copies of the worker-side ends must close so a
+        # dead worker reads as EOF, not an open pipe.
+        job_recv.close()
+        res_send.close()
+        self.busy: "_InFlight | None" = None
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+        except (OSError, ValueError):  # pragma: no cover - already dead
+            pass
+        self.proc.join(timeout=5.0)
+        for conn in (self.to_worker, self.from_worker):
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def stop(self) -> None:
+        """Graceful shutdown; falls back to kill."""
+        try:
+            self.to_worker.send(None)
+        except (OSError, BrokenPipeError):
+            pass
+        self.proc.join(timeout=2.0)
+        if self.proc.is_alive():  # pragma: no cover - hung worker
+            self.kill()
+        else:
+            for conn in (self.to_worker, self.from_worker):
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+
+
+@dataclass
+class _Pending:
+    spec: JobSpec
+    wire: dict
+    seq: int
+    attempt: int = 1
+    not_before: float = 0.0
+    submitted_at: float = 0.0
+    deadline_at: float | None = None
+
+    @property
+    def edf_key(self) -> tuple:
+        dl = self.deadline_at if self.deadline_at is not None else float("inf")
+        return (dl, self.seq)
+
+
+@dataclass
+class _InFlight:
+    entry: _Pending
+    started_at: float
+
+
+class Supervisor:
+    """Bounded, deadline-aware, crash-tolerant job executor.
+
+    Use as a context manager, or call :meth:`close` explicitly::
+
+        with Supervisor(store_root=...) as sup:
+            sup.submit(spec)
+            outcomes = sup.drain()
+    """
+
+    def __init__(
+        self,
+        store_root: str | os.PathLike | None = None,
+        config: SupervisorConfig | None = None,
+    ):
+        self.config = config or SupervisorConfig()
+        self.store_root = str(store_root) if store_root is not None else None
+        self.stats = SupervisorStats()
+        self._seq = 0
+        self._pending: list[_Pending] = []
+        # Outcomes are indexed by submission sequence, not job id:
+        # resubmitting an identical spec (same id, e.g. cache-warming
+        # rounds) must yield one outcome per submission.
+        self._outcomes: dict[int, JobOutcome] = {}
+        self._order: list[int] = []
+        self.poison: list[JobOutcome] = []
+        # fork is preferred (fast, inherits the loaded library); spawn is
+        # the portable fallback.
+        methods = mp.get_all_start_methods()
+        self._ctx = mp.get_context("fork" if "fork" in methods else None)
+        self._workers: list[_Worker] = [
+            _Worker(self._ctx, self.store_root)
+            for _ in range(self.config.workers)
+        ]
+        self._closed = False
+
+    # -- submission ----------------------------------------------------- #
+
+    def submit(self, spec: JobSpec) -> str:
+        """Queue one job; returns its job id.
+
+        Raises :class:`ServiceOverloadError` when pending + in-flight
+        jobs already fill the bounded queue (load shedding happens at
+        the door, not by silent buffering).
+        """
+        if self._closed:
+            raise RuntimeError("supervisor is closed")
+        in_flight = sum(1 for w in self._workers if w.busy is not None)
+        if len(self._pending) + in_flight >= self.config.queue_capacity:
+            self.stats.shed += 1
+            raise ServiceOverloadError(
+                f"queue full ({self.config.queue_capacity} jobs pending); "
+                f"job {spec.job_id} shed"
+            )
+        now = time.monotonic()
+        entry = _Pending(
+            spec=spec,
+            wire=spec.as_dict(),
+            seq=self._seq,
+            submitted_at=now,
+            deadline_at=(
+                now + spec.deadline_s if spec.deadline_s is not None else None
+            ),
+        )
+        self._seq += 1
+        self._pending.append(entry)
+        self._order.append(entry.seq)
+        return spec.job_id
+
+    # -- main loop ------------------------------------------------------ #
+
+    def drain(self) -> list[JobOutcome]:
+        """Run every submitted job to an outcome; returns them in
+        submission order."""
+        while self._pending or any(w.busy for w in self._workers):
+            self._shed_expired()
+            self._assign()
+            self._wait_and_collect()
+        return [self._outcomes[seq] for seq in self._order]
+
+    def run_jobs(self, specs: Iterable[JobSpec]) -> list[JobOutcome]:
+        """Submit-and-drain convenience; overloaded submissions become
+        ``shed`` outcomes instead of raising."""
+        for spec in specs:
+            try:
+                self.submit(spec)
+            except ServiceOverloadError as exc:
+                seq = self._seq
+                self._seq += 1
+                self._order.append(seq)
+                self._finish(seq, JobOutcome(
+                    job_id=spec.job_id, kind=spec.kind,
+                    label=spec.label or spec.job_id, status="shed",
+                    attempts=0, error_type="ServiceOverloadError",
+                    error=str(exc),
+                ))
+        return self.drain()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for w in self._workers:
+            if w.busy is not None:
+                w.kill()
+            else:
+                w.stop()
+        self._workers = []
+
+    def __enter__(self) -> "Supervisor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals ------------------------------------------------------ #
+
+    def _backoff(self, job_id: str, attempt: int) -> float:
+        """Deterministic seeded exponential backoff + jitter."""
+        import random
+
+        c = self.config
+        base = c.backoff_base_s * (c.backoff_factor ** max(0, attempt - 1))
+        h = hashlib.sha256(
+            f"{c.seed}:{job_id}:{attempt}".encode()
+        ).hexdigest()
+        rng = random.Random(int(h[:16], 16))
+        return base * (1.0 + c.backoff_jitter * rng.random())
+
+    def _shed_expired(self) -> None:
+        now = time.monotonic()
+        expired = [e for e in self._pending
+                   if e.deadline_at is not None and e.deadline_at <= now]
+        for e in expired:
+            self._pending.remove(e)
+            self.stats.shed += 1
+            self._finish(e.seq, JobOutcome(
+                job_id=e.spec.job_id, kind=e.spec.kind,
+                label=e.spec.label or e.spec.job_id, status="shed",
+                attempts=e.attempt - 1, error_type="JobTimeoutError",
+                error="deadline expired before dispatch",
+            ))
+
+    def _assign(self) -> None:
+        now = time.monotonic()
+        ready = sorted(
+            (e for e in self._pending if e.not_before <= now),
+            key=lambda e: e.edf_key,
+        )
+        for w in self._workers:
+            if not ready:
+                break
+            if w.busy is not None:
+                continue
+            entry = ready.pop(0)
+            self._pending.remove(entry)
+            w.busy = _InFlight(entry=entry, started_at=now)
+            self.stats.dispatched += 1
+            try:
+                w.to_worker.send((entry.wire, entry.attempt))
+            except (OSError, BrokenPipeError):
+                # Worker already dead: treat as a crash of this attempt.
+                self._handle_crash(w)
+
+    def _wait_and_collect(self) -> None:
+        busy = [w for w in self._workers if w.busy is not None]
+        if not busy:
+            # Nothing in flight: sleep until the earliest retry is due.
+            if self._pending:
+                now = time.monotonic()
+                delay = min(
+                    max(0.0, e.not_before - now) for e in self._pending
+                )
+                time.sleep(min(delay, self.config.poll_s) or 0.001)
+            return
+        now = time.monotonic()
+        next_timeout = min(
+            w.busy.started_at + self._timeout_for(w.busy.entry) for w in busy
+        )
+        wait_s = max(0.001, min(self.config.poll_s, next_timeout - now))
+        ready = conn_wait([w.from_worker for w in busy], timeout=wait_s)
+        conns = {id(w.from_worker): w for w in busy}
+        for conn in ready:
+            w = conns[id(conn)]
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                self._handle_crash(w)
+                continue
+            self._handle_result(w, msg)
+        self._check_timeouts()
+
+    def _timeout_for(self, entry: _Pending) -> float:
+        return min(entry.spec.timeout_s, self.config.timeout_s)
+
+    def _check_timeouts(self) -> None:
+        now = time.monotonic()
+        for w in self._workers:
+            fl = w.busy
+            if fl is None:
+                continue
+            if now - fl.started_at >= self._timeout_for(fl.entry):
+                self.stats.timeouts += 1
+                self._replace_worker(w)
+                self._retry_or_fail(fl.entry, cause="JobTimeoutError",
+                                    detail="attempt exceeded its timeout")
+
+    def _handle_result(self, w: _Worker, msg: tuple) -> None:
+        fl = w.busy
+        w.busy = None
+        if fl is None:  # pragma: no cover - stray late message
+            return
+        entry = fl.entry
+        kind = msg[0]
+        if kind == "ok":
+            _, job_id, attempt, payload, cached, _wall = msg
+            self._finish(entry.seq, JobOutcome(
+                job_id=job_id, kind=entry.spec.kind,
+                label=entry.spec.label or job_id,
+                status="cached" if cached else "ok",
+                attempts=attempt, value=payload,
+                latency_s=time.monotonic() - entry.submitted_at,
+            ))
+        else:
+            _, job_id, attempt, etype, message, _wall = msg
+            self._finish(entry.seq, JobOutcome(
+                job_id=job_id, kind=entry.spec.kind,
+                label=entry.spec.label or job_id, status="failed",
+                attempts=attempt, error_type=etype, error=message,
+                latency_s=time.monotonic() - entry.submitted_at,
+            ))
+
+    def _handle_crash(self, w: _Worker) -> None:
+        fl = w.busy
+        self.stats.crashes += 1
+        self._replace_worker(w)
+        if fl is not None:
+            self._retry_or_fail(fl.entry, cause="WorkerCrashError",
+                                detail="worker process died mid-job")
+
+    def _replace_worker(self, w: _Worker) -> None:
+        """Fail-stop restart: kill whatever is left, start a fresh one."""
+        w.kill()
+        w.busy = None
+        idx = self._workers.index(w)
+        self._workers[idx] = _Worker(self._ctx, self.store_root)
+        self.stats.workers_restarted += 1
+
+    def _retry_or_fail(self, entry: _Pending, *, cause: str,
+                       detail: str) -> None:
+        spec = entry.spec
+        if cause == "JobTimeoutError" and spec.kind == "tune":
+            # Budget exceeded: degrade to the baseline layout instead of
+            # burning more attempts on a search that does not fit.
+            self.stats.degraded += 1
+            payload = degraded_tune_result(entry.wire)
+            self._finish(entry.seq, JobOutcome(
+                job_id=spec.job_id, kind=spec.kind,
+                label=spec.label or spec.job_id, status="degraded",
+                attempts=entry.attempt, value=payload,
+                error_type=cause, error=detail,
+                latency_s=time.monotonic() - entry.submitted_at,
+            ))
+            return
+        max_attempts = min(spec.max_attempts, self.config.max_attempts)
+        if entry.attempt >= max_attempts:
+            self.stats.poisoned += 1
+            outcome = JobOutcome(
+                job_id=spec.job_id, kind=spec.kind,
+                label=spec.label or spec.job_id, status="poison",
+                attempts=entry.attempt, error_type="PoisonJobError",
+                error=(
+                    f"{detail}; quarantined after {entry.attempt} attempts "
+                    f"(last cause: {cause})"
+                ),
+                latency_s=time.monotonic() - entry.submitted_at,
+            )
+            self.poison.append(outcome)
+            self._finish(entry.seq, outcome)
+            return
+        self.stats.retries += 1
+        entry.attempt += 1
+        entry.not_before = (
+            time.monotonic() + self._backoff(spec.job_id, entry.attempt - 1)
+        )
+        self._pending.append(entry)
+
+    def _finish(self, seq: int, outcome: JobOutcome) -> None:
+        self._outcomes[seq] = outcome

@@ -8,6 +8,12 @@ machine model, path, seed) — identical candidates across tuning calls
 never re-simulate — and independent candidates evaluate in parallel via
 :mod:`concurrent.futures`.  Every task is a pure function of its digest
 inputs, so parallel evaluation is bit-identical to serial.
+
+Passing ``store`` (an :class:`~repro.serve.store.ArtifactStore` or a
+directory path) extends the memo across *processes and runs*: results
+are looked up in the crash-safe on-disk store before simulating and
+published after, so a re-tune in a fresh process — or a tune job under
+``repro serve`` — pays one engine run per distinct candidate total.
 """
 
 from __future__ import annotations
@@ -136,6 +142,66 @@ def seed_arrays(program: Program, seed: int) -> dict[str, np.ndarray]:
 _COMPILE_LOCK = threading.Lock()
 
 
+def _as_store(store):
+    """Coerce ``store`` (ArtifactStore | path | None) to a store or None.
+
+    Imported lazily: serve depends on tune for its job bodies, so the
+    module-level import would be circular.
+    """
+    if store is None:
+        return None
+    from ..serve.store import ArtifactStore
+
+    if isinstance(store, ArtifactStore):
+        return store
+    return ArtifactStore(store)
+
+
+def _store_key(task: EvalTask):
+    """The shared-store address of one evaluation task.
+
+    Same identity fields as :attr:`EvalTask.digest`, but hashed through
+    the store's canonical key form (program source, pass config, backend,
+    machine model) so serve jobs and in-process tunes share entries.
+    """
+    from ..serve.store import ArtifactKey
+
+    src = (task.program if isinstance(task.program, str)
+           else repr(task.program))
+    config = {
+        "kind": "eval",
+        "nprocs": task.nprocs,
+        "path": task.path,
+        "seed": task.seed,
+    }
+    return ArtifactKey.make(src, config, task.backend, task.model)
+
+
+def _store_payload(result: EvalResult) -> dict:
+    """What the shared store records for one evaluation (label excluded:
+    the same candidate may be relabeled across tuning calls)."""
+    return {
+        "makespan": result.makespan,
+        "total_messages": result.total_messages,
+        "total_bytes": result.total_bytes,
+        "total_flops": result.total_flops,
+        "arrays": dict(result.arrays),
+    }
+
+
+def _result_from_store(task: EvalTask, payload: Mapping) -> EvalResult:
+    return EvalResult(
+        label=task.label,
+        digest=task.digest,
+        makespan=payload["makespan"],
+        total_messages=payload["total_messages"],
+        total_bytes=payload["total_bytes"],
+        total_flops=payload["total_flops"],
+        arrays=dict(payload["arrays"]),
+        from_cache=True,
+    )
+
+
 def _run_task(task: EvalTask) -> EvalResult:
     program = task.parsed()
     with _COMPILE_LOCK:
@@ -163,6 +229,7 @@ def evaluate_candidates(
     tasks: Sequence[EvalTask],
     *,
     cache: EvalCache | None = None,
+    store=None,
     parallel: bool = True,
     max_workers: int | None = None,
 ) -> list[EvalResult]:
@@ -172,7 +239,13 @@ def evaluate_candidates(
     re-simulation (marked ``from_cache``); the rest run concurrently when
     ``parallel`` is set.  Each task is pure, so the results are
     bit-identical between parallel and serial evaluation.
+
+    ``store`` (an :class:`~repro.serve.store.ArtifactStore` or a path)
+    adds a second, cross-process memo level: in-memory ``cache`` first,
+    then the shared on-disk store, then the engine — fresh results are
+    published to both.
     """
+    shared = _as_store(store)
     results: list[EvalResult | None] = [None] * len(tasks)
     todo: list[int] = []
     for i, task in enumerate(tasks):
@@ -186,6 +259,14 @@ def evaluate_candidates(
                     arrays=hit.arrays, from_cache=True,
                 )
                 continue
+        if shared is not None:
+            payload = shared.get(_store_key(task))
+            if payload is not None:
+                r = _result_from_store(task, payload)
+                results[i] = r
+                if cache is not None:
+                    cache.put(r)
+                continue
         todo.append(i)
     if todo:
         if parallel and len(todo) > 1:
@@ -197,4 +278,6 @@ def evaluate_candidates(
             results[i] = r
             if cache is not None:
                 cache.put(r)
+            if shared is not None:
+                shared.put(_store_key(tasks[i]), _store_payload(r))
     return [r for r in results if r is not None]

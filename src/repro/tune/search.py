@@ -135,6 +135,7 @@ def tune(
     parallel: bool = True,
     seed: int = 7,
     cache: EvalCache | None = None,
+    store=None,
     specs: Sequence[str] = ("BLOCK", "CYCLIC"),
     backend: str | None = None,
 ) -> TuneResult:
@@ -147,6 +148,11 @@ def tune(
     If no generated candidate beats the input program on the engine, the
     result keeps the original placement (``realization == "baseline"``,
     speedup 1.0) — tuning never returns something worse than its input.
+
+    ``store`` (an artifact-store directory or
+    :class:`~repro.serve.store.ArtifactStore`) shares engine evaluations
+    across processes and runs; see
+    :func:`~repro.tune.evaluate.evaluate_candidates`.
     """
     if isinstance(program, str):
         program = parse_program(program)
@@ -274,14 +280,16 @@ def tune(
 
     baseline_task = EvalTask(program, nprocs, model, seed=seed,
                              label="baseline", backend=backend)
-    baseline = evaluate_candidates([baseline_task], cache=cache, parallel=False)[0]
+    baseline = evaluate_candidates([baseline_task], cache=cache, store=store,
+                                   parallel=False)[0]
 
     tasks = [
         EvalTask(src, nprocs, model, seed=seed, backend=backend,
                  label=f"{sp.realization}:" + " | ".join(c.key for c in sp.layouts))
         for sp, src in chosen
     ]
-    results = evaluate_candidates(tasks, cache=cache, parallel=parallel)
+    results = evaluate_candidates(tasks, cache=cache, store=store,
+                                  parallel=parallel)
 
     order = sorted(
         range(len(results)),
@@ -307,7 +315,7 @@ def tune(
         # Nothing generated beats the input program: a tuner must never
         # make things worse, so keep the original placement.
         confirmed = evaluate_candidates(
-            [baseline_task], cache=cache, parallel=False
+            [baseline_task], cache=cache, store=store, parallel=False
         )[0]
         initial_cand = LayoutCandidate(decl.dist, decl.segment_shape)
         return TuneResult(
@@ -328,7 +336,8 @@ def tune(
 
     # Winner confirmation goes through the cache — by construction a hit,
     # which is also what keeps repeated tuning calls cheap.
-    confirmed = evaluate_candidates([tasks[best_i]], cache=cache, parallel=False)[0]
+    confirmed = evaluate_candidates([tasks[best_i]], cache=cache, store=store,
+                                    parallel=False)[0]
 
     return TuneResult(
         phases=tuple(phases),

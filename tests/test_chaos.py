@@ -87,3 +87,40 @@ class TestChaosCli:
 
         report = json.loads(out_file.read_text())
         assert report["ok"] and report["seed"] == 7
+
+
+class TestChaosBackendTransparency:
+    """Reliable delivery must be transparent under *both* transfer
+    bindings: the same fault schedules replay over the shared-address
+    prefetch/poststore transport with results matching the fault-free
+    run, and a fixed seed stays bit-reproducible per backend."""
+
+    import pytest as _pytest
+
+    @_pytest.mark.parametrize("backend", ["msg", "shmem"])
+    def test_battery_passes_on_backend(self, backend):
+        report = run_chaos(
+            programs=("workqueue",), nprocs_list=(4,),
+            seed=7, jobs_per_proc=3, backend=backend,
+        )
+        assert report["ok"], backend
+        assert report["backend"] == backend
+        assert all(c["ok"] for c in report["cases"])
+        assert all(d["ok"] for d in report["determinism"])
+
+    @_pytest.mark.parametrize("backend", ["msg", "shmem"])
+    def test_seeded_replay_is_bit_identical_per_backend(self, backend):
+        kw = dict(
+            programs=("workqueue",), nprocs_list=(4,),
+            seed=7, jobs_per_proc=2, backend=backend,
+        )
+        assert run_chaos(**kw) == run_chaos(**kw)
+
+    def test_cli_accepts_backend_flag(self, capsys):
+        rc = main([
+            "chaos", "--seed", "7", "--procs", "4",
+            "--programs", "workqueue", "--jobs-per-proc", "2",
+            "--backend", "shmem",
+        ])
+        assert rc == 0
+        assert "chaos: OK" in capsys.readouterr().out

@@ -161,3 +161,38 @@ class TestBench:
             "--out", str(out_file),
         ]) == 0
         assert "fft" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_serve_session_then_warm_replay(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["serve", "--store", store, "--rounds", "1",
+                     "--nprocs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "serve: OK" in out
+        # Same store, fresh session: everything cached, hit-rate bar met.
+        assert main(["serve", "--store", store, "--rounds", "1",
+                     "--nprocs", "3", "--min-hit-rate", "0.9"]) == 0
+        out = capsys.readouterr().out
+        assert "hit rate 100.0%" in out
+
+    def test_serve_min_hit_rate_fails_cold(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["serve", "--store", store, "--rounds", "1",
+                     "--nprocs", "3", "--min-hit-rate", "0.9"]) == 1
+        assert "below required" in capsys.readouterr().out
+
+    def test_serve_requires_store(self):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+
+    def test_serve_json_report(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        out_file = tmp_path / "serve.json"
+        assert main(["serve", "--store", store, "--rounds", "1",
+                     "--nprocs", "3", "--json", str(out_file)]) == 0
+        import json
+
+        report = json.loads(out_file.read_text())
+        assert report["ok"]
+        assert report["summary"]["jobs"] == 6

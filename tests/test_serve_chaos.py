@@ -1,0 +1,78 @@
+"""Service-layer chaos battery (`repro serve --chaos`).
+
+The battery SIGKILLs workers mid-job, stalls attempts past their
+timeout, truncates/bit-flips published cache records, floods the
+bounded queue, and feeds a poison job — asserting the service contract
+holds under all of it: jobs complete/retry/degrade/fail cleanly, the
+cache never serves a corrupt artifact, and a fixed seed reproduces the
+whole run bit-identically.  The battery runs once per module (it is a
+real multi-process exercise); the tests pick its report apart.
+"""
+
+import pytest
+
+from repro.serve import format_serve_chaos, run_serve_chaos
+from repro.serve.chaos import CHAOS_CONFIG
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-chaos")
+    return run_serve_chaos(seed=7, nprocs=4, store_root=str(root))
+
+
+def section(report, name):
+    return next(s for s in report["sections"] if s["section"] == name)
+
+
+class TestServeChaosBattery:
+    def test_full_battery_passes(self, report):
+        assert report["ok"], report
+        names = [s["section"] for s in report["sections"]]
+        assert names == [
+            "worker-kill", "stall", "cache-corruption", "overload", "poison"
+        ]
+        assert all(s["ok"] for s in report["sections"])
+
+    def test_same_seed_rerun_is_bit_identical(self, report):
+        assert report["determinism"]["section"] == "worker-kill"
+        assert report["determinism"]["ok"]
+
+    def test_kill_section_restarts_and_retries(self, report):
+        kill = section(report, "worker-kill")
+        assert kill["killed_jobs"]
+        assert kill["retries"] >= len(kill["killed_jobs"])
+        assert kill["workers_restarted"] >= len(kill["killed_jobs"])
+
+    def test_corruption_section_quarantines_everything_it_corrupts(
+        self, report
+    ):
+        corr = section(report, "cache-corruption")
+        assert corr["corrupted"] > 0
+        assert corr["quarantined"] == corr["corrupted"]
+
+    def test_stall_section_degrades_tune_within_budget(self, report):
+        stall = section(report, "stall")
+        assert stall["run_status"] == "ok"
+        assert stall["tune_status"] == "degraded"
+
+    def test_overload_section_sheds_exactly_the_excess(self, report):
+        over = section(report, "overload")
+        assert over["shed"] == over["submitted"] - over["completed"]
+        assert over["shed"] > 0
+
+    def test_poison_section_quarantines_after_budget(self, report):
+        poison = section(report, "poison")
+        assert poison["status"] == "poison"
+        assert poison["attempts"] == CHAOS_CONFIG["max_attempts"]
+
+    def test_format_renders(self, report):
+        text = format_serve_chaos(report)
+        assert "serve chaos: OK" in text
+        assert "worker-kill" in text and "cache-corruption" in text
+        assert "bit-identical" in text
+
+    def test_different_seed_still_passes(self, tmp_path):
+        rep = run_serve_chaos(seed=11, nprocs=4, store_root=str(tmp_path),
+                              check_determinism=False)
+        assert rep["ok"]

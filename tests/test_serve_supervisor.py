@@ -1,0 +1,223 @@
+"""The serve layer: job specs, supervised execution, failure policy.
+
+Pins the service contract (docs/SERVE.md): jobs complete, retry, degrade
+or fail *cleanly* — a worker SIGKILL mid-job surfaces as a restarted
+worker and a retried attempt, a stalled attempt as a timeout, a job that
+exhausts its budget as poison, an overloaded queue as shed — and
+repeated jobs are served from the shared artifact store rather than
+recomputed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.workqueue import workqueue_source
+from repro.core.errors import ServiceOverloadError
+from repro.serve import (
+    JobOutcome,
+    JobSpec,
+    ServeSession,
+    Supervisor,
+    SupervisorConfig,
+    artifact_key,
+    execute_job,
+    latency_percentiles,
+)
+
+NPROCS = 3
+SOURCE = workqueue_source(2, NPROCS)
+
+FAST = dict(
+    workers=2, timeout_s=5.0, backoff_base_s=0.01, poll_s=0.02, seed=7
+)
+
+
+def spec(**kw):
+    kw.setdefault("kind", "run")
+    kw.setdefault("source", SOURCE)
+    kw.setdefault("nprocs", NPROCS)
+    return JobSpec(**kw)
+
+
+class TestJobSpec:
+    def test_rejects_unknown_kind_and_model(self):
+        with pytest.raises(ValueError):
+            spec(kind="transmogrify")
+        with pytest.raises(ValueError):
+            spec(model="quantum")
+
+    def test_service_fields_do_not_change_artifact_key(self):
+        base = artifact_key(spec())
+        tweaked = artifact_key(spec(
+            label="other", timeout_s=1.0, deadline_s=2.0, max_attempts=9,
+            chaos=(("kill_attempts", (1,)),), job_id="custom",
+        ))
+        assert tweaked.digest == base.digest
+
+    def test_key_fields_do_change_artifact_key(self):
+        base = artifact_key(spec())
+        assert artifact_key(spec(kind="compile")).digest != base.digest
+        assert artifact_key(spec(seed=8)).digest != base.digest
+        assert artifact_key(spec(backend="shmem")).digest != base.digest
+        assert artifact_key(spec(model="high-latency")).digest != base.digest
+
+    def test_dict_form_addresses_identically(self):
+        s = spec()
+        assert artifact_key(s.as_dict()).digest == artifact_key(s).digest
+
+    def test_auto_job_id_is_content_derived(self):
+        assert spec().job_id == spec().job_id
+        assert spec().job_id != spec(kind="compile").job_id
+
+
+class TestExecuteJob:
+    def test_run_job_and_cross_call_cache(self, tmp_path):
+        payload, cached = execute_job(spec().as_dict(), 1, str(tmp_path))
+        assert not cached
+        assert payload["makespan"] > 0
+        assert payload["result_sha256"]
+        again, cached = execute_job(spec().as_dict(), 1, str(tmp_path))
+        assert cached
+        assert again == payload
+
+    def test_compile_and_check_bodies(self, tmp_path):
+        compiled, _ = execute_job(
+            spec(kind="compile").as_dict(), 1, str(tmp_path)
+        )
+        assert "array" in compiled["program"]
+        checked, _ = execute_job(spec(kind="check").as_dict(), 1, None)
+        assert checked["ok"] is True
+
+
+class TestSupervisorPolicy:
+    def test_clean_jobs_complete_in_submission_order(self, tmp_path):
+        jobs = [spec(), spec(kind="check"), spec(kind="compile")]
+        with Supervisor(tmp_path, SupervisorConfig(**FAST)) as sup:
+            out = sup.run_jobs(jobs)
+        assert [o.kind for o in out] == ["run", "check", "compile"]
+        assert all(o.status in ("ok", "cached") and o.attempts == 1
+                   for o in out)
+
+    def test_sigkilled_worker_restarts_and_job_retries(self, tmp_path):
+        killed = spec(chaos=(("kill_attempts", (1,)),), label="killed")
+        with Supervisor(tmp_path, SupervisorConfig(**FAST)) as sup:
+            (out,) = sup.run_jobs([killed])
+            stats = sup.stats
+        assert out.status == "ok" and out.attempts == 2 and out.retries == 1
+        assert stats.crashes == 1 and stats.workers_restarted == 1
+
+    def test_stalled_attempt_times_out_then_succeeds(self, tmp_path):
+        cfg = SupervisorConfig(**{**FAST, "timeout_s": 0.5})
+        stalled = spec(chaos=(("stall_attempts", (1,)), ("stall_s", 5.0)),
+                       timeout_s=0.5)
+        with Supervisor(tmp_path, cfg) as sup:
+            (out,) = sup.run_jobs([stalled])
+            stats = sup.stats
+        assert out.status == "ok" and out.attempts == 2
+        assert stats.timeouts == 1 and stats.workers_restarted == 1
+
+    def test_poison_after_attempt_budget(self, tmp_path):
+        doomed = spec(chaos=(("kill_attempts", (1, 2, 3)),), max_attempts=3)
+        with Supervisor(tmp_path, SupervisorConfig(**FAST)) as sup:
+            (out,) = sup.run_jobs([doomed])
+            assert sup.poison == [out]
+            stats = sup.stats
+        assert out.status == "poison" and out.attempts == 3
+        assert out.error_type == "PoisonJobError"
+        assert stats.poisoned == 1 and stats.retries == 2
+
+    def test_typed_job_error_fails_without_retry(self, tmp_path):
+        bad = spec(source="this is not a program {", kind="compile")
+        with Supervisor(tmp_path, SupervisorConfig(**FAST)) as sup:
+            (out,) = sup.run_jobs([bad])
+            stats = sup.stats
+        assert out.status == "failed" and out.attempts == 1
+        assert out.error_type  # parser's typed exception name
+        assert stats.retries == 0 and stats.crashes == 0
+
+    def test_submit_sheds_at_capacity(self, tmp_path):
+        cfg = SupervisorConfig(**{**FAST, "queue_capacity": 2})
+        with Supervisor(tmp_path, cfg) as sup:
+            sup.submit(spec(label="a"))
+            sup.submit(spec(label="b"))
+            with pytest.raises(ServiceOverloadError):
+                sup.submit(spec(label="c"))
+            out = sup.drain()
+        assert len(out) == 2
+
+    def test_run_jobs_converts_overload_to_shed_outcomes(self, tmp_path):
+        cfg = SupervisorConfig(**{**FAST, "queue_capacity": 2})
+        jobs = [spec(label=f"j{i}", seed=i) for i in range(5)]
+        with Supervisor(tmp_path, cfg) as sup:
+            out = sup.run_jobs(jobs)
+        assert len(out) == 5
+        shed = [o for o in out if o.status == "shed"]
+        assert len(shed) == 3
+        assert all(o.error_type == "ServiceOverloadError" for o in shed)
+
+    def test_expired_deadline_sheds_before_dispatch(self, tmp_path):
+        # Deadline already past at submission: shed, never dispatched.
+        hopeless = spec(deadline_s=0.0)
+        with Supervisor(tmp_path, SupervisorConfig(**FAST)) as sup:
+            (out,) = sup.run_jobs([hopeless])
+            stats = sup.stats
+        assert out.status == "shed"
+        assert stats.dispatched == 0 and stats.shed == 1
+
+    def test_backoff_is_seeded_and_monotone_in_attempt(self, tmp_path):
+        cfg = SupervisorConfig(**FAST)
+        with Supervisor(tmp_path, cfg) as a, Supervisor(tmp_path, cfg) as b:
+            assert a._backoff("job-x", 1) == b._backoff("job-x", 1)
+            assert a._backoff("job-x", 2) > a._backoff("job-x", 1)
+            assert a._backoff("job-x", 1) != a._backoff("job-y", 1)
+
+
+class TestServeSession:
+    def test_second_run_is_served_from_cache(self, tmp_path):
+        session = ServeSession(str(tmp_path), SupervisorConfig(**FAST))
+        jobs = [spec(), spec(kind="compile")]
+        first = session.run_jobs(jobs)
+        assert all(o.status == "ok" for o in first)
+        second = session.run_jobs(jobs)
+        assert all(o.status == "cached" and o.attempts == 0 for o in second)
+        s = session.summary()
+        assert s["jobs"] == 4
+        assert s["statuses"] == {"cached": 2, "ok": 2}
+        assert s["cache_hit_rate"] == 0.5
+        assert s["latency"]["p50_s"] <= s["latency"]["p99_s"]
+
+    def test_fresh_session_shares_the_store(self, tmp_path):
+        ServeSession(str(tmp_path), SupervisorConfig(**FAST)).run_jobs(
+            [spec()]
+        )
+        other = ServeSession(str(tmp_path), SupervisorConfig(**FAST))
+        (out,) = other.run_jobs([spec()])
+        assert out.status == "cached"
+
+
+class TestOutcomeAccounting:
+    def test_fingerprint_excludes_latency(self):
+        a = JobOutcome(job_id="j", kind="run", label="j", status="ok",
+                       attempts=1, value={"x": 1}, latency_s=0.5)
+        b = JobOutcome(job_id="j", kind="run", label="j", status="ok",
+                       attempts=1, value={"x": 1}, latency_s=9.9)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_hashes_arrays(self):
+        v1 = {"arr": np.arange(3.0)}
+        v2 = {"arr": np.arange(3.0) + 1}
+        a = JobOutcome(job_id="j", kind="run", label="j", status="ok",
+                       value=v1)
+        b = JobOutcome(job_id="j", kind="run", label="j", status="ok",
+                       value=v2)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_latency_percentiles(self):
+        assert latency_percentiles([]) == {
+            "p50_s": 0.0, "p99_s": 0.0, "mean_s": 0.0, "max_s": 0.0
+        }
+        xs = [0.1 * i for i in range(1, 11)]
+        lat = latency_percentiles(xs)
+        assert lat["p50_s"] == pytest.approx(0.5, abs=0.11)
+        assert lat["p99_s"] == pytest.approx(1.0, abs=0.01)
+        assert lat["max_s"] == pytest.approx(1.0)
