@@ -11,18 +11,26 @@ Commands
 ``run FILE`` / ``run --app APP``
     Execute a program on the simulated machine and print the run summary
     (optionally final array values and the event trace).  With ``--app``
-    (``jacobi``, ``fft3d`` or ``workqueue``) a shipped application is run
-    end-to-end instead and a sha256 digest of its result array is
-    printed — the same program run with ``--backend msg`` and
-    ``--backend shmem`` must print the same digest (result
-    transparency, paper section 5).
+    (``jacobi``, ``fft3d``, ``workqueue`` or ``matmul``) a shipped
+    application is run end-to-end instead and a sha256 digest of its
+    result array is printed — the same program run with ``--backend msg``
+    and ``--backend shmem`` must print the same digest (result
+    transparency, paper section 5), and for ``matmul`` the digest is also
+    identical across ``--collectives native`` and ``--collectives p2p``.
 
 ``check FILE|APP``
     Statically verify communication safety (tag/cardinality mismatches,
-    transitional/unowned uses, ownership races, guaranteed deadlocks)
-    without running the program.  ``APP`` may be ``jacobi``, ``fft3d`` or
-    ``workqueue`` to check every shipped variant of that app.  Exits 1 if
+    transitional/unowned uses, ownership races, guaranteed deadlocks,
+    collective participation/cardinality errors) without running the
+    program.  ``APP`` may be ``jacobi``, ``fft3d``, ``workqueue`` or
+    ``matmul`` to check every shipped variant of that app.  Exits 1 if
     the verifier reports any error.
+
+``redist``
+    Plan a memory-bounded redistribution between two distribution specs
+    and report the schedule's per-round peak temporary memory against the
+    naive all-at-once materialisation (``--max-temp-frac`` sets the
+    budget).
 
 ``figures [N|all]``
     Regenerate the paper's figures as text.
@@ -59,7 +67,10 @@ Examples
     python -m repro run examples/simple.xdp --nprocs 4 --show A
     python -m repro run --app jacobi --backend shmem --nprocs 4
     python -m repro check examples/simple.xdp --nprocs 4
-    python -m repro check jacobi fft3d workqueue
+    python -m repro check jacobi fft3d workqueue matmul
+    python -m repro run --app matmul --variant cannon --backend shmem
+    python -m repro redist --shape 8,8,8 --from "(*, *, BLOCK)" \\
+        --to "(*, BLOCK, *)" --nprocs 4 --max-temp-frac 0.25
     python -m repro figures all
     python -m repro fft --n 8 --nprocs 4 --stage 2
     python -m repro bench --nprocs 8,64,256 --out BENCH_engine.json
@@ -80,7 +91,7 @@ import numpy as np
 
 from .core.codegen import lower
 from .core.interp import Interpreter
-from .core.ir.nodes import Guarded, RecvStmt, SendStmt
+from .core.ir.nodes import CollectiveStmt, Guarded, RecvStmt, SendStmt
 from .core.ir.parser import parse_program
 from .core.ir.printer import print_program
 from .core.ir.verify import verify_program
@@ -107,7 +118,7 @@ def _load(path: str):
 
 def _is_sequential(program) -> bool:
     return not any(
-        isinstance(s, (SendStmt, RecvStmt, Guarded))
+        isinstance(s, (SendStmt, RecvStmt, Guarded, CollectiveStmt))
         for s in walk_stmts(program.body)
     )
 
@@ -158,6 +169,14 @@ def _run_app(args: argparse.Namespace) -> int:
         r = run_fft3d(nprocs, nprocs, 2, model=model, path=args.path,
                       backend=args.backend)
         label, ok, arr = f"fft3d/stage2 n={nprocs}", r.correct, r.result
+        stats = r.stats
+    elif args.app == "matmul":
+        from .apps.matmul import run_matmul
+
+        n = 2 * nprocs
+        r = run_matmul(n, nprocs, args.variant, model=model, path=args.path,
+                       backend=args.backend, collectives=args.collectives)
+        label, ok, arr = f"matmul/{args.variant} n={n}", r.correct, r.result
         stats = r.stats
     elif args.app == "workqueue":
         # The static-IL rendition of the section-2.7 pool: its round-robin
@@ -269,6 +288,14 @@ def _check_targets(target: str, nprocs: int) -> list[tuple[str, object]]:
             (f"fft3d/stage{s} n={nprocs}", fft3d_source(nprocs, nprocs, s))
             for s in (0, 1, 2)
         ]
+    if target == "matmul":
+        from .apps.matmul import VARIANTS, matmul_source
+
+        n = 2 * nprocs
+        return [
+            (f"matmul/{v} n={n}", matmul_source(n, nprocs, v))
+            for v in VARIANTS
+        ]
     if target == "workqueue":
         from .apps.workqueue import workqueue_source
 
@@ -301,6 +328,39 @@ def _cmd_check(args: argparse.Namespace) -> int:
             print(report.format())
             failed = failed or not report.ok
     return 1 if failed else 0
+
+
+def _cmd_redist(args: argparse.Namespace) -> int:
+    from .core.collectives.planner import (
+        dist_from_spec, plan_bounded_redistribution,
+    )
+    from .distributions import ProcessorGrid
+
+    shape = tuple(int(x) for x in args.shape.split(","))
+    bounds = tuple((1, n) for n in shape)
+    grid = ProcessorGrid((args.nprocs,))
+    src = dist_from_spec(args.src_spec, bounds, grid)
+    dst = dist_from_spec(args.dst_spec, bounds, grid)
+    sched = plan_bounded_redistribution(
+        src, dst, max_temp_frac=args.max_temp_frac,
+        elem_bytes=args.elem_bytes,
+    )
+    doc = sched.summary()
+    shape_str = "x".join(str(n) for n in shape)
+    print(f"redistribute {shape_str} over P={args.nprocs}: "
+          f"{doc['source']} -> {doc['target']}")
+    print(f"  budget      {doc['budget_bytes']} bytes/proc/round "
+          f"(max_temp_frac={doc['max_temp_frac']})")
+    print(f"  schedule    {doc['rounds']} rounds, {doc['moves']} moves")
+    print(f"  peak temp   {doc['peak_temp_bytes']} bytes/proc "
+          f"(naive all-at-once: {doc['naive_peak_bytes']})")
+    print(f"  peak/naive  {doc['peak_vs_naive']:.3f}")
+    if args.json:
+        from .report.record import write_json_atomic
+
+        write_json_atomic(args.json, doc)
+        print(f"wrote {args.json}")
+    return 0
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
@@ -524,7 +584,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     k.add_argument("targets", nargs="+", metavar="FILE|APP",
                    help="IL+XDP files and/or app names "
-                        "(jacobi, fft3d, workqueue)")
+                        "(jacobi, fft3d, workqueue, matmul)")
     k.add_argument("--nprocs", type=int, default=4)
     k.add_argument("-O", "--opt-level", type=int, default=0,
                    choices=(0, 1, 2),
@@ -541,10 +601,16 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("file", nargs="?",
                    help="IL+XDP program (omit when using --app)")
     common(r)
-    r.add_argument("--app", choices=("jacobi", "fft3d", "workqueue"),
+    r.add_argument("--app", choices=("jacobi", "fft3d", "workqueue", "matmul"),
                    help="run a shipped application instead of FILE and "
                         "print a sha256 digest of its result array "
                         "(identical across --backend choices)")
+    r.add_argument("--variant", default="summa",
+                   help="app variant (matmul: cannon, summa, gather, outer)")
+    r.add_argument("--collectives", default="native",
+                   choices=("native", "p2p"),
+                   help="lower coll statements natively or desugar to "
+                        "point-to-point transfers (digests must match)")
     r.add_argument("--verify-comm", action="store_true",
                    help="statically verify communication safety before "
                         "running; exit 1 on errors")
@@ -561,6 +627,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the event trace as Chrome trace-event JSON "
                         "(viewable in Perfetto); implies tracing")
     r.set_defaults(fn=_cmd_run)
+
+    d = sub.add_parser(
+        "redist",
+        help="plan a memory-bounded redistribution and report its "
+             "peak-temp profile",
+    )
+    d.add_argument("--shape", default="8,8,8",
+                   help="comma-separated array extents (1-based bounds)")
+    d.add_argument("--from", dest="src_spec", default="(*, *, BLOCK)",
+                   metavar="SPEC", help="source HPF-style distribution spec")
+    d.add_argument("--to", dest="dst_spec", default="(*, BLOCK, *)",
+                   metavar="SPEC", help="target HPF-style distribution spec")
+    d.add_argument("--nprocs", type=int, default=4)
+    d.add_argument("--max-temp-frac", type=float, default=0.5,
+                   help="per-round temp-memory budget as a fraction of the "
+                        "largest per-processor array footprint")
+    d.add_argument("--elem-bytes", type=int, default=8)
+    d.add_argument("--json", metavar="FILE",
+                   help="also write the schedule summary as JSON")
+    d.set_defaults(fn=_cmd_redist)
 
     u = sub.add_parser(
         "tune", help="search data placements for a phased program"

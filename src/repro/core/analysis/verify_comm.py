@@ -45,10 +45,10 @@ from ...distributions import ProcessorGrid
 from ..errors import VerificationError
 from ..ir.nodes import (
     Accessible, ArrayDecl, ArrayRef, Assign, Await, BinOp, Block, BoolConst,
-    CallStmt, DoLoop, Expr, ExprStmt, FloatConst, Full, Guarded, IfStmt,
-    Index, IntConst, Iown, MaxIntConst, MinIntConst, Mylb, Mypid, Myub,
-    NumProcs, Program, Range, RecvStmt, ScalarDecl, SendStmt, Stmt,
-    UnaryOp, VarRef, XferOp,
+    CallStmt, CollOp, CollectiveStmt, DoLoop, Expr, ExprStmt, FloatConst,
+    Full, Guarded, IfStmt, Index, IntConst, Iown, MaxIntConst, MinIntConst,
+    Mylb, Mypid, Myub, NumProcs, Program, Range, RecvStmt, ScalarDecl,
+    SendStmt, Stmt, UnaryOp, VarRef, XferOp,
 )
 from ..ir.printer import print_stmt
 from ..sections import Section, Triplet, disjoint_cover_equal, section_difference
@@ -80,6 +80,9 @@ class _Unknown:
 
 
 _UNKNOWN = _Unknown()
+
+#: Placeholder for "no previous scalar binding" during binder injection.
+_ABSENT = object()
 
 _KIND = {
     XferOp.SEND_VALUE: "value",
@@ -246,6 +249,37 @@ class _Wait:
         self.loc = loc
 
 
+class _CollBarrier:
+    """One dynamic instance of a collective site: the ``occ``-th execution
+    of a given statement.  Members must all arrive with the same resolved
+    signature (group, root, chunk sections) before any may proceed."""
+
+    __slots__ = ("stmt", "members", "root", "signature", "first_pid1", "loc",
+                 "arrived")
+
+    def __init__(self, stmt, members, root, signature, first_pid1, loc):
+        self.stmt = stmt
+        self.members = members
+        self.root = root
+        self.signature = signature
+        self.first_pid1 = first_pid1
+        self.loc = loc
+        self.arrived: dict[int, object] = {}
+
+
+class _CollWait:
+    """A processor parked inside a collective: released when every member
+    has arrived and the processor's landing sections are fence-able."""
+
+    __slots__ = ("barrier", "landings", "vars", "loc")
+
+    def __init__(self, barrier, landings, vars, loc):
+        self.barrier = barrier
+        self.landings = landings  # tuple[(var, Section), ...] owned by me
+        self.vars = vars          # involved array names (for waiver demotion)
+        self.loc = loc
+
+
 class _AProc:
     __slots__ = ("pid1", "gen", "wait", "done", "doomed", "scalars", "stack")
 
@@ -318,6 +352,11 @@ class _Machine:
         self.unclaimed: dict[tuple, list[_Msg]] = {}
         self.pending: dict[tuple, list[_PendRecv]] = {}
         self.tag_modes: dict[tuple, set[str]] = {}   # "directed" / "pooled"
+        # Collective sites: (site, pid1) -> executions so far, and
+        # (site, occurrence) -> the barrier those executions meet at.
+        self.coll_counts: dict[tuple[int, int], int] = {}
+        self.coll_barriers: dict[tuple[int, int], _CollBarrier] = {}
+        self.procs: list[_AProc] = []
         self.waived: set[str] = set()
         self._findings: dict[tuple, Finding] = {}
         self._order: list[tuple] = []
@@ -357,6 +396,11 @@ class _Machine:
                 case IfStmt(_, then, orelse):
                     self.waive_block(then)
                     self.waive_block(orelse)
+                case CollectiveStmt():
+                    self.waived.add(s.src.var)
+                    self.waived.add(s.dst.var)
+                    if s.scratch is not None:
+                        self.waived.add(s.scratch.var)
                 case _:
                     pass
 
@@ -449,8 +493,10 @@ class _Machine:
     # waits
     # -------------------------------------------------------------- #
 
-    def wait_status(self, p: _AProc, w: _Wait) -> str:
+    def wait_status(self, p: _AProc, w) -> str:
         """"ready" | "blocked" | "never" for one WaitAccessible."""
+        if isinstance(w, _CollWait):
+            return self._coll_status(p, w)
         over = self.overlapping(p.pid1, w.var, w.sec)
         inters = [i for _, i in over]
         if not inters or not disjoint_cover_equal(w.sec, inters):
@@ -459,11 +505,33 @@ class _Machine:
             return "ready"
         return "blocked"
 
-    def apply_wait(self, p: _AProc, w: _Wait) -> None:
+    def _coll_status(self, p: _AProc, w: _CollWait) -> str:
+        bar = w.barrier
+        missing = [m for m in bar.members if m not in bar.arrived]
+        if any(self.procs[m - 1].done or self.procs[m - 1].doomed
+               for m in missing):
+            return "never"
+        if missing:
+            return "blocked"
+        # Every member arrived: the landing fences still need any in-flight
+        # point-to-point receive on the landing sections to be satisfied.
+        for var, sec in w.landings:
+            for seg, _ in self.overlapping(p.pid1, var, sec):
+                if any(not r.matched for r in seg.pending):
+                    return "blocked"
+        return "ready"
+
+    def apply_wait(self, p: _AProc, w) -> None:
         """The section became accessible: apply every completion on the
         overlapping segments (the engine does this at message arrival; doing
         it only under an explicit wait is what makes un-awaited reads show
         up as transitional)."""
+        if isinstance(w, _CollWait):
+            # The collective completes synchronously: every landing is
+            # fenced, discharging any point-to-point receive it overlaps.
+            for var, sec in w.landings:
+                self.apply_wait(p, _Wait(var, sec, "await", w.loc))
+            return
         recvs: dict[int, _PendRecv] = {}
         for seg, _ in self.overlapping(p.pid1, w.var, w.sec):
             for r in seg.pending:
@@ -565,6 +633,8 @@ class _Machine:
                         p.stack.pop()
             case CallStmt():
                 yield from self._exec_call(stmt, p)
+            case CollectiveStmt():
+                yield from self._exec_collective(stmt, p)
             case ExprStmt(expr):
                 yield from self._eval(expr, p, rule=False)
             case _:  # pragma: no cover - exhaustive over Stmt
@@ -749,6 +819,246 @@ class _Machine:
             seg.pending.append(recv)
             self.tables.setdefault((p.pid1, stmt.into.var), []).append(seg)
             self.post_recv(recv)
+
+    def _coll_resolve(self, ref: ArrayRef, bindings: dict[str, int],
+                      p: _AProc, stmt: Stmt):
+        """Resolve a collective operand with binder values in scope."""
+        saved = {k: p.scalars.get(k, _ABSENT) for k in bindings}
+        p.scalars.update(bindings)
+        try:
+            decl, sec = yield from self._resolve(ref, p, stmt)
+        finally:
+            for k, v in saved.items():
+                if v is _ABSENT:
+                    p.scalars.pop(k, None)
+                else:
+                    p.scalars[k] = v
+        return decl, sec
+
+    def _exec_collective(self, stmt: CollectiveStmt, p: _AProc):
+        """A collective is a typed rendezvous of the whole group: every
+        member must reach the same dynamic instance of the site with the
+        same resolution (group, root, chunk sections).  Arrival order is
+        tracked per (site, occurrence); the member then parks on a barrier
+        wait, which the driver treats like any blocking point — so a
+        member that never arrives, a contributor that exits early, or a
+        collective interleaved with an unsatisfiable point-to-point
+        receive all surface through the normal never/deadlock machinery."""
+        loc = self.loc(p, stmt)
+        coll_vars = tuple(dict.fromkeys(
+            [stmt.src.var, stmt.dst.var]
+            + ([stmt.scratch.var] if stmt.scratch is not None else [])
+        ))
+
+        def waive(reason: str):
+            self.flag("warning", "unresolved-collective",
+                      f"{reason}; the collective is skipped and its arrays "
+                      "waived", loc, p.pid1)
+            self.waived.update(coll_vars)
+
+        lo, hi, step = stmt.group
+        lo_v = yield from self._eval(lo, p, rule=False)
+        hi_v = yield from self._eval(hi, p, rule=False)
+        st_v = 1 if step is None else (
+            yield from self._eval(step, p, rule=False))
+        root_v = None
+        if stmt.root is not None:
+            root_v = yield from self._eval(stmt.root, p, rule=False)
+        if _UNKNOWN in (lo_v, hi_v, st_v) or root_v is _UNKNOWN:
+            waive("collective group/root depends on run-time data")
+            return
+        if st_v == 0:
+            self.flag("error", "collective-bad-group",
+                      "collective group step of 0", loc, p.pid1)
+            return
+        members = tuple(range(
+            int(lo_v), int(hi_v) + (1 if st_v > 0 else -1), int(st_v)))
+        if not members:
+            self.flag("error", "collective-bad-group",
+                      f"empty collective group {lo_v}:{hi_v}:{st_v}",
+                      loc, p.pid1)
+            return
+        bad = [m for m in members if not 1 <= m <= self.nprocs]
+        if bad:
+            self.flag("error", "collective-bad-group",
+                      f"collective group member P{bad[0]} outside the "
+                      f"machine (P1..P{self.nprocs})", loc, p.pid1)
+            return
+        if root_v is not None:
+            root_v = int(root_v)
+            if root_v not in members:
+                self.flag("error", "collective-bad-group",
+                          f"broadcast root P{root_v} is not a group member",
+                          loc, p.pid1)
+                return
+        if p.pid1 not in members:
+            return
+
+        # Resolve the full chunk map (flat-schedule transfer set).  The
+        # binders never reference mypid, so members should resolve the
+        # same map — the signature comparison below checks that they do.
+        gb, db = stmt.g_binder, stmt.d_binder
+
+        def bind(g=None, d=None):
+            b = {}
+            if gb is not None and g is not None:
+                b[gb] = g
+            if d is not None:
+                b[db] = d
+            return b
+
+        unresolved = False
+        universal = False
+
+        def note(decl, sec):
+            nonlocal unresolved, universal
+            if decl is None:
+                unresolved = True
+                return None
+            if isinstance(decl, ArrayDecl) and decl.universal:
+                universal = True
+                return None
+            if sec is None:
+                unresolved = True
+            return sec
+
+        op = stmt.op
+        transfers: list[tuple[int, int, Section, Section]] = []
+        scratches: dict[int, Section] = {}
+        if op is CollOp.BROADCAST:
+            d0, s0 = yield from self._coll_resolve(stmt.src, {}, p, stmt)
+            src_sec = note(d0, s0)
+            for d in members:
+                dd, ds = yield from self._coll_resolve(
+                    stmt.dst, bind(d=d), p, stmt)
+                dsec = note(dd, ds)
+                if src_sec is not None and dsec is not None:
+                    transfers.append((root_v, d, src_sec, dsec))
+        elif op is CollOp.ALLGATHER:
+            srcs: dict[int, Section | None] = {}
+            for g in members:
+                sd, ss = yield from self._coll_resolve(
+                    stmt.src, bind(g=g), p, stmt)
+                srcs[g] = note(sd, ss)
+            for g in members:
+                for d in members:
+                    dd, ds = yield from self._coll_resolve(
+                        stmt.dst, bind(g=g, d=d), p, stmt)
+                    dsec = note(dd, ds)
+                    if srcs[g] is not None and dsec is not None:
+                        transfers.append((g, d, srcs[g], dsec))
+        elif op is CollOp.ALL_TO_ALL:
+            for g in members:
+                for d in members:
+                    sd, ss = yield from self._coll_resolve(
+                        stmt.src, bind(g=g, d=d), p, stmt)
+                    dd, ds = yield from self._coll_resolve(
+                        stmt.dst, bind(g=g, d=d), p, stmt)
+                    ssec = note(sd, ss)
+                    dsec = note(dd, ds)
+                    if ssec is not None and dsec is not None:
+                        transfers.append((g, d, ssec, dsec))
+        else:  # REDUCE_SCATTER
+            dsts: dict[int, Section | None] = {}
+            for d in members:
+                dd, ds = yield from self._coll_resolve(
+                    stmt.dst, bind(d=d), p, stmt)
+                dsts[d] = note(dd, ds)
+                sd, ss = yield from self._coll_resolve(
+                    stmt.scratch, bind(d=d), p, stmt)
+                sc = note(sd, ss)
+                if sc is not None:
+                    scratches[d] = sc
+            for g in members:
+                for d in members:
+                    sd, ss = yield from self._coll_resolve(
+                        stmt.src, bind(g=g, d=d), p, stmt)
+                    ssec = note(sd, ss)
+                    if ssec is not None and dsts[d] is not None:
+                        transfers.append((g, d, ssec, dsts[d]))
+        if universal:
+            self.flag("error", "collective-universal",
+                      "collective over a universal array: only exclusive "
+                      "arrays have owners to exchange between", loc, p.pid1)
+            return
+        if unresolved:
+            waive("collective section depends on run-time data")
+            return
+
+        def canon(sec: Section):
+            return tuple((t.lo, t.hi, t.step) for t in sec.dims)
+
+        signature = (
+            op.value, members, root_v, stmt.reduce_op,
+            tuple((g, d, canon(ss), canon(ds))
+                  for g, d, ss, ds in transfers),
+            tuple((d, canon(s)) for d, s in sorted(scratches.items())),
+        )
+        site = id(stmt)
+        occ = self.coll_counts.get((site, p.pid1), 0)
+        self.coll_counts[(site, p.pid1)] = occ + 1
+        bar = self.coll_barriers.get((site, occ))
+        if bar is None:
+            bar = _CollBarrier(stmt, members, root_v, signature, p.pid1, loc)
+            self.coll_barriers[(site, occ)] = bar
+            # Chunk-shape sanity is group-global and identical on every
+            # member; check it once, at first arrival.
+            for g, d, ssec, dsec in transfers:
+                if ssec.size != dsec.size:
+                    self.flag(
+                        "error", "collective-cardinality",
+                        f"{op.value}: contributor P{g}'s chunk "
+                        f"{stmt.src.var}{ssec} carries {ssec.size} "
+                        f"element(s) but destination P{d}'s slot "
+                        f"{stmt.dst.var}{dsec} holds {dsec.size}",
+                        loc, p.pid1)
+            for d, sc in sorted(scratches.items()):
+                slot = next((ds.size for g, dd, _, ds in transfers
+                             if dd == d), None)
+                if slot is not None and sc.size != slot:
+                    self.flag(
+                        "error", "collective-cardinality",
+                        f"reduce_scatter scratch {stmt.scratch.var}{sc} "
+                        f"holds {sc.size} element(s) but P{d}'s chunks "
+                        f"carry {slot}", loc, p.pid1)
+        elif signature != bar.signature:
+            self.flag("error", "collective-mismatch",
+                      f"P{p.pid1} reaches this {op.value} with a different "
+                      f"group/root/section resolution than P{bar.first_pid1}"
+                      " (all participants must agree)", loc, p.pid1)
+        bar.arrived[p.pid1] = signature
+
+        # My contributions: value-send semantics (gathered immediately).
+        my_reads = dict.fromkeys(
+            (stmt.src.var, ss) for g, _, ss, _ in transfers if g == p.pid1)
+        for var, sec in my_reads:
+            if not self.iown(p.pid1, var, sec):
+                self.flag("error", "collective-send-unowned",
+                          f"collective contribution {var}{sec} is not owned "
+                          f"by P{p.pid1}", loc, p.pid1)
+            elif self.transitional(p.pid1, var, sec):
+                self.flag("error", "stale-read",
+                          f"collective gathers {var}{sec} with a receive "
+                          "initiated and no await since", loc, p.pid1)
+
+        # My landings: destination (and scratch) must be owned, like a
+        # value receive's destination gate.
+        landings = dict.fromkeys(
+            (stmt.dst.var, ds) for _, d, _, ds in transfers if d == p.pid1)
+        if p.pid1 in scratches and len(members) > 1:
+            landings[(stmt.scratch.var, scratches[p.pid1])] = None
+        blocked_forever = False
+        for var, sec in landings:
+            if not self.iown(p.pid1, var, sec):
+                self.flag("error", "collective-recv-unowned",
+                          f"collective lands in {var}{sec}, not owned by "
+                          f"P{p.pid1}: its landing fence blocks forever",
+                          loc, p.pid1)
+                blocked_forever = True
+        if blocked_forever:
+            p.doomed = True
+            return
+        yield _CollWait(bar, tuple(landings), coll_vars, loc)
 
     def _exec_call(self, stmt: CallStmt, p: _AProc):
         # Kernels read and write their section arguments through the
@@ -990,6 +1300,7 @@ class _Machine:
 
     def run(self) -> CommReport:
         procs = [_AProc(pid1, None) for pid1 in range(1, self.nprocs + 1)]
+        self.procs = procs
         for p in procs:
             p.gen = self.boot(p)
         try:
@@ -1054,7 +1365,22 @@ class _Machine:
                     self._flag_deadlock(blocked)
                 return
 
-    def _flag_never(self, p: _AProc, w: _Wait) -> None:
+    def _flag_never(self, p: _AProc, w) -> None:
+        if isinstance(w, _CollWait):
+            bar = w.barrier
+            gone = sorted(
+                m for m in bar.members
+                if m not in bar.arrived
+                and (self.procs[m - 1].done or self.procs[m - 1].doomed)
+            )
+            severity = "warning" if self.demoted(*w.vars) else "error"
+            names = ", ".join(f"P{m}" for m in gone)
+            self.flag(severity, "unmatched-collective-participant",
+                      f"{bar.stmt.op.value} collective over "
+                      f"P{bar.members[0]}..P{bar.members[-1]}: member(s) "
+                      f"{names} finish without participating, so the "
+                      "arrived members block forever", w.loc, p.pid1)
+            return
         what = {
             "await": "await on",
             "release": "owner send of",
@@ -1072,6 +1398,28 @@ class _Machine:
         lines = []
         for p in sorted(blocked, key=lambda q: q.pid1):
             w = p.wait
+            if isinstance(w, _CollWait):
+                bar = w.barrier
+                involved.update(w.vars)
+                missing = sorted(set(bar.members) - set(bar.arrived))
+                line = (f"P{p.pid1} blocked in {bar.stmt.op.value} "
+                        f"collective at [{w.loc}]")
+                if missing:
+                    line += (" awaiting member(s) "
+                             + ", ".join(f"P{m}" for m in missing))
+                else:
+                    tags = sorted({
+                        r.tag
+                        for var, sec in w.landings
+                        for seg, _ in self.overlapping(p.pid1, var, sec)
+                        for r in seg.pending if not r.matched
+                    })
+                    if tags:
+                        line += (" with unsatisfied point-to-point "
+                                 "receive(s) on its landing sections: "
+                                 + ", ".join(tags))
+                lines.append(line)
+                continue
             involved.add(w.var)
             unmatched = sorted({
                 r.tag

@@ -44,12 +44,15 @@ from ...runtime.symtab import MAXINT, MININT
 from ..analysis.layouts import build_layouts
 from ..errors import CompilationError, OwnershipError, XDPError
 from ..interp import CALL_BASE_FLOPS, ELEM_FLOPS, INTRINSIC_FLOPS, ITER_FLOPS
+from ..collectives.schedule import (
+    CollInstance, collective_ops, execute_ops, group_members,
+)
 from ..ir.nodes import (
     Accessible, ArrayDecl, ArrayRef, Assign, Await, BinOp, Block, BoolConst,
-    CallStmt, DoLoop, Expr, ExprStmt, FloatConst, Full, Guarded, IfStmt,
-    Index, IntConst, Iown, MaxIntConst, MinIntConst, Mylb, Mypid, Myub,
-    NumProcs, Program, Range, RecvStmt, SendStmt, Stmt, UnaryOp, VarRef,
-    XferOp,
+    CallStmt, CollectiveStmt, DoLoop, Expr, ExprStmt, FloatConst, Full,
+    Guarded, IfStmt, Index, IntConst, Iown, MaxIntConst, MinIntConst, Mylb,
+    Mypid, Myub, NumProcs, Program, Range, RecvStmt, SendStmt, Stmt, UnaryOp,
+    VarRef, XferOp,
 )
 from ..kernels import KernelRegistry, default_registry
 from ..sections import Section, Triplet
@@ -164,7 +167,24 @@ class _CallI:
     fn: Callable[[_VMEnv], int]  # returns flops
 
 
-_Instr = _Exec | _Branch | _Jump | _LoopInit | _LoopTest | _LoopInc | _SendI | _RecvI | _Wait | _CallI
+@dataclass
+class _CollI:
+    """A collective statement, executed natively by the schedule engine.
+
+    Group, root and every chunk section are compiled closures; binder
+    values are injected into ``env.scalars`` while a section closure
+    runs (collective binders scope only over the statement's refs)."""
+
+    stmt: CollectiveStmt
+    lo: Callable[[_VMEnv], Any]
+    hi: Callable[[_VMEnv], Any]
+    step: Callable[[_VMEnv], Any] | None
+    root: Callable[[_VMEnv], Any] | None
+    sec_fns: dict[int, tuple[str, Callable[[_VMEnv], Section]]]
+    style: str  # "flat" or "staged"
+
+
+_Instr = _Exec | _Branch | _Jump | _LoopInit | _LoopTest | _LoopInc | _SendI | _RecvI | _Wait | _CallI | _CollI
 
 
 class CompiledProgram:
@@ -182,9 +202,16 @@ class CompiledProgram:
         strict: bool = False,
         trace: bool = False,
         backend: str | None = None,
+        collectives: str = "native",
     ):
         if binding not in ("nonblocking", "blocking"):
             raise CompilationError(f"unknown communication binding {binding!r}")
+        if collectives not in ("native", "p2p"):
+            raise CompilationError(
+                f"unknown collective lowering {collectives!r} "
+                "(expected 'native' or 'p2p')"
+            )
+        self.collectives = collectives
         self.program = program
         self.nprocs = nprocs
         self.grid = grid if grid is not None else ProcessorGrid((nprocs,))
@@ -340,6 +367,9 @@ class CompiledProgram:
                         yield Compute(float(env.flops), flops=env.flops)
                         env.flops = 0
                     pc += 1
+                elif tp is _CollI:
+                    yield from _run_collective(ins, env)
+                    pc += 1
                 else:  # pragma: no cover - defensive
                     raise TypeError(f"unknown instruction {ins!r}")
             if env.flops:
@@ -352,6 +382,40 @@ class CompiledProgram:
 def lower(program: Program, nprocs: int, **kw: Any) -> CompiledProgram:
     """Convenience: lower a program for a machine of ``nprocs`` processors."""
     return CompiledProgram(program, nprocs, **kw)
+
+
+_MISSING = object()
+
+
+def _run_collective(ins: _CollI, env: _VMEnv) -> Generator[Effect, Any, None]:
+    """Resolve a :class:`_CollI` against the current environment and run
+    its per-processor schedule."""
+    scalars = env.scalars
+
+    def resolve(ref: ArrayRef, bindings: dict[str, int]):
+        var, sec_fn = ins.sec_fns[id(ref)]
+        saved = {k: scalars.get(k, _MISSING) for k in bindings}
+        scalars.update(bindings)
+        try:
+            return var, sec_fn(env)
+        finally:
+            for k, v in saved.items():
+                if v is _MISSING:
+                    scalars.pop(k, None)
+                else:
+                    scalars[k] = v
+
+    members = group_members(
+        int(ins.lo(env)),
+        int(ins.hi(env)),
+        1 if ins.step is None else int(ins.step(env)),
+        env.nprocs,
+    )
+    root = int(ins.root(env)) if ins.root is not None else None
+    inst = CollInstance(ins.stmt, members, root, resolve)
+    if env.pid1 not in members:
+        return
+    yield from execute_ops(collective_ops(inst, env.pid1, ins.style), env)
 
 
 # ---------------------------------------------------------------------- #
@@ -662,6 +726,8 @@ class _Lowerer:
             case ExprStmt(expr):
                 fn = _compile_expr_static(expr)
                 self._emit(_Exec(lambda env, fn=fn: (fn(env), None)[1]))
+            case CollectiveStmt():
+                self._lower_collective(s)
             case _:
                 raise CompilationError(f"cannot lower statement {type(s).__name__}")
 
@@ -730,6 +796,41 @@ class _Lowerer:
             scalar = np.isscalar(value) or getattr(value, "shape", None) == ()
             env.ctx.symtab.write(name, sec, value if scalar else np.asarray(value))
         self._emit(_Exec(run_excl))
+
+    def _lower_collective(self, s: CollectiveStmt) -> None:
+        """Compile a collective to a :class:`_CollI` instruction.
+
+        ``collectives="native"`` picks the per-backend schedule family —
+        staged (tree/ring/round) on the message backend, flat bulk
+        prefetch/poststore on shared-address.  ``collectives="p2p"`` forces
+        the flat family everywhere: the same transfers, in the same order,
+        as the legacy guarded point-to-point expansion
+        (:func:`repro.core.collectives.desugar.desugar_collective`), so the
+        two lowerings are bit-identical by construction."""
+        refs = [s.src, s.dst] + ([s.scratch] if s.scratch is not None else [])
+        for ref in refs:
+            if self.decl(ref.var).universal:
+                raise CompilationError(
+                    f"collective operand {ref.var!r} must be an exclusive "
+                    "array (universal arrays have no owner to transfer "
+                    "between)"
+                )
+        lo, hi, step = s.group
+        if self.compiled.collectives == "native":
+            style = "staged" if self.compiled.engine.backend == "msg" else "flat"
+        else:
+            style = "flat"
+        self._emit(_CollI(
+            stmt=s,
+            lo=_compile_expr_static(lo),
+            hi=_compile_expr_static(hi),
+            step=None if step is None else _compile_expr_static(step),
+            root=None if s.root is None else _compile_expr_static(s.root),
+            sec_fns={
+                id(ref): (ref.var, _compile_section(ref)) for ref in refs
+            },
+            style=style,
+        ))
 
     def _lower_call(self, s: CallStmt) -> None:
         kernel = self.compiled.kernels.get(s.name)

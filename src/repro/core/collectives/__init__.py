@@ -1,0 +1,32 @@
+"""Collective communication subsystem.
+
+First-class collective transfer primitives (``broadcast``, ``allgather``,
+``all_to_all``, ``reduce_scatter``) and the memory-bounded redistribution
+planner built on them.  The pieces:
+
+* :mod:`~repro.core.collectives.schedule` — the backend schedules: a
+  *flat* family (bulk poststore/prefetch with fences — the shared-address
+  native form and the point-to-point reference semantics) and a *staged*
+  family (binomial-tree broadcast, ring allgather, pipelined-ring
+  reduce-scatter, round-staged all-to-all) for the message backend.
+  Every schedule produces bit-identical results: values travel verbatim
+  and reductions combine in one canonical order.
+* :mod:`~repro.core.collectives.desugar` — expansion of a
+  :class:`~repro.core.ir.nodes.CollectiveStmt` into the equivalent flat
+  point-to-point IL (the legacy lowering, kept for differential checks).
+* :mod:`~repro.core.collectives.planner` — decomposition of an array
+  redistribution into bounded rounds so peak per-processor temporary
+  memory stays under a ``max_temp_frac`` budget.
+"""
+
+from .planner import RedistSchedule, plan_bounded_redistribution
+from .schedule import CollInstance, build_instance, collective_ops, execute_ops
+
+__all__ = [
+    "CollInstance",
+    "RedistSchedule",
+    "build_instance",
+    "collective_ops",
+    "execute_ops",
+    "plan_bounded_redistribution",
+]

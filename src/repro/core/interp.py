@@ -42,10 +42,10 @@ from ..runtime.symtab import MAXINT, MININT
 from .errors import CompilationError, OwnershipError, XDPError
 from .ir.nodes import (
     Accessible, ArrayDecl, ArrayRef, Assign, Await, BinOp, Block, BoolConst,
-    CallStmt, DoLoop, Expr, ExprStmt, FloatConst, Full, Guarded, IfStmt,
-    Index, IntConst, Iown, MaxIntConst, MinIntConst, Mylb, Mypid, Myub,
-    NumProcs, Program, Range, RecvStmt, ScalarDecl, SendStmt, Stmt,
-    UnaryOp, VarRef, XferOp,
+    CallStmt, CollectiveStmt, DoLoop, Expr, ExprStmt, FloatConst, Full,
+    Guarded, IfStmt, Index, IntConst, Iown, MaxIntConst, MinIntConst, Mylb,
+    Mypid, Myub, NumProcs, Program, Range, RecvStmt, ScalarDecl, SendStmt,
+    Stmt, UnaryOp, VarRef, XferOp,
 )
 from .kernels import KernelRegistry, default_registry
 from .sections import Section, Triplet
@@ -59,6 +59,8 @@ ELEM_FLOPS = 1
 INTRINSIC_FLOPS = 5
 ITER_FLOPS = 1
 CALL_BASE_FLOPS = 10
+
+_MISSING = object()
 
 _XFER_TO_KIND = {
     XferOp.SEND_VALUE: TransferKind.VALUE,
@@ -289,6 +291,8 @@ class Interpreter:
                 yield from self._exec_call(stmt, env)
             case ExprStmt(expr):
                 yield from self._eval(expr, env)
+            case CollectiveStmt():
+                yield from self._exec_collective(stmt, env)
             case _:
                 raise TypeError(f"cannot execute {stmt!r}")
 
@@ -360,6 +364,54 @@ class Interpreter:
         else:
             yield from self._flush(env)
             yield RecvInit(_XFER_TO_KIND[stmt.op], decl_into.name, sec_into)
+
+    def _exec_collective(
+        self, stmt: CollectiveStmt, env: _Env
+    ) -> Generator[Effect, Any, None]:
+        """Reference semantics of a collective: the flat bulk schedule
+        (identical transfers and canonical reduction order as every
+        backend schedule, so results are bit-identical engine-wide)."""
+        from .collectives.schedule import (
+            build_instance, collective_ops, execute_ops,
+        )
+
+        def drain(gen):
+            # Group/root/section expressions never block (mypid and hence
+            # any data dependence on placement is statically forbidden);
+            # drive the evaluation generators to completion synchronously.
+            try:
+                next(gen)
+            except StopIteration as si:
+                return si.value
+            raise XDPError(
+                "collective group/section expressions must not block"
+            )
+
+        def eval_expr(e: Expr):
+            return drain(self._eval(e, env))
+
+        def resolve(ref: ArrayRef, bindings: dict[str, int]):
+            saved = {b: env.scalars.get(b, _MISSING) for b in bindings}
+            env.scalars.update(bindings)
+            try:
+                decl, sec = drain(self._resolve(ref, env))
+            finally:
+                for name, v in saved.items():
+                    if v is _MISSING:
+                        del env.scalars[name]
+                    else:
+                        env.scalars[name] = v
+            if decl.universal:
+                raise OwnershipError(
+                    f"collective section {decl.name}: XDP restricts "
+                    "collective operands to exclusive sections"
+                )
+            return decl.name, sec
+
+        inst = build_instance(stmt, self.nprocs, eval_expr, resolve)
+        if env.pid1 not in inst.members:
+            return
+        yield from execute_ops(collective_ops(inst, env.pid1, "flat"), env)
 
     def _exec_call(self, stmt: CallStmt, env: _Env) -> Generator[Effect, Any, None]:
         kernel = env.kernels.get(stmt.name)

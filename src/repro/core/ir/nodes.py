@@ -33,11 +33,11 @@ __all__ = [
     "Iown", "Accessible", "Await", "Mylb", "Myub", "NumProcs",
     # statements
     "Stmt", "Block", "Assign", "SendStmt", "RecvStmt", "DoLoop", "IfStmt",
-    "CallStmt", "ExprStmt", "Guarded",
+    "CallStmt", "ExprStmt", "Guarded", "CollectiveStmt",
     # declarations / program
     "Decl", "ArrayDecl", "ScalarDecl", "Program",
     # kinds
-    "XferOp",
+    "XferOp", "CollOp",
 ]
 
 
@@ -328,7 +328,69 @@ class ExprStmt:
     expr: Expr
 
 
-Stmt = Guarded | Assign | SendStmt | RecvStmt | DoLoop | IfStmt | CallStmt | ExprStmt
+class CollOp(enum.Enum):
+    """The collective transfer primitives (group-wide counterparts of the
+    Figure 1 point-to-point forms)."""
+
+    BROADCAST = "broadcast"
+    ALLGATHER = "allgather"
+    ALL_TO_ALL = "all_to_all"
+    REDUCE_SCATTER = "reduce_scatter"
+
+    __hash__ = object.__hash__
+
+    @property
+    def is_reduction(self) -> bool:
+        return self is CollOp.REDUCE_SCATTER
+
+
+@dataclass(frozen=True)
+class CollectiveStmt:
+    """A first-class collective transfer::
+
+        coll broadcast(d in 1:4, root 2) A[1:8] into W[d, 1:8]
+        coll allgather(g, d in 1:4) A[(g-1)*4+1:g*4] into W[d, (g-1)*4+1:g*4]
+        coll all_to_all(g, d in 1:4) C[g, d, 1:8] into T[d, g, 1:8]
+        coll reduce_scatter(g, d in 1:4, op +) C[g, d, 1:8] into R[d, 1:8] via S[d, 1:8]
+
+    ``binders`` name the contributor (``g``, absent for broadcast) and
+    destination (``d``) roles; ``group`` is a 1-based pid triplet
+    ``lo:hi[:step]`` evaluated identically on every processor (``mypid``
+    is forbidden in the group, the root, the reduce op and every subscript
+    — all members must compute all message names).  ``src`` with the
+    binders bound selects the chunk contributed by processor ``g`` for
+    destination ``d``; ``dst`` with ``d`` bound to the receiver selects
+    that receiver's (exclusively owned) landing section.  Collectives move
+    *values* only: ownership never changes hands, and the statement
+    completes synchronously — every landing section is accessible when it
+    returns.  ``reduce_scatter`` additionally names a per-destination
+    ``scratch`` staging section (``via``) and an elementwise ``reduce_op``
+    in ``+ min max``; partial sums combine in cyclic group order starting
+    after the destination, own contribution last, so every backend and
+    schedule produces bit-identical results."""
+
+    op: CollOp
+    binders: tuple[str, ...]
+    group: tuple[Expr, Expr, Expr | None]
+    src: ArrayRef
+    dst: ArrayRef
+    root: Expr | None = None
+    reduce_op: str | None = None
+    scratch: ArrayRef | None = None
+
+    @property
+    def g_binder(self) -> str | None:
+        return self.binders[0] if len(self.binders) == 2 else None
+
+    @property
+    def d_binder(self) -> str:
+        return self.binders[-1]
+
+
+Stmt = (
+    Guarded | Assign | SendStmt | RecvStmt | DoLoop | IfStmt | CallStmt
+    | ExprStmt | CollectiveStmt
+)
 
 
 # ---------------------------------------------------------------------- #

@@ -32,10 +32,10 @@ from ..errors import ParseError
 from .lexer import Token, tokenize
 from .nodes import (
     Accessible, ArrayDecl, ArrayRef, Assign, Await, BinOp, Block, BoolConst,
-    CallStmt, Decl, DoLoop, Expr, ExprStmt, FloatConst, Full, Guarded, IfStmt,
-    Index, IntConst, Iown, MaxIntConst, MinIntConst, Mylb, Mypid, Myub,
-    NumProcs, Program, Range, RecvStmt, ScalarDecl, SendStmt, Stmt, Subscript,
-    UnaryOp, VarRef, XferOp,
+    CallStmt, CollOp, CollectiveStmt, Decl, DoLoop, Expr, ExprStmt, FloatConst,
+    Full, Guarded, IfStmt, Index, IntConst, Iown, MaxIntConst, MinIntConst,
+    Mylb, Mypid, Myub, NumProcs, Program, Range, RecvStmt, ScalarDecl,
+    SendStmt, Stmt, Subscript, UnaryOp, VarRef, XferOp,
 )
 
 __all__ = ["parse_program", "parse_statements", "parse_expression"]
@@ -44,8 +44,13 @@ _INTRINSIC_NAMES = {"iown", "accessible", "await", "mylb", "myub"}
 _KEYWORDS = {
     "do", "enddo", "if", "then", "else", "endif", "call", "array", "scalar",
     "dist", "seg", "dtype", "universal", "not", "and", "or", "true", "false",
-    "min", "max",
+    "min", "max", "coll",
 } | _INTRINSIC_NAMES
+
+# Words with contextual meaning inside a ``coll`` statement only ("in",
+# "into", "via", "root", "op" and the op names stay usable as identifiers).
+_COLL_OPS = {m.value: m for m in CollOp}
+_REDUCE_OPS = ("+", "min", "max")
 
 
 class _Parser:
@@ -228,6 +233,8 @@ class _Parser:
                 return self._if_stmt()
             if t.text == "call":
                 return self._call_stmt()
+            if t.text == "coll":
+                return self._coll_stmt()
         if self._line_has_guard_colon():
             return self._guarded()
         return self._simple_statement()
@@ -260,6 +267,8 @@ class _Parser:
             if self.peek().kind == "NEWLINE":
                 self.accept("NEWLINE")
             return Guarded(rule, body)
+        if self.at("NAME", "coll"):
+            return Guarded(rule, Block((self._coll_stmt(),)))
         stmt = self._simple_statement()
         return Guarded(rule, Block((stmt,)))
 
@@ -310,6 +319,68 @@ class _Parser:
         if self.at("NAME") and self.at("OP", "[", 1) and self.peek().text not in _KEYWORDS:
             return self._array_ref()
         return self.expression()
+
+    def _coll_stmt(self) -> CollectiveStmt:
+        """``coll OP(binders in lo:hi[:step][, root E][, op R]) SRC into DST
+        [via SCRATCH]`` — see :class:`CollectiveStmt`."""
+        self.expect("NAME", "coll")
+        t = self.expect("NAME")
+        op = _COLL_OPS.get(t.text)
+        if op is None:
+            raise ParseError(
+                f"unknown collective {t.text!r}; one of "
+                f"{sorted(_COLL_OPS)}", t.line, t.col,
+            )
+        self.expect("OP", "(")
+        binders = [self.expect("NAME").text]
+        while self.accept("OP", ","):
+            if self.at("NAME", "root") or self.at("NAME", "op"):
+                t = self.peek()
+                raise ParseError(
+                    "collective group range ('in lo:hi') must precede "
+                    f"{t.text!r}", t.line, t.col,
+                )
+            binders.append(self.expect("NAME").text)
+            if self.at("NAME", "in"):
+                break
+        self.expect("NAME", "in")
+        lo = self.expression()
+        self.expect("OP", ":")
+        hi = self.expression()
+        step: Expr | None = None
+        if self.accept("OP", ":"):
+            step = self.expression()
+        root: Expr | None = None
+        reduce_op: str | None = None
+        while self.accept("OP", ","):
+            kw = self.expect("NAME")
+            if kw.text == "root":
+                root = self.expression()
+            elif kw.text == "op":
+                rt = self.next()
+                if rt.text not in _REDUCE_OPS:
+                    raise ParseError(
+                        f"unknown reduce op {rt.text!r}; one of "
+                        f"{list(_REDUCE_OPS)}", rt.line, rt.col,
+                    )
+                reduce_op = rt.text
+            else:
+                raise ParseError(
+                    f"expected 'root' or 'op', found {kw.text!r}",
+                    kw.line, kw.col,
+                )
+        self.expect("OP", ")")
+        src = self._array_ref()
+        self.expect("NAME", "into")
+        dst = self._array_ref()
+        scratch: ArrayRef | None = None
+        if self.accept("NAME", "via"):
+            scratch = self._array_ref()
+        self.end_statement()
+        return CollectiveStmt(
+            op, tuple(binders), (lo, hi, step), src, dst, root, reduce_op,
+            scratch,
+        )
 
     def _simple_statement(self) -> Stmt:
         t = self.peek()

@@ -10,10 +10,10 @@ from __future__ import annotations
 
 from .nodes import (
     Accessible, ArrayDecl, ArrayRef, Assign, Await, BinOp, Block, BoolConst,
-    CallStmt, DoLoop, Expr, ExprStmt, FloatConst, Full, Guarded, IfStmt,
-    Index, IntConst, Iown, MaxIntConst, MinIntConst, Mylb, Mypid, Myub,
-    NumProcs, Program, Range, RecvStmt, ScalarDecl, SendStmt, Stmt, Subscript,
-    UnaryOp, VarRef, XferOp,
+    CallStmt, CollectiveStmt, DoLoop, Expr, ExprStmt, FloatConst, Full,
+    Guarded, IfStmt, Index, IntConst, Iown, MaxIntConst, MinIntConst, Mylb,
+    Mypid, Myub, NumProcs, Program, Range, RecvStmt, ScalarDecl, SendStmt,
+    Stmt, Subscript, UnaryOp, VarRef, XferOp,
 )
 
 __all__ = ["print_program", "print_stmt", "print_expr", "print_ref"]
@@ -139,6 +139,22 @@ def print_stmt(s: Stmt, indent: int = 0) -> list[str]:
             return [f"{pad}call {name}({rendered})"]
         case ExprStmt(expr):
             return [f"{pad}{print_expr(expr)}"]
+        case CollectiveStmt(op, binders, (lo, hi, step), src, dst, root,
+                            reduce_op, scratch):
+            head = f"{', '.join(binders)} in {print_expr(lo)}:{print_expr(hi)}"
+            if step is not None:
+                head += f":{print_expr(step)}"
+            if root is not None:
+                head += f", root {print_expr(root)}"
+            if reduce_op is not None:
+                head += f", op {reduce_op}"
+            text = (
+                f"{pad}coll {op.value}({head}) {print_ref(src)} "
+                f"into {print_ref(dst)}"
+            )
+            if scratch is not None:
+                text += f" via {print_ref(scratch)}"
+            return [text]
         case _:
             raise TypeError(f"cannot print statement {s!r}")
 

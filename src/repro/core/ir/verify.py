@@ -13,11 +13,11 @@ from __future__ import annotations
 
 from ..errors import VerificationError
 from .nodes import (
-    ArrayDecl, ArrayRef, Assign, Block, CallStmt, DoLoop, Expr, ExprStmt,
-    Full, Guarded, IfStmt, Index, Program, Range, RecvStmt, ScalarDecl,
-    SendStmt, Stmt, VarRef, XferOp,
+    ArrayDecl, ArrayRef, Assign, Block, CallStmt, CollOp, CollectiveStmt,
+    DoLoop, Expr, ExprStmt, Full, Guarded, IfStmt, Index, Mypid, Program,
+    Range, RecvStmt, ScalarDecl, SendStmt, Stmt, VarRef, XferOp,
 )
-from .visitor import array_refs, free_scalars, walk_stmts
+from .visitor import array_refs, free_scalars, walk_exprs, walk_stmts
 
 __all__ = ["verify_program"]
 
@@ -114,6 +114,8 @@ def verify_program(program: Program) -> None:
                     check_exclusive(ref, "intrinsic")
             case Assign() | CallStmt():
                 pass
+            case CollectiveStmt():
+                _check_collective(s, check_exclusive, scalars, loop_vars)
             case _:
                 raise VerificationError(f"unknown statement {type(s).__name__}")
 
@@ -128,6 +130,99 @@ def verify_program(program: Program) -> None:
             f"undeclared scalar(s): {', '.join(sorted(undeclared))} "
             "(declare with 'scalar NAME' or bind with a loop)"
         )
+
+
+def _check_collective(
+    s: CollectiveStmt,
+    check_exclusive,
+    scalars: set[str],
+    loop_vars: list[str],
+) -> None:
+    """Structural obligations of a ``coll`` statement.
+
+    Every group member must be able to compute every message name, so
+    ``mypid`` is forbidden throughout the statement, and the binder roles
+    are fixed per op: the destination binder ``d`` selects a receiver's
+    landing/scratch section; the contributor binder ``g`` (absent for
+    broadcast) selects the chunk a contributor supplies."""
+    what = f"coll {s.op.value}"
+    want = 1 if s.op is CollOp.BROADCAST else 2
+    if len(s.binders) != want:
+        raise VerificationError(
+            f"{what}: expects {want} binder(s), got {len(s.binders)}"
+        )
+    if len(set(s.binders)) != len(s.binders):
+        raise VerificationError(f"{what}: duplicate binder names {s.binders}")
+    for b in s.binders:
+        if b in scalars or b in loop_vars:
+            raise VerificationError(
+                f"{what}: binder {b!r} shadows a declared scalar or loop "
+                "variable"
+            )
+    if (s.root is not None) != (s.op is CollOp.BROADCAST):
+        raise VerificationError(
+            f"{what}: 'root' is required for broadcast and invalid elsewhere"
+        )
+    if (s.reduce_op is not None) != (s.op is CollOp.REDUCE_SCATTER):
+        raise VerificationError(
+            f"{what}: 'op' is required for reduce_scatter and invalid "
+            "elsewhere"
+        )
+    if (s.scratch is not None) != (s.op is CollOp.REDUCE_SCATTER):
+        raise VerificationError(
+            f"{what}: 'via' scratch is required for reduce_scatter and "
+            "invalid elsewhere"
+        )
+
+    lo, hi, step = s.group
+    outside = [lo, hi] + ([step] if step is not None else [])
+    if s.root is not None:
+        outside.append(s.root)
+    for e in outside:
+        for sub in walk_exprs(e):
+            if isinstance(sub, Mypid):
+                raise VerificationError(
+                    f"{what}: mypid is forbidden in the group and root "
+                    "(all members must compute the same group)"
+                )
+            if isinstance(sub, VarRef) and sub.name in s.binders:
+                raise VerificationError(
+                    f"{what}: binder {sub.name!r} is not in scope in the "
+                    "group or root"
+                )
+
+    g, d = s.g_binder, s.d_binder
+    allowed = {
+        "src": {
+            CollOp.BROADCAST: set(),
+            CollOp.ALLGATHER: {g},
+            CollOp.ALL_TO_ALL: {g, d},
+            CollOp.REDUCE_SCATTER: {g, d},
+        }[s.op],
+        "dst": set(s.binders),
+        "via scratch": {d},
+    }
+    refs = [("src", s.src), ("dst", s.dst)]
+    if s.scratch is not None:
+        refs.append(("via scratch", s.scratch))
+    for role, ref in refs:
+        check_exclusive(ref, f"{what} {role}")
+        for sub in walk_exprs(ref):
+            if isinstance(sub, Mypid):
+                raise VerificationError(
+                    f"{what} {role}: mypid is forbidden in collective "
+                    "sections (use the binders; all members must compute "
+                    "all message names)"
+                )
+            if (
+                isinstance(sub, VarRef)
+                and sub.name in s.binders
+                and sub.name not in allowed[role]
+            ):
+                raise VerificationError(
+                    f"{what} {role}: binder {sub.name!r} may not appear "
+                    f"here (allowed: {sorted(n for n in allowed[role] if n)})"
+                )
 
 
 def _check_rule_pure(rule: Expr) -> None:

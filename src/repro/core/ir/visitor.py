@@ -17,9 +17,10 @@ from __future__ import annotations
 from typing import Callable, Iterator
 
 from .nodes import (
-    Accessible, ArrayRef, Assign, Await, BinOp, Block, CallStmt, DoLoop,
-    Expr, ExprStmt, Full, Guarded, IfStmt, Index, Iown, Mylb, Myub,
-    Range, RecvStmt, SendStmt, Stmt, Subscript, UnaryOp, VarRef,
+    Accessible, ArrayRef, Assign, Await, BinOp, Block, CallStmt,
+    CollectiveStmt, DoLoop, Expr, ExprStmt, Full, Guarded, IfStmt, Index,
+    Iown, Mylb, Myub, Range, RecvStmt, SendStmt, Stmt, Subscript, UnaryOp,
+    VarRef,
 )
 
 __all__ = [
@@ -160,6 +161,23 @@ def substitute_stmt(s: Stmt, bindings: dict[str, Expr]) -> Stmt:
             return CallStmt(name, tuple(map_expr(a, f) for a in args))
         case ExprStmt(expr):
             return ExprStmt(map_expr(expr, f))
+        case CollectiveStmt(op, binders, (lo, hi, step), src, dst, root,
+                            reduce_op, scratch):
+            # The binders are bound inside the section refs; the group and
+            # root are evaluated outside their scope.
+            inner = {k: v for k, v in bindings.items() if k not in binders}
+            fi = _subst_fn(inner)
+            return CollectiveStmt(
+                op, binders,
+                (
+                    map_expr(lo, f), map_expr(hi, f),
+                    None if step is None else map_expr(step, f),
+                ),
+                map_expr(src, fi), map_expr(dst, fi),
+                None if root is None else map_expr(root, f),
+                reduce_op,
+                None if scratch is None else map_expr(scratch, fi),
+            )
         case _:
             return s
 
@@ -222,6 +240,17 @@ def _stmt_exprs(s: Stmt) -> Iterator[Expr]:
             yield from args
         case ExprStmt(expr):
             yield expr
+        case CollectiveStmt(_, _, (lo, hi, step), src, dst, root, _, scratch):
+            yield lo
+            yield hi
+            if step is not None:
+                yield step
+            yield src
+            yield dst
+            if root is not None:
+                yield root
+            if scratch is not None:
+                yield scratch
 
 
 def walk_stmts(s: Stmt | Block) -> Iterator[Stmt]:
@@ -258,7 +287,8 @@ def array_refs(node: Stmt | Block | Expr) -> Iterator[ArrayRef]:
 def _is_stmt(node) -> bool:
     return isinstance(
         node,
-        (Guarded, Assign, SendStmt, RecvStmt, DoLoop, IfStmt, CallStmt, ExprStmt),
+        (Guarded, Assign, SendStmt, RecvStmt, DoLoop, IfStmt, CallStmt,
+         ExprStmt, CollectiveStmt),
     )
 
 
@@ -276,6 +306,17 @@ def free_scalars(node: Stmt | Block | Expr) -> set[str]:
         if isinstance(s, Block):
             for st in s:
                 visit(st, bound)
+            return
+        if isinstance(s, CollectiveStmt):
+            # The binders are bound names inside the section refs only.
+            lo, hi, step = s.group
+            for e in (lo, hi, step, s.root):
+                if e is not None:
+                    visit_expr(e, bound)
+            ref_bound = bound | set(s.binders)
+            for r in (s.src, s.dst, s.scratch):
+                if r is not None:
+                    visit_expr(r, ref_bound)
             return
         for e in _stmt_exprs(s):
             visit_expr(e, bound)

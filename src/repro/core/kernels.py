@@ -82,6 +82,28 @@ def _scale(arr: np.ndarray, factor: float) -> int:
     return arr.size
 
 
+def _gemm_acc(c: np.ndarray, a: np.ndarray, b: np.ndarray) -> int:
+    """``c += a @ b`` on sections viewed as dense matrices.
+
+    Sections arrive with collapsed unit dimensions (e.g. ``(1, m, k)``), so
+    factor shapes are recovered from sizes alone: for ``c(m, n) += a(m, k)
+    @ b(k, n)`` the products satisfy ``a.size * c.size / b.size = m**2``.
+    The analytic twin (tune/cost.py ``KERNEL_FLOPS``) recovers shapes the
+    same way, so estimated and executed flops agree exactly.
+    """
+    m = max(1, math.isqrt(max(1, (a.size * c.size) // b.size)))
+    k = max(1, a.size // m)
+    n = max(1, c.size // m)
+    if m * k != a.size or k * n != b.size or m * n != c.size:
+        raise ValueError(
+            f"gemm_acc: incompatible section sizes a={a.size} b={b.size} "
+            f"c={c.size} (no m,n,k factorization)"
+        )
+    cm = c.reshape(m, n)
+    cm += a.reshape(m, k) @ b.reshape(k, n)
+    return 2 * m * n * k
+
+
 def _smooth(arr: np.ndarray) -> int:
     """Three-point smoothing along the last axis (a stencil-ish kernel)."""
     flat = arr.reshape(-1, arr.shape[-1])
@@ -95,6 +117,7 @@ def default_registry() -> KernelRegistry:
     """Kernels available to every program unless overridden."""
     reg = KernelRegistry()
     reg.register("fft1D", _fft1d)
+    reg.register("gemm_acc", _gemm_acc)
     reg.register("work", _work)
     reg.register("negate", _negate)
     reg.register("scale", _scale)

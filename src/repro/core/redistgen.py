@@ -63,7 +63,18 @@ def redistribution_statements(
     sends: list[Stmt] = []
     recvs: list[Stmt] = []
     waits: list[Stmt] = []
+    emitted: set[tuple[int, int, object]] = set()
     for m in plan.moves:
+        if m.src == m.dst:
+            # Source and destination layouts share this block: the data
+            # (ownership and value) is already in place, so the transfer
+            # degenerates to a local no-op copy — emitting the send/recv
+            # pair would deadlock a processor messaging itself.
+            continue
+        key = (m.src, m.dst, m.section)
+        if key in emitted:
+            continue  # duplicate move: one transfer suffices
+        emitted.add(key)
         ref = ArrayRef(var, section_to_subscripts(m.section))
         sends.append(
             _on_pid(m.src, SendStmt(ref, send_op, (IntConst(m.dst + 1),)))

@@ -39,15 +39,21 @@ from typing import Any, Callable, Iterator, Sequence
 import numpy as np
 
 from ..core.analysis.layouts import build_layouts
+from ..core.collectives.schedule import (
+    _COPY_FLOPS_PER_ELEM, _FENCE_FLOPS, _REDUCE_FLOPS_PER_ELEM,
+    Fence, LocalCopy, LocalReduce, RecvChunk, SendChunk,
+    build_instance, collective_ops,
+)
+from ..core.errors import XDPError
 from ..core.interp import (
     CALL_BASE_FLOPS, ELEM_FLOPS, INTRINSIC_FLOPS, ITER_FLOPS,
 )
 from ..core.ir.nodes import (
     Accessible, ArrayDecl, ArrayRef, Assign, Await, BinOp, Block, BoolConst,
-    CallStmt, DoLoop, Expr, ExprStmt, FloatConst, Full, Guarded, IfStmt,
-    Index, IntConst, Iown, MaxIntConst, MinIntConst, Mylb, Mypid, Myub,
-    NumProcs, Program, Range, RecvStmt, SendStmt, Stmt, UnaryOp, VarRef,
-    XferOp,
+    CallStmt, CollOp, CollectiveStmt, DoLoop, Expr, ExprStmt, FloatConst,
+    Full, Guarded, IfStmt, Index, IntConst, Iown, MaxIntConst, MinIntConst,
+    Mylb, Mypid, Myub, NumProcs, Program, Range, RecvStmt, SendStmt, Stmt,
+    UnaryOp, VarRef, XferOp,
 )
 from ..core.sections import Section, Triplet, disjoint_cover_equal, section_difference
 from ..distributions import ProcessorGrid, RedistributionPlan
@@ -64,6 +70,7 @@ __all__ = [
     "ProgramCostEstimate",
     "SharedAddressCosts",
     "TransportCosts",
+    "collective_cost",
     "estimate_program",
     "estimate_workqueue",
     "phase_compute_cost",
@@ -222,9 +229,24 @@ def _fft_flops(n: int) -> int:
     return max(1, int(5 * n * math.log2(n))) if n > 1 else 1
 
 
+def _gemm_flops(sizes: list[int], args: list[Any]) -> int:
+    """The gemm_acc kernel's flop formula (core/kernels.py).
+
+    Factor shapes are recovered from the section sizes the same way the
+    kernel recovers them: for ``c(m,n) += a(m,k) @ b(k,n)`` the products
+    satisfy ``a.size * c.size / b.size = m**2``.
+    """
+    a, b, c = sizes
+    m = max(1, math.isqrt(max(1, (a * c) // b)))
+    k = max(1, a // m)
+    n = max(1, c // m)
+    return 2 * m * n * k
+
+
 #: name -> (section sizes, scalar args) -> flops, matching core/kernels.py.
 KERNEL_FLOPS: dict[str, Callable[[list[int], list[Any]], int]] = {
     "fft1D": lambda sizes, args: _fft_flops(sizes[0]),
+    "gemm_acc": _gemm_flops,
     "work": lambda sizes, args: int(args[0]) if args else 1,
     "negate": lambda sizes, args: sizes[0],
     "scale": lambda sizes, args: sizes[0],
@@ -308,6 +330,70 @@ def redistribution_cost(
     per_recv_frags = max(recvs.values())
     sync = INTRINSIC_FLOPS * per_recv_frags * model.flop_time
     return recv_occ + wire + sync
+
+
+def collective_cost(
+    op: CollOp | str,
+    group_size: int,
+    chunk_bytes: int,
+    model: MachineModel | None = None,
+    *,
+    backend: str | None = None,
+    style: str | None = None,
+    itemsize: int = 8,
+) -> float:
+    """Closed-form critical-path cost of one collective.
+
+    ``chunk_bytes`` is the per-member chunk (what one processor
+    contributes/receives per peer), matching the chunk granularity of the
+    schedule families in :mod:`repro.core.collectives.schedule`.
+    ``style=None`` picks the family the native lowering would use on
+    ``backend`` — staged (tree/ring/round) on the message backend, flat
+    bulk prefetch/poststore on shared-address — so the tuner's edge
+    weights track the code the backend will actually run.
+
+    Per family, with ``n`` the group size and one *step* being send
+    occupancy + wire transit + receive initiation + a fence intrinsic:
+
+    * staged broadcast — a binomial tree, ``ceil(log2 n)`` steps;
+    * staged allgather / all-to-all — a ring / round schedule, ``n - 1``
+      synchronous steps;
+    * staged reduce-scatter — the pipelined ring, ``n - 1`` steps each
+      also paying the elementwise combine;
+    * flat — every payload is injected before any receive is claimed:
+      the busiest sender's serialized occupancy, one wire latency, then
+      the receiver's claim-and-fence chain (plus combines for
+      reduce-scatter).
+    """
+    model = model if model is not None else MachineModel()
+    tc = transport_costs(backend)
+    if style is None:
+        style = "staged" if tc.backend == "msg" else "flat"
+    if style not in ("flat", "staged"):
+        raise EstimateError(f"unknown collective style {style!r}")
+    op = op if isinstance(op, CollOp) else CollOp(op)
+    n = int(group_size)
+    if n <= 1:
+        return 0.0
+    nbytes = tc.wire_bytes(chunk_bytes)
+    occ_s = tc.send_occupancy(model, nbytes)
+    occ_r = tc.recv_occupancy(model)
+    wire = tc.transit(model, nbytes) + tc.completion_lag(model, nbytes, bound=True)
+    fence = _FENCE_FLOPS * model.flop_time
+    elems = max(1, chunk_bytes // max(1, itemsize))
+    combine = _REDUCE_FLOPS_PER_ELEM * elems * model.flop_time
+    step = occ_s + wire + occ_r + fence
+    if style == "staged":
+        if op is CollOp.BROADCAST:
+            return math.ceil(math.log2(n)) * step
+        if op is CollOp.REDUCE_SCATTER:
+            return (n - 1) * (step + combine)
+        return (n - 1) * step
+    if op is CollOp.BROADCAST:
+        return (n - 1) * occ_s + wire + occ_r + fence
+    if op is CollOp.REDUCE_SCATTER:
+        return (n - 1) * (occ_s + occ_r + fence + combine) + wire
+    return (n - 1) * (occ_s + occ_r + fence) + wire
 
 
 # ---------------------------------------------------------------------- #
@@ -558,6 +644,9 @@ def _split_conjunction(e: Expr) -> list[Expr]:
             return [e]
 
 
+_ABSENT = object()
+
+
 class _AbsWalker:
     """Per-processor abstract execution of an IL+XDP program.
 
@@ -568,9 +657,10 @@ class _AbsWalker:
     estimate times the same virtual work the engine would.
     """
 
-    def __init__(self, program: Program, nprocs: int):
+    def __init__(self, program: Program, nprocs: int, coll_style: str = "flat"):
         self.program = program
         self.nprocs = nprocs
+        self.coll_style = coll_style
         self.decls: dict[str, ArrayDecl] = {
             d.name: d for d in program.array_decls()
         }
@@ -673,6 +763,8 @@ class _AbsWalker:
                     env.flops += INTRINSIC_FLOPS
                     c = False
                 yield from self._block(then if c else orelse, env)
+            case CollectiveStmt():
+                yield from self._collective(s, env)
             case CallStmt():
                 self._call(s, env)
                 yield from self._flush(env)
@@ -700,6 +792,74 @@ class _AbsWalker:
             tracker = self._tracker(env, s.target.var)
             if not tracker.iown(sec):
                 raise _Unowned(f"write to unowned section {s.target.var}{sec}")
+
+    def _collective(self, s: CollectiveStmt, env: _AbsEnv) -> Iterator[tuple]:
+        """Replay the collective's per-processor chunk-op schedule.
+
+        Uses the same schedule family the native lowering picks for this
+        cost table's backend (``coll_style``), translating each chunk op
+        into abstract effects exactly as
+        :func:`repro.core.collectives.schedule.execute_ops` translates
+        them into engine effects — same flop constants, same flush
+        points — so collective estimates stay engine-calibrated per
+        backend.
+        """
+        refs = (s.src, s.dst) + ((s.scratch,) if s.scratch is not None else ())
+        for ref in refs:
+            if ref.var in self.universal:
+                raise EstimateError(
+                    f"collective operand {ref.var!r} is universal"
+                )
+
+        def eval_expr(e: Expr) -> Any:
+            return self._concrete(self._eval(e, env), "collective group/root")
+
+        def resolve(ref: ArrayRef, bindings: dict[str, int]):
+            saved = {k: env.scalars.get(k, _ABSENT) for k in bindings}
+            env.scalars.update(bindings)
+            try:
+                return self._name_section(ref, env)
+            finally:
+                for k, v in saved.items():
+                    if v is _ABSENT:
+                        env.scalars.pop(k, None)
+                    else:
+                        env.scalars[k] = v
+
+        try:
+            inst = build_instance(s, self.nprocs, eval_expr, resolve)
+            if env.pid1 not in inst.members:
+                return
+            ops = collective_ops(inst, env.pid1, self.coll_style)
+        except XDPError as exc:
+            raise EstimateError(str(exc)) from exc
+        while True:
+            # Iterate lazily: the schedule generators resolve sections (and
+            # charge their evaluation flops) as each op is produced, and the
+            # VM's flush points only see the flops accrued so far.
+            try:
+                op = next(ops)
+            except StopIteration:
+                return
+            except XDPError as exc:
+                raise EstimateError(str(exc)) from exc
+            tp = type(op)
+            if tp is LocalCopy:
+                env.flops += _COPY_FLOPS_PER_ELEM * op.src_sec.size
+            elif tp is LocalReduce:
+                env.flops += _REDUCE_FLOPS_PER_ELEM * op.acc_sec.size
+            elif tp is SendChunk:
+                yield from self._flush(env)
+                yield ("send", TransferKind.VALUE, op.var, op.sec, op.dests)
+            elif tp is RecvChunk:
+                yield from self._flush(env)
+                yield ("wait", op.into_var, op.into_sec)
+                yield ("recv", TransferKind.VALUE, op.msg_var, op.msg_sec,
+                       op.into_var, op.into_sec)
+            else:  # Fence
+                env.flops += _FENCE_FLOPS
+                yield from self._flush(env)
+                yield ("wait", op.var, op.sec)
 
     def _call(self, s: CallStmt, env: _AbsEnv) -> None:
         kfn = KERNEL_FLOPS.get(s.name)
@@ -1005,7 +1165,10 @@ def estimate_program(
         d.name: np.dtype(d.dtype).itemsize
         for d in program.array_decls() if not d.universal
     }
-    walker = _AbsWalker(program, nprocs)
+    walker = _AbsWalker(
+        program, nprocs,
+        coll_style="staged" if tc.backend == "msg" else "flat",
+    )
 
     procs: list[_MiniProc] = []
     trackers: list[dict[str, _AbsVar]] = []

@@ -33,7 +33,10 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-__all__ = ["FuzzProgram", "generate_battery", "FAMILIES", "SHMEM_FAMILIES"]
+__all__ = [
+    "FuzzProgram", "generate_battery", "FAMILIES", "SHMEM_FAMILIES",
+    "COLLECTIVE_FAMILIES",
+]
 
 
 @dataclass(frozen=True)
@@ -437,6 +440,77 @@ def _t_shmem_relay(rng: random.Random) -> tuple[list[_L], int]:
     return lines, P
 
 
+def _t_coll_gather(rng: random.Random) -> tuple[list[_L], int]:
+    """An allgather of per-processor contributions into a replicated window.
+
+    Every pid owns one element of ``A`` and one ``P``-wide block of ``W``;
+    the collective gathers all contributions into everyone's block.  The
+    seeded collective faults: ``missing_participant`` guards a member out
+    of the rendezvous (the rest block forever), and
+    ``cardinality_mismatch`` lands the one-element chunks in two-element
+    slots.
+    """
+    P = rng.randint(2, 4)
+    lines = [
+        _L(f"array A[1:{P}] dist (BLOCK) seg (1)"),
+        _L(f"array W[1:{P * P}] dist (BLOCK) seg ({P})"),
+        _L(""),
+    ]
+    for p in range(1, P + 1):
+        lines.append(_L(f"mypid == {p} : {{ A[{p}] = A[{p}] + {p} }}"))
+    coll = f"coll allgather(g, d in 1:{P}) A[g] into W[(d-1)*{P}+g]"
+    lines.append(_L(coll, alts={
+        "missing_participant": f"mypid < {P} : {{ {coll} }}",
+        "cardinality_mismatch":
+            f"coll allgather(g, d in 1:{P}) A[g] "
+            f"into W[(d-1)*{P}+1:(d-1)*{P}+2]",
+    }))
+    for p in range(1, P + 1):
+        w = (p - 1) * P + (p % P + 1)
+        lines.append(_L(f"mypid == {p} : {{ A[{p}] = A[{p}] + W[{w}] }}"))
+    return lines, P
+
+
+def _t_coll_reduce(rng: random.Random) -> tuple[list[_L], int]:
+    """A reduce_scatter summing per-processor vectors onto their owners.
+
+    Contributor ``g`` owns the block ``V[(g-1)*P+1 : g*P]`` and supplies
+    ``V[(g-1)*P+d]`` to destination ``d``, which sums the chunks into
+    ``C[d]`` through the scratch slot ``S[2d-1]``.  Faults:
+    ``missing_participant`` (P1 never arrives), ``wrong_reduce_op``
+    (members disagree on the combining operator), and
+    ``cardinality_mismatch`` (a two-element scratch for one-element
+    chunks).
+    """
+    P = rng.randint(2, 4)
+    lines = [
+        _L(f"array V[1:{P * P}] dist (BLOCK) seg ({P})"),
+        _L(f"array C[1:{P}] dist (BLOCK) seg (1)"),
+        _L(f"array S[1:{2 * P}] dist (BLOCK) seg (2)"),
+        _L(""),
+    ]
+    for p in range(1, P + 1):
+        for j in range(1, P + 1):
+            v = (p - 1) * P + j
+            lines.append(
+                _L(f"mypid == {p} : {{ V[{v}] = V[{v}] + {p + j} }}")
+            )
+    head = f"coll reduce_scatter(g, d in 1:{P}, op"
+    tail = f") V[(g-1)*{P}+d] into C[d] via S[2*d-1]"
+    rs = f"{head} +{tail}"
+    lines.append(_L(rs, alts={
+        "missing_participant": f"mypid > 1 : {{ {rs} }}",
+        "wrong_reduce_op":
+            f"mypid == 1 : {{ {head} +{tail} }}\n"
+            f"mypid > 1 : {{ {head} max{tail} }}",
+        "cardinality_mismatch":
+            f"{head} +) V[(g-1)*{P}+d] into C[d] via S[2*d-1:2*d]",
+    }))
+    for p in range(1, P + 1):
+        lines.append(_L(f"mypid == {p} : {{ C[{p}] = C[{p}] * 2 }}"))
+    return lines, P
+
+
 FAMILIES = {
     "halo": _t_halo,
     "ring": _t_ring,
@@ -451,6 +525,14 @@ FAMILIES = {
 SHMEM_FAMILIES = {
     "shmem-fence": _t_shmem_fence,
     "shmem-relay": _t_shmem_relay,
+}
+
+#: Collective fault families (ISSUE 8): the rendezvous/cardinality bugs
+#: specific to first-class ``coll`` statements.  Separate from the pinned
+#: default battery for the same reason as :data:`SHMEM_FAMILIES`.
+COLLECTIVE_FAMILIES = {
+    "coll-gather": _t_coll_gather,
+    "coll-reduce": _t_coll_reduce,
 }
 
 

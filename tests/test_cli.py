@@ -163,6 +163,67 @@ class TestBench:
         assert "fft" in capsys.readouterr().out
 
 
+class TestMatmulApp:
+    @staticmethod
+    def _digest(out: str) -> str:
+        for line in out.splitlines():
+            if line.startswith("result sha256:"):
+                return line.split(":", 1)[1].strip()
+        raise AssertionError(f"no digest line in output:\n{out}")
+
+    def test_run_matmul_prints_summary_and_digest(self, capsys):
+        assert main(["run", "--app", "matmul", "--variant", "cannon",
+                     "--nprocs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "matmul/cannon" in out and "correct=True" in out
+        assert len(self._digest(out)) == 64
+
+    def test_run_matmul_digest_invariant_across_backend_and_lowering(
+            self, capsys):
+        digests = set()
+        for extra in (["--backend", "msg"],
+                      ["--backend", "shmem"],
+                      ["--backend", "msg", "--collectives", "p2p"]):
+            assert main(["run", "--app", "matmul", "--nprocs", "4",
+                         *extra]) == 0
+            digests.add(self._digest(capsys.readouterr().out))
+        assert len(digests) == 1, digests
+
+    @pytest.mark.parametrize("backend", ["msg", "shmem"])
+    def test_check_matmul_all_variants_clean(self, backend, capsys):
+        assert main(["check", "matmul", "--nprocs", "4",
+                     "--backend", backend]) == 0
+        out = capsys.readouterr().out
+        for variant in ("cannon", "summa", "gather", "outer"):
+            assert f"matmul/{variant}" in out
+
+
+class TestRedist:
+    def test_redist_reports_bounded_schedule(self, capsys):
+        assert main(["redist", "--max-temp-frac", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "(*, *, BLOCK) -> (*, BLOCK, *)" in out
+        assert "3 rounds" in out
+        assert "peak/naive  0.333" in out
+
+    def test_redist_json_summary(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "redist.json"
+        assert main(["redist", "--max-temp-frac", "0.25",
+                     "--json", str(out_file)]) == 0
+        data = json.loads(out_file.read_text())
+        assert data["rounds"] == 3
+        assert data["peak_temp_bytes"] <= data["budget_bytes"]
+        assert data["peak_temp_bytes"] / data["naive_peak_bytes"] <= 0.5
+
+    def test_redist_rejects_bad_frac(self, capsys):
+        from repro.core.errors import DistributionError
+
+        with pytest.raises(DistributionError):
+            main(["redist", "--max-temp-frac", "0"])
+
+
 class TestServe:
     def test_serve_session_then_warm_replay(self, tmp_path, capsys):
         store = str(tmp_path / "store")

@@ -28,7 +28,9 @@ from repro.core.errors import XDPError
 from repro.core.interp import run_program
 from repro.core.ir.parser import parse_program
 
-from .fuzz.gen_programs import SHMEM_FAMILIES, FuzzProgram, generate_battery
+from .fuzz.gen_programs import (
+    COLLECTIVE_FAMILIES, SHMEM_FAMILIES, FuzzProgram, generate_battery,
+)
 
 BATTERY_SIZE = 220   # acceptance floor is 200; a little margin
 SMOKE_SIZE = 50      # the CI verify-fuzz-smoke subset (battery prefix)
@@ -212,6 +214,81 @@ def test_shmem_battery_leaves_default_battery_untouched():
     # determinism + prefix property hold for the shmem battery as well
     assert shmem[:12] == generate_battery(
         12, BASE_SEED, families=SHMEM_FAMILIES
+    )
+
+
+_coll_cache: list[Outcome] = []
+COLL_BATTERY_SIZE = 60
+
+
+def _coll_outcomes() -> list[Outcome]:
+    """Collective fault battery: first-class ``coll`` statement bugs."""
+    if not _coll_cache:
+        _coll_cache.extend(
+            _run_one(fp) for fp in generate_battery(
+                COLL_BATTERY_SIZE, BASE_SEED, families=COLLECTIVE_FAMILIES
+            )
+        )
+    return _coll_cache
+
+
+def test_collective_battery_directions():
+    """Both oracle-agreement directions hold on programs with first-class
+    collectives: clean programs run, engine failures are flagged."""
+    _check(_coll_outcomes())
+
+
+def test_collective_good_programs_are_clean_and_run():
+    bad = [
+        o for o in _coll_outcomes()
+        if o.program.mutation is None and not (o.report.clean and o.engine_ok)
+    ]
+    assert not bad, (
+        f"{len(bad)} collective template instance(s) not clean+runnable:\n\n"
+        + "\n\n".join(_describe(o) for o in bad[:5])
+    )
+
+
+def test_collective_fault_classes_covered_and_flagged():
+    """Every seeded collective fault class occurs in the battery and every
+    instance carries a verifier finding; the rendezvous faults are also
+    engine failures (deadlock / protocol error), while disagreeing reduce
+    ops are *silent at run time* — the chunks still rendezvous by tag —
+    which is exactly why the static verifier must catch them."""
+    outcomes = _coll_outcomes()
+    by_class = {
+        m: [o for o in outcomes if o.program.mutation == m]
+        for m in ("missing_participant", "cardinality_mismatch",
+                  "wrong_reduce_op")
+    }
+    for mutation, members in by_class.items():
+        assert members, f"no {mutation} mutants in the collective battery"
+        unflagged = [o for o in members if not o.report.findings]
+        assert not unflagged, (
+            f"{len(unflagged)} {mutation} mutant(s) without a finding:\n\n"
+            + "\n\n".join(_describe(o) for o in unflagged[:5])
+        )
+    for o in by_class["missing_participant"]:
+        assert not o.engine_ok
+        assert any(f.code == "unmatched-collective-participant"
+                   for f in o.report.findings), _describe(o)
+    for o in by_class["cardinality_mismatch"]:
+        assert not o.engine_ok
+        assert any(f.code == "collective-cardinality"
+                   for f in o.report.findings), _describe(o)
+    # The runtime cannot see a reduce-op disagreement (tags match anyway).
+    for o in by_class["wrong_reduce_op"]:
+        assert o.engine_ok, _describe(o)
+        assert not o.report.ok, _describe(o)
+
+
+def test_collective_battery_leaves_default_battery_untouched():
+    default = generate_battery(24, BASE_SEED)
+    assert not any(fp.family.startswith("coll") for fp in default)
+    coll = generate_battery(24, BASE_SEED, families=COLLECTIVE_FAMILIES)
+    assert {fp.family for fp in coll} == set(COLLECTIVE_FAMILIES)
+    assert coll[:12] == generate_battery(
+        12, BASE_SEED, families=COLLECTIVE_FAMILIES
     )
 
 

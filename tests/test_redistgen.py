@@ -109,3 +109,50 @@ class TestExecution:
         d = Distribution(section((1, 8)), (BlockSpec(),), grid)
         plan = plan_redistribution(d, d)
         assert redistribution_statements("A", plan) == []
+
+
+class TestSelfAndDuplicateMoves:
+    """Regression (ISSUE 8): plans that carry ``src == dst`` or repeated
+    moves — e.g. hand-assembled round plans from the bounded-redistribution
+    planner — must not emit self-sends (a processor messaging itself
+    deadlocks) or duplicate transfer pairs."""
+
+    def test_self_moves_emit_no_statements(self):
+        from repro.distributions.redistribute import Move, RedistributionPlan
+
+        src, dst, _ = make_plan()
+        moves = (
+            Move(0, 0, section((1, 4))),    # layouts share P1's block
+            Move(0, 1, section((5, 8))),
+            Move(1, 1, section((5, 8))),    # and P2 keeps part of its own
+        )
+        plan = RedistributionPlan(src, dst, moves)
+        stmts = redistribution_statements("A", plan)
+        assert len(stmts) == 2  # one send + one recv for the single cross move
+
+    def test_duplicate_moves_deduplicated(self):
+        from repro.distributions.redistribute import Move, RedistributionPlan
+
+        src, dst, _ = make_plan()
+        m = Move(0, 1, section((1, 4)))
+        plan = RedistributionPlan(src, dst, (m, m, Move(2, 3, section((9, 12)))))
+        stmts = redistribution_statements("A", plan)
+        assert len(stmts) == 4  # two distinct transfers, not three
+
+    def test_block_to_cyclic_message_count(self):
+        """BLOCK→CYCLIC at n=16, P=4: each processor keeps one element of
+        its block, so exactly 12 of the 16 element moves are messages —
+        and the engine must count exactly those."""
+        n, nprocs = 16, 4
+        src, dst, plan = make_plan(n, nprocs)
+        assert plan.message_count == 12
+        stmts = redistribution_statements("A", plan, awaits=True)
+        sends = [s for s in stmts if isinstance(s.body.stmts[0], SendStmt)]
+        assert len(sends) == 12
+        prog = build_program(n, nprocs, stmts, (1,))
+        it = Interpreter(prog, nprocs, model=FAST)
+        a0 = np.arange(1.0, n + 1)
+        it.write_global("A", a0)
+        stats = it.run()
+        assert stats.total_messages == 12
+        assert np.array_equal(it.read_global("A"), a0)
