@@ -35,7 +35,7 @@ from repro.report.record import write_json_atomic
 
 from repro.apps.fft3d import run_fft3d
 from repro.apps.jacobi import run_jacobi
-from repro.machine.transport import BACKENDS
+from repro.machine.transport import SIM_BACKENDS
 
 ROOT = Path(__file__).resolve().parent.parent
 BENCH_FILE = ROOT / "BENCH_backends.json"
@@ -77,7 +77,7 @@ def run_backend_bench(nprocs_list=NPROCS) -> dict:
         _run_case(app, p, backend)
         for app in ("jacobi", "fft3d")
         for p in nprocs_list
-        for backend in BACKENDS
+        for backend in SIM_BACKENDS
     ]
     by_key: dict = {}
     for c in cases:
@@ -94,7 +94,7 @@ def run_backend_bench(nprocs_list=NPROCS) -> dict:
         "config": {
             "apps": ["jacobi", "fft3d"],
             "nprocs": list(nprocs_list),
-            "backends": list(BACKENDS),
+            "backends": list(SIM_BACKENDS),
         },
         "cases": cases,
         "result_transparent": transparency,

@@ -1,0 +1,78 @@
+"""P9 — real-parallelism wall clock: the ``proc`` backend speedup curve.
+
+Unlike every virtual-time artifact in this directory, P9 measures real
+seconds: the fixed-size Jacobi sweep executes on forked OS processes
+(``--backend proc``) at P in {1, 2, 4} and records the duration of the
+real execution pass into ``BENCH_proc.json``.
+
+Honesty is part of the artifact contract (see
+:mod:`repro.apps.procbench`): on a single-core host the recorded file is
+an explicit skip marker, never numbers; on multi-core hosts every
+recorded case must be sha256-identical to the simulator's result, and
+speedups below 1.0 (fork/pipe overhead dominating these tiny programs)
+are recorded as measured.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.apps.procbench import format_proc_bench, run_proc_bench
+from repro.report.record import write_json_atomic
+
+ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = ROOT / "BENCH_proc.json"
+
+
+def test_p9_proc_bench_records(benchmark):
+    """Record BENCH_proc.json: measured curve on multi-core hosts, the
+    explicit skip marker on single-core ones — never fabricated numbers."""
+    results = run_proc_bench()
+    print()
+    print(format_proc_bench(results))
+    write_json_atomic(BENCH_FILE, results)
+    recorded = json.loads(BENCH_FILE.read_text())
+    assert recorded["backend"] == "proc"
+    if results["skipped"]:
+        assert (os.cpu_count() or 1) < 2
+        assert "reason" in recorded and "cpu_count" in recorded
+        assert "cases" not in recorded  # a skip marker carries no numbers
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        return
+    assert results["result_transparent"], results
+    assert [c["nprocs"] for c in results["cases"]] == list(
+        results["config"]["nprocs"]
+    )
+    for c in results["cases"]:
+        assert c["real_wall_s"] > 0.0
+        assert c["total_wall_s"] >= c["real_wall_s"]
+    benchmark.pedantic(
+        lambda: run_proc_bench(nprocs_list=(2,), repeats=1),
+        rounds=1, iterations=1,
+    )
+
+
+def test_p9_measured_path_shape(monkeypatch):
+    """The measuring path itself (exercised even on single-core CI by
+    lifting the honesty gate): artifact shape, transparency, and the
+    speedup map — the forced run is NOT written to BENCH_proc.json."""
+    monkeypatch.setattr("repro.apps.procbench.os.cpu_count", lambda: 2)
+    results = run_proc_bench(nprocs_list=(1, 2), n=8, sweeps=2, repeats=1)
+    assert not results["skipped"]
+    assert results["result_transparent"], results
+    assert set(results["speedup_vs_first"]) == {"1", "2"}
+    assert results["speedup_vs_first"]["1"] == 1.0
+    shas = {c["nprocs"]: c["result_sha256"] for c in results["cases"]}
+    # Different P => different block layout but identical global result
+    # is asserted per-case against the simulator, not across P (the
+    # jacobi source differs per P, so cross-P digests may legally agree
+    # or differ; transparency is the invariant).
+    assert all(len(s) == 64 for s in shas.values())
+
+
+def test_p9_skip_marker_is_explicit(monkeypatch):
+    monkeypatch.setattr("repro.apps.procbench.os.cpu_count", lambda: 1)
+    results = run_proc_bench()
+    assert results["skipped"] is True
+    assert "fabricated" in results["reason"]
+    assert "cases" not in results

@@ -462,6 +462,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .apps.enginebench import diff_bench, format_bench, run_engine_bench
 
     nprocs = tuple(int(x) for x in args.nprocs.split(","))
+    if args.proc:
+        from .apps.procbench import format_proc_bench, run_proc_bench
+        from .report.record import write_json_atomic
+
+        # The scaling default (8,64,256) is a fork bomb on real cores;
+        # proc mode has its own small default sweep.
+        if args.nprocs == "8,64,256":
+            nprocs = (1, 2, 4)
+        results = run_proc_bench(nprocs)
+        print(format_proc_bench(results))
+        out = args.out if args.out != "BENCH_engine.json" else "BENCH_proc.json"
+        write_json_atomic(out, results)
+        print(f"wrote {out}")
+        return 0
     programs = tuple(args.programs.split(","))
     results = run_engine_bench(
         nprocs,
@@ -706,6 +720,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the batched columnar-core runs")
     b.add_argument("--no-classify", action="store_true",
                    help="skip the profiled bottleneck classification")
+    b.add_argument("--proc", action="store_true",
+                   help="real-wall-clock mode: run the fixed-size Jacobi "
+                        "speedup sweep on the proc backend (default sweep "
+                        "1,2,4; records BENCH_proc.json; honestly skips on "
+                        "single-core hosts)")
     b.add_argument("--out", default="BENCH_engine.json",
                    help="where to record results")
     b.add_argument("--diff", metavar="FILE",

@@ -817,7 +817,9 @@ class _Lowerer:
                 )
         lo, hi, step = s.group
         if self.compiled.collectives == "native":
-            style = "staged" if self.compiled.engine.backend == "msg" else "flat"
+            # proc is message passing executed for real; it shares the
+            # msg family so its oracle pass records the same schedule.
+            style = "staged" if self.compiled.engine.backend in ("msg", "proc") else "flat"
         else:
             style = "flat"
         self._emit(_CollI(

@@ -49,9 +49,12 @@ class DestinationBinding:
     name = "destination-binding"
 
     def __init__(self, target: str = "msg"):
-        if target not in ("msg", "shmem"):
+        # proc executes the message-passing binding on real processes;
+        # its annotation vocabulary is msg's.
+        if target not in ("msg", "shmem", "proc"):
             raise ValueError(
-                f"unknown binding target {target!r} (choose 'msg' or 'shmem')"
+                f"unknown binding target {target!r} "
+                "(choose 'msg', 'shmem' or 'proc')"
             )
         self.target = target
 

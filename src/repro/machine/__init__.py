@@ -6,6 +6,7 @@ from .engine import (
     BACKENDS,
     ENGINE_MODES,
     HEADER_BYTES,
+    SIM_BACKENDS,
     Engine,
     NodeProgram,
     ProcessorContext,
@@ -15,6 +16,7 @@ from .scheduler import Scheduler
 from .transport import (
     FaultInjection,
     MessagePassingTransport,
+    ProcTransport,
     ReliableDelivery,
     SharedAddressTransport,
     Transport,
@@ -39,12 +41,14 @@ __all__ = [
     "NodeProgram",
     "HEADER_BYTES",
     "BACKENDS",
+    "SIM_BACKENDS",
     "ENGINE_MODES",
     "default_engine_mode",
     "Scheduler",
     "Transport",
     "MessagePassingTransport",
     "SharedAddressTransport",
+    "ProcTransport",
     "FaultInjection",
     "ReliableDelivery",
     "make_transport",

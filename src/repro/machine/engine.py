@@ -74,9 +74,11 @@ from .scheduler import (  # noqa: F401  (re-exported: public API + bench shims)
 )
 from .transport import (
     BACKENDS,
+    SIM_BACKENDS,
     FaultInjection,
     ReliableDelivery,
     Transport,
+    default_backend,
     make_transport,
 )
 from .transport.base import PendingRecv as _PendingRecv  # noqa: F401 (bench shim)
@@ -85,6 +87,7 @@ from .transport.msg import HEADER_BYTES  # noqa: F401  (re-export)
 
 __all__ = [
     "BACKENDS",
+    "SIM_BACKENDS",
     "ENGINE_MODES",
     "Engine",
     "HEADER_BYTES",
@@ -111,7 +114,37 @@ class Engine(Scheduler):
     core is the columnar fast path of :mod:`repro.machine.batched` and
     silently defers to the scalar oracle whenever faults, reliable
     delivery, tracing, or a middleware-wrapped ``transport`` are active.
+
+    ``backend="proc"`` resolves — via ``__new__`` — to the
+    :class:`~repro.machine.procrt.ProcEngine` subclass, which executes
+    the program on real forked OS processes with this in-process
+    simulation retained as the semantic oracle; construction sites keep
+    writing ``Engine(n, backend=...)`` for every backend.
     """
+
+    def __new__(
+        cls,
+        nprocs: int = 1,
+        model: MachineModel | None = None,
+        *,
+        backend: str | None = None,
+        transport: Transport | None = None,
+        **_kw,
+    ):
+        # Only bare Engine construction dispatches on the backend name;
+        # subclasses (ProcEngine itself, bench harness stubs) are built
+        # as written.
+        if cls is Engine:
+            name = (
+                transport.name if transport is not None
+                else backend if backend is not None
+                else default_backend()
+            )
+            if name == "proc":
+                from .procrt import ProcEngine
+
+                return super().__new__(ProcEngine)
+        return super().__new__(cls)
 
     def __init__(
         self,

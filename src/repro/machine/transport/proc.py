@@ -1,0 +1,506 @@
+"""The real-parallelism transport backend (``proc``): wire format and store.
+
+Where ``msg`` and ``shmem`` *simulate* a parallel machine inside one
+Python process, the ``proc`` backend executes the same compiled node
+programs on real OS processes (``multiprocessing`` fork workers), moving
+data through pipes carrying an explicit binary frame format and — for
+payloads past a size threshold — ``multiprocessing.shared_memory``
+segments, the paper's delayed binding (section 5) taken to actual
+hardware.  This module owns the parts of that binding that are pure
+data plumbing:
+
+* the **wire format** (:class:`Frame`, :func:`encode_frame`,
+  :func:`decode_frame`): a versioned binary layout carrying the transfer
+  kind, the name tag (variable + section triplets — the paper's
+  footnote-2 tag), source/destination pids, the sender-assigned per-tag
+  sequence number, Lamport-style virtual send/arrive times, and the
+  payload either inline or as a shared-memory reference;
+* the **segment registry** (:class:`SegmentRegistry`): every
+  shared-memory segment this process creates is tracked and swept by an
+  ``atexit`` finalizer, and a whole run's segments share a name prefix
+  so interrupted runs can be reclaimed by prefix
+  (:func:`sweep_shm_prefix`) rather than leaked into ``/dev/shm``;
+* :class:`ProcTransport` — the *simulator-side* face of the backend.
+  The engine facade (:class:`~repro.machine.procrt.ProcEngine`) keeps a
+  full in-process simulation of every ``proc`` run as the semantic
+  oracle; that simulation runs over this transport, which behaves
+  exactly like the message-passing binding (same costs, same rendezvous)
+  but answers to the name ``proc`` and can record the oracle's matching
+  schedule (:class:`MatchRecorder`) so the real execution replays the
+  simulator's deterministic rendezvous decisions.
+
+The runtime that forks workers and replays effect streams against real
+pipes lives in :mod:`repro.machine.procrt`; see docs/BACKENDS.md for the
+full wire-format table and the oracle protocol.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import struct
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ...core.sections import Section, Triplet
+from ..message import Message, TransferKind
+from .base import PendingRecv
+from .msg import MessagePassingTransport
+
+__all__ = [
+    "Frame",
+    "MatchRecorder",
+    "ProcTransport",
+    "SegmentRegistry",
+    "decode_frame",
+    "encode_frame",
+    "shm_name_prefix",
+    "sweep_shm_prefix",
+]
+
+#: Wire-format magic + version (bumped on any layout change).
+FRAME_MAGIC = b"XDPF"
+FRAME_VERSION = 1
+
+#: Payloads at or above this many bytes travel via a shared-memory
+#: segment; smaller ones ride inline in the frame.  Overridable through
+#: ``REPRO_PROC_SHM_THRESHOLD`` (0 forces every payload through shm).
+DEFAULT_SHM_THRESHOLD = 2048
+
+_KIND_CODE = {
+    TransferKind.VALUE: 0,
+    TransferKind.OWNERSHIP: 1,
+    TransferKind.OWN_VALUE: 2,
+}
+_CODE_KIND = {v: k for k, v in _KIND_CODE.items()}
+
+# Payload transport modes.
+_PL_NONE, _PL_INLINE, _PL_SHM = 0, 1, 2
+
+#: Fixed-size frame head: magic, version, kind, payload mode, src, dst,
+#: per-(tag, src, dst) ordinal, send/arrive virtual times, variable-name
+#: length, section rank, dtype-string length, shm-name length.
+_HEAD = struct.Struct("<4sBBBiiqddHBBB")
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One transfer on the ``proc`` wire (the unit of the framing format).
+
+    ``ordinal`` is the sender-assigned sequence number within the frame's
+    ``(kind, var, sec, src, dst)`` stream — the receiver uses it (plus
+    the oracle's match plan) to reproduce the simulator's FIFO-by-seq
+    rendezvous exactly; ``dst is None`` is the unspecified-recipient pool
+    form.  ``payload`` is the carried array (``None`` for pure-ownership
+    transfers); en/decoding may stage it through shared memory without
+    changing frame equality.
+    """
+
+    kind: TransferKind
+    var: str
+    sec: Section
+    src: int
+    dst: int | None
+    ordinal: int
+    send_vt: float
+    arrive_vt: float
+    payload: np.ndarray | None
+
+    def tag(self) -> tuple:
+        return (self.kind, self.var, self.sec)
+
+    @property
+    def nbytes(self) -> int:
+        return 0 if self.payload is None else self.payload.nbytes
+
+
+def _pack_section(sec: Section) -> bytes:
+    return b"".join(
+        struct.pack("<qqq", t.lo, t.hi, t.step) for t in sec.dims
+    )
+
+
+def _unpack_section(buf: bytes, offset: int, rank: int) -> tuple[Section, int]:
+    dims = []
+    for _ in range(rank):
+        lo, hi, step = struct.unpack_from("<qqq", buf, offset)
+        offset += 24
+        dims.append(Triplet(lo, hi, step))
+    return Section(tuple(dims)), offset
+
+
+def encode_frame(
+    frame: Frame,
+    *,
+    shm_threshold: int | None = None,
+    registry: "SegmentRegistry | None" = None,
+) -> bytes:
+    """Serialize ``frame`` to the binary wire format.
+
+    When ``registry`` is given and the payload is at least
+    ``shm_threshold`` bytes, the payload is written into a fresh
+    shared-memory segment and only its name travels on the wire; the
+    receiver unlinks the segment after copying out
+    (:func:`decode_frame`).  Without a registry everything rides inline
+    (the mode used by the framing round-trip property tests).
+    """
+    payload = frame.payload
+    if shm_threshold is None:
+        shm_threshold = int(
+            os.environ.get("REPRO_PROC_SHM_THRESHOLD", DEFAULT_SHM_THRESHOLD)
+        )
+    var_b = frame.var.encode()
+    if payload is None:
+        mode, dtype_b, shm_b, shape, body = _PL_NONE, b"", b"", (), b""
+    else:
+        payload = np.ascontiguousarray(payload)
+        dtype_b = payload.dtype.str.encode()
+        shape = payload.shape
+        if registry is not None and payload.nbytes >= shm_threshold:
+            seg = registry.create(payload.nbytes)
+            seg.buf[: payload.nbytes] = payload.tobytes()
+            mode, shm_b, body = _PL_SHM, seg.name.encode(), b""
+            # The receiver owns the segment's lifetime from here: the
+            # sender keeps no reference beyond the registry's crash sweep.
+        else:
+            mode, shm_b, body = _PL_INLINE, b"", payload.tobytes()
+    head = _HEAD.pack(
+        FRAME_MAGIC,
+        FRAME_VERSION,
+        _KIND_CODE[frame.kind],
+        mode,
+        frame.src,
+        -1 if frame.dst is None else frame.dst,
+        frame.ordinal,
+        frame.send_vt,
+        frame.arrive_vt,
+        len(var_b),
+        len(frame.sec.dims),
+        len(dtype_b),
+        len(shm_b),
+    )
+    shape_b = struct.pack("<B", len(shape)) + b"".join(
+        struct.pack("<q", s) for s in shape
+    )
+    return b"".join(
+        (head, var_b, _pack_section(frame.sec), dtype_b, shm_b, shape_b, body)
+    )
+
+
+def decode_frame(buf: bytes, *, unlink_shm: bool = True) -> Frame:
+    """Parse one wire frame; the inverse of :func:`encode_frame`.
+
+    A shared-memory payload is copied out of its segment, which is then
+    closed and (by default) unlinked — the receiver is the last owner of
+    a delivered payload segment.
+    """
+    (
+        magic, version, kind_code, mode, src, dst, ordinal,
+        send_vt, arrive_vt, var_len, rank, dtype_len, shm_len,
+    ) = _HEAD.unpack_from(buf, 0)
+    if magic != FRAME_MAGIC or version != FRAME_VERSION:
+        raise ValueError(
+            f"bad proc frame: magic={magic!r} version={version}"
+        )
+    off = _HEAD.size
+    var = buf[off:off + var_len].decode()
+    off += var_len
+    sec, off = _unpack_section(buf, off, rank)
+    dtype_b = buf[off:off + dtype_len]
+    off += dtype_len
+    shm_name = buf[off:off + shm_len].decode()
+    off += shm_len
+    (nshape,) = struct.unpack_from("<B", buf, off)
+    off += 1
+    shape = tuple(
+        struct.unpack_from("<q", buf, off + 8 * i)[0] for i in range(nshape)
+    )
+    off += 8 * nshape
+    if mode == _PL_NONE:
+        payload = None
+    else:
+        dtype = np.dtype(dtype_b.decode())
+        count = 1
+        for s in shape:
+            count *= s
+        if mode == _PL_INLINE:
+            payload = np.frombuffer(
+                buf, dtype=dtype, count=count, offset=off
+            ).reshape(shape).copy()
+        else:
+            seg = shared_memory.SharedMemory(name=shm_name)
+            try:
+                payload = np.frombuffer(
+                    seg.buf, dtype=dtype, count=count
+                ).reshape(shape).copy()
+            finally:
+                seg.close()
+                if unlink_shm:
+                    try:
+                        seg.unlink()
+                    except FileNotFoundError:  # pragma: no cover - raced
+                        pass
+    return Frame(
+        kind=_CODE_KIND[kind_code],
+        var=var,
+        sec=sec,
+        src=src,
+        dst=None if dst < 0 else dst,
+        ordinal=ordinal,
+        send_vt=send_vt,
+        arrive_vt=arrive_vt,
+        payload=payload,
+    )
+
+
+# --------------------------------------------------------------------- #
+# shared-memory hygiene
+# --------------------------------------------------------------------- #
+
+#: Every segment the proc backend creates is named with this prefix, so
+#: leak sweeps (and the conftest leak assertion) can identify ours.
+SHM_PREFIX = "xdp9proc"
+
+
+def shm_name_prefix(owner_pid: int | None = None, run: int = 0) -> str:
+    """Run-scoped segment-name prefix: backend tag, creator pid, run #."""
+    pid = os.getpid() if owner_pid is None else owner_pid
+    return f"{SHM_PREFIX}_{pid}_{run}_"
+
+
+def _shm_dir_entries(prefix: str) -> list[str]:
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-Linux hosts
+        return []
+    try:
+        return [n for n in os.listdir(shm_dir) if n.startswith(prefix)]
+    except OSError:  # pragma: no cover - defensive
+        return []
+
+
+def sweep_shm_prefix(prefix: str) -> list[str]:
+    """Unlink every shared-memory segment whose name starts with ``prefix``.
+
+    Returns the names that were reclaimed — the crash-path backstop for
+    segments whose receiver never copied them out (interrupted runs,
+    SIGKILLed workers).  The normal path leaks nothing: receivers unlink
+    on delivery and :class:`SegmentRegistry` finalizes at exit.
+    """
+    reclaimed = []
+    for name in _shm_dir_entries(prefix):
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:  # pragma: no cover - raced
+            continue
+        seg.close()
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - raced
+            continue
+        reclaimed.append(name)
+    return reclaimed
+
+
+def leaked_shm_segments() -> list[str]:
+    """Names of every live proc-backend segment on this host (diagnostics)."""
+    return _shm_dir_entries(SHM_PREFIX)
+
+
+class SegmentRegistry:
+    """Tracks shared-memory segments created by this process.
+
+    ``create`` hands out segments under the registry's run-scoped name
+    prefix; ``release`` forgets a segment whose ownership moved to a
+    receiver; ``sweep`` force-unlinks everything still registered (and
+    anything under the prefix — covering segments created by forked
+    children that died before their receiver copied out).  The registry
+    arms a process-wide ``atexit`` sweep on first use so interrupted
+    runs cannot leak ``/dev/shm`` entries.
+    """
+
+    _atexit_armed = False
+    _live: "list[SegmentRegistry]" = []
+
+    def __init__(self, prefix: str | None = None):
+        self.prefix = prefix if prefix is not None else shm_name_prefix()
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._counter = 0
+        cls = SegmentRegistry
+        cls._live.append(self)
+        if not cls._atexit_armed:
+            cls._atexit_armed = True
+            atexit.register(cls._sweep_all)
+
+    @classmethod
+    def _sweep_all(cls) -> None:
+        for reg in list(cls._live):
+            try:
+                reg.sweep()
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    def create(self, nbytes: int) -> shared_memory.SharedMemory:
+        self._counter += 1
+        name = f"{self.prefix}{os.getpid()}_{self._counter}"
+        seg = shared_memory.SharedMemory(name=name, create=True, size=max(1, nbytes))
+        self._segments[name] = seg
+        return seg
+
+    def release(self, name: str) -> None:
+        """Forget ``name`` (its receiver took ownership); keep it alive."""
+        seg = self._segments.pop(name, None)
+        if seg is not None:
+            seg.close()
+
+    def sweep(self) -> list[str]:
+        """Unlink everything still registered plus any prefix leftovers."""
+        swept = []
+        for name, seg in list(self._segments.items()):
+            seg.close()
+            try:
+                seg.unlink()
+                swept.append(name)
+            except FileNotFoundError:
+                pass
+            del self._segments[name]
+        swept.extend(sweep_shm_prefix(self.prefix))
+        if self in SegmentRegistry._live:
+            SegmentRegistry._live.remove(self)
+        return swept
+
+
+# --------------------------------------------------------------------- #
+# the simulator-side transport (oracle face of the backend)
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class MatchRecorder:
+    """Records the oracle simulation's rendezvous schedule.
+
+    The simulator's matching is FIFO-by-engine-seq per ``(kind, var,
+    sec)`` tag — a deterministic function of the program (and, under
+    fault middleware, of the seed).  Real processes observe only
+    real-time arrival order, so the proc runtime replays this recorded
+    schedule instead: for processor ``pid``'s ``k``-th receive of a tag,
+    the plan names the exact emitted frame ``(src, dst-or-pool,
+    per-stream ordinal)`` that satisfies it, the completion's virtual
+    time, and its global tie-break rank.  Emissions are observed at the
+    transport's injection seam (:class:`RecordingInjector`), *outside*
+    any middleware: a dropped copy still consumes its stream ordinal
+    (the worker emits it; nobody claims it), and a middleware-conjured
+    duplicate maps back to the emission it was copied from via its
+    ``send_time`` (sender clocks strictly increase per copy, so the pair
+    ``(stream, send_time)`` is unique) — the duplicate becomes a second
+    claim on the same frame.  Receives the oracle left unmatched get no
+    plan entry and stay pending forever; messages it left unclaimed are
+    never granted.
+    """
+
+    #: (kind, var, sec, dst_pid, recv_rank) ->
+    #:     (src, dst_or_None, stream_ordinal, crank, completion_time)
+    plan: dict = field(default_factory=dict)
+    #: (kind, var, sec, src, dst) -> {send_time: emission ordinal}
+    _streams: dict = field(default_factory=dict)
+    _counts: dict = field(default_factory=dict)
+    _matches: list = field(default_factory=list)
+
+    def on_emit(self, msg: Message) -> None:
+        key = (msg.kind, msg.name.var, msg.name.sec, msg.src, msg.dst)
+        n = self._counts.get(key, 0)
+        self._counts[key] = n + 1
+        self._streams.setdefault(key, {})[msg.send_time] = n
+
+    def on_match(self, msg: Message, recv: PendingRecv, ctime: float) -> None:
+        skey = (msg.kind, msg.name.var, msg.name.sec, msg.src, msg.dst)
+        ordinal = self._streams[skey][msg.send_time]
+        self._matches.append((
+            (msg.kind, msg.name.var, msg.name.sec), recv.pid, recv.seq,
+            (msg.src, msg.dst, ordinal, ctime),
+        ))
+
+    def finalize(self, leftover_pending) -> None:
+        """Convert recorded matches into the per-receive plan.
+
+        A receive's plan key uses its *rank* among the pid's receives of
+        the same tag (the worker can count that locally); unmatched
+        pending receives occupy ranks too, so ``leftover_pending`` must
+        iterate them.  Matching is FIFO-by-seq, so a crashed processor's
+        withdrawn receives are always a rank *suffix* — dropping them
+        never renumbers a matched receive.  The match list is already in
+        completion-creation order; its index is the cross-receive
+        tie-break rank (``crank``) workers use for equal completion
+        times.
+        """
+        all_recvs: dict[tuple, list] = {}
+        for tagkey, pid, seq, _frame in self._matches:
+            all_recvs.setdefault((tagkey, pid), []).append(seq)
+        for recv in leftover_pending:
+            tagkey = (recv.kind, recv.name.var, recv.name.sec)
+            all_recvs.setdefault((tagkey, recv.pid), []).append(recv.seq)
+        rank = {
+            key: {seq: k for k, seq in enumerate(sorted(seqs))}
+            for key, seqs in all_recvs.items()
+        }
+        for crank, (tagkey, pid, seq, frame) in enumerate(self._matches):
+            k = rank[(tagkey, pid)][seq]
+            kind, var, sec = tagkey
+            src, dst, ordinal, ctime = frame
+            self.plan[(kind, var, sec, pid, k)] = (src, dst, ordinal, crank, ctime)
+        self._streams.clear()
+        self._counts.clear()
+        self._matches.clear()
+
+
+class RecordingInjector:
+    """Interposes on the injection seam to observe raw emissions.
+
+    Installed as the base transport's ``injector`` during an oracle
+    pass, *outside* the whole middleware stack, so every copy the node
+    program emits is recorded exactly once — before fault middleware
+    drops, delays or duplicates it.
+    """
+
+    def __init__(self, inner, recorder: MatchRecorder) -> None:
+        self.inner = inner
+        self.recorder = recorder
+
+    def inject(self, msg: Message, nbytes: int) -> None:
+        self.recorder.on_emit(msg)
+        self.inner.inject(msg, nbytes)
+
+
+class ProcTransport(MessagePassingTransport):
+    """Simulator-side binding of the ``proc`` backend.
+
+    Costs and rendezvous are exactly the message-passing transport's —
+    the real machine under ``proc`` *is* message passing over pipes — so
+    the oracle simulation of a proc run shares the ``msg`` backend's
+    virtual-time accounting, trace vocabulary and diagnostics.  When a
+    :class:`MatchRecorder` is attached, every rendezvous is reported to
+    it with its bound completion time; the recorded schedule is what the
+    forked workers replay (see :mod:`repro.machine.procrt`).
+    """
+
+    name = "proc"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.recorder: MatchRecorder | None = None
+
+    def _match(self, msg: Message, recv: PendingRecv) -> None:
+        if self.recorder is not None:
+            self.recorder.on_match(msg, recv, self.completion_time(msg, recv))
+        super()._match(msg, recv)
+
+    def leftover_pending(self):
+        """Unmatched pending receives (for plan finalization)."""
+        from .base import RecvIndex
+
+        for index in self._pending.values():
+            if index.__class__ is RecvIndex:
+                yield from index
+            elif not index.claimed:
+                yield index

@@ -39,6 +39,7 @@ from repro.machine.reliable import ReliableTransport
 from repro.machine.transport import (
     BACKENDS,
     MessagePassingTransport,
+    ProcTransport,
     SharedAddressTransport,
     make_transport,
 )
@@ -187,9 +188,12 @@ class TestMiddlewareWiring:
         eng = Engine(2, MODEL, backend=backend, faults=FaultModel.lossy(drop=0.5))
         assert isinstance(eng.transport, FaultInjection)
         inner = eng.transport.inner
-        expected = MessagePassingTransport if backend == "msg" \
-            else SharedAddressTransport
-        assert isinstance(inner, expected)
+        expected = {
+            "msg": MessagePassingTransport,
+            "shmem": SharedAddressTransport,
+            "proc": ProcTransport,
+        }[backend]
+        assert type(inner) is expected
         # The base transport injects through the outermost middleware.
         assert inner.injector is eng.transport
         assert eng.backend == backend
@@ -286,6 +290,7 @@ class TestResultTransparency:
         }
         assert all(r.correct for r in runs.values())
         assert runs["msg"].result.tobytes() == runs["shmem"].result.tobytes()
+        assert runs["msg"].result.tobytes() == runs["proc"].result.tobytes()
 
     def test_fft3d(self):
         from repro.apps.fft3d import run_fft3d
@@ -293,6 +298,7 @@ class TestResultTransparency:
         runs = {b: run_fft3d(4, 4, 2, backend=b) for b in BACKENDS}
         assert all(r.correct for r in runs.values())
         assert runs["msg"].result.tobytes() == runs["shmem"].result.tobytes()
+        assert runs["msg"].result.tobytes() == runs["proc"].result.tobytes()
 
     def test_workqueue_static_il(self):
         from repro.apps.workqueue import workqueue_source
@@ -304,7 +310,15 @@ class TestResultTransparency:
             runner.run()
             accs[b] = runner.read_global("ACC")
         assert accs["msg"].tobytes() == accs["shmem"].tobytes()
+        assert accs["msg"].tobytes() == accs["proc"].tobytes()
         assert accs["msg"].sum() == sum(range(1, 13))
+
+    def test_matmul(self):
+        from repro.apps.matmul import run_matmul
+
+        runs = {b: run_matmul(8, 4, "summa", backend=b) for b in BACKENDS}
+        assert all(r.correct for r in runs.values())
+        assert runs["msg"].result.tobytes() == runs["proc"].result.tobytes()
 
     def test_timing_differs_semantics_do_not(self):
         """The backends really are different machines: same answers,
