@@ -1,11 +1,20 @@
-"""P3 — automatic placement tuning (the tuner vs the paper's hand stages).
+"""P3 — the staged tuning pipeline vs the paper's hand stages.
 
 Runs ``repro.tune`` on the *naive* section-4 FFT and records, per
-configuration: tuner wall-clock, candidate paths considered, engine
-evaluations, oracle cache hit rate, and the tuned makespan next to the
-naive baseline and both hand-optimized stages.  The acceptance bars are
-the ISSUE's: the tuned placement must match or beat hand stage 2, and
-the memoized oracle must be doing real work (hit rate > 0).
+configuration, the BENCH_tune schema-2 row: space size, candidates
+scored, shortlist size, prefilter precision (static-rank vs engine-rank
+Spearman correlation), shard count, engine evaluations, store-backed
+cache accounting, and the tuned makespan next to the naive baseline and
+both hand-optimized stages.  Each configuration then *replays* against
+the same artifact store in a fresh cache — the replay's hit accounting
+comes from the shared store, not the in-memory memo, so a warm replay
+must show every evaluation served hot and zero engine runs (the
+cache-accounting fix this schema version exists for).
+
+Acceptance bars (the ISSUE's): the tuned placement must match or beat
+hand stage 2 everywhere; at n=16, P=16 the tuner must rediscover the
+paper's ``(*, BLOCK, *)`` stage-2 switch and beat the naive program;
+and the warm replay must be 100% store-served.
 
 Results are recorded to ``BENCH_tune.json`` at the repo root.
 """
@@ -17,68 +26,98 @@ from conftest import emit
 
 from repro.report.record import write_json_atomic
 
-from repro.apps.fft3d import run_fft3d
-from repro.apps.fft3d import fft3d_source
-from repro.tune import tune
+from repro.apps.fft3d import fft3d_source, run_fft3d
+from repro.tune import TUNE_SCHEMA, EvalCache, tune
 
 BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_tune.json"
 
-#: (n, nprocs) configurations (generalized section-4 forms).
-CONFIGS = [(8, 4), (16, 4)]
+#: (n, nprocs) configurations (generalized section-4 forms).  The last
+#: one is the acceptance configuration: the paper's own scale.
+CONFIGS = [(8, 4), (16, 16)]
 
 
-def _run_config(n: int, nprocs: int) -> dict:
+def _run_config(n: int, nprocs: int, store_root: str) -> dict:
     hand = {s: run_fft3d(n, nprocs, s).makespan for s in (1, 2)}
+    src = fft3d_source(n, nprocs, 0)
+
     t0 = time.perf_counter()
-    res = tune(fft3d_source(n, nprocs, 0), nprocs)
+    res = tune(src, nprocs, store=store_root)
     wall = time.perf_counter() - t0
-    return {
+
+    # Warm replay: fresh in-memory cache, same store.  Every engine
+    # evaluation must now be served by the shared store.
+    replay_cache = EvalCache()
+    again = tune(src, nprocs, store=store_root, cache=replay_cache)
+    assert again.canonical_doc() == res.canonical_doc(), (n, nprocs)
+
+    doc = res.canonical_doc()
+    doc.update({
         "n": n,
         "nprocs": nprocs,
         "wall_s": round(wall, 3),
-        "candidates_considered": res.candidates_considered,
-        "engine_evaluations": res.evaluated,
+        "shards": res.shards,
+        "hand_stage1_makespan": hand[1],
+        "hand_stage2_makespan": hand[2],
         "cache_hits": res.cache.hits,
         "cache_misses": res.cache.misses,
         "cache_hit_rate": round(res.cache.hit_rate, 3),
-        "naive_makespan": res.baseline_makespan,
-        "hand_stage1_makespan": hand[1],
-        "hand_stage2_makespan": hand[2],
-        "tuned_makespan": res.makespan,
-        "speedup_vs_naive": round(res.speedup, 3),
-        "realization": res.realization,
-        "layouts": [c.key for c in res.phase_layouts],
-        "semantics_preserved": res.semantics_preserved,
-    }
+        "store_hits": res.cache.store_hits,
+        "store_misses": res.cache.store_misses,
+        "engine_runs": res.cache.engine_runs,
+        "replay_store_hits": replay_cache.store_hits,
+        "replay_store_misses": replay_cache.store_misses,
+        "replay_store_hit_rate": round(replay_cache.store_hit_rate, 3),
+        "replay_engine_runs": replay_cache.engine_runs,
+    })
+    return doc
 
 
-def test_p3_tuner_vs_hand_stages(benchmark):
-    cases = [_run_config(n, p) for n, p in CONFIGS]
+def test_p3_tuner_vs_hand_stages(benchmark, tmp_path):
+    cases = [
+        _run_config(n, p, str(tmp_path / f"store-{n}-{p}"))
+        for n, p in CONFIGS
+    ]
 
     emit(
-        "P3 — placement tuner vs hand stages (naive section-4 FFT)",
-        ["n", "P", "wall_s", "paths", "evals", "hit_rate",
-         "naive", "hand1", "hand2", "tuned", "speedup"],
+        "P3 — staged tuning pipeline vs hand stages (naive section-4 FFT)",
+        ["n", "P", "wall_s", "space", "short", "evals", "rank_corr",
+         "replay_hot", "naive", "hand2", "tuned", "speedup"],
         [
-            [c["n"], c["nprocs"], c["wall_s"], c["candidates_considered"],
-             c["engine_evaluations"], c["cache_hit_rate"],
-             f"{c['naive_makespan']:.0f}", f"{c['hand_stage1_makespan']:.0f}",
-             f"{c['hand_stage2_makespan']:.0f}", f"{c['tuned_makespan']:.0f}",
-             f"{c['speedup_vs_naive']:.2f}x"]
+            [c["n"], c["nprocs"], c["wall_s"], c["space_size"],
+             c["shortlist_size"], c["evaluated"],
+             ("-" if c["rank_correlation"] is None
+              else f"{c['rank_correlation']:+.2f}"),
+             f"{c['replay_store_hit_rate']:.0%}",
+             f"{c['baseline_makespan']:.0f}",
+             f"{c['hand_stage2_makespan']:.0f}", f"{c['makespan']:.0f}",
+             f"{c['speedup']:.2f}x"]
             for c in cases
         ],
     )
 
     for c in cases:
         label = f"n={c['n']} P={c['nprocs']}"
+        assert c["schema"] == TUNE_SCHEMA, label
         assert c["semantics_preserved"], label
         # the ISSUE's bar: no worse than the paper's final hand stage
-        assert c["tuned_makespan"] <= c["hand_stage2_makespan"], (label, c)
-        assert c["tuned_makespan"] <= c["naive_makespan"], (label, c)
+        assert c["makespan"] <= c["hand_stage2_makespan"], (label, c)
+        assert c["makespan"] <= c["baseline_makespan"], (label, c)
         # the memoized oracle must actually be hit (winner confirmation)
-        assert c["cache_hit_rate"] > 0, (label, c)
+        assert c["cache_hits"] > 0, (label, c)
+        # a warm replay is served entirely by the shared store: every
+        # lookup hot, nothing recomputed (the schema-1 counter read the
+        # in-memory memo and reported ~0.167 here regardless of warmth).
+        assert c["replay_store_hit_rate"] == 1.0, (label, c)
+        assert c["replay_engine_runs"] == 0, (label, c)
 
-    write_json_atomic(BENCH_FILE, {"cases": cases})
+    # The acceptance configuration: the paper's own scale must rediscover
+    # the (*,*,BLOCK) -> (*,BLOCK,*) stage-2 switch and beat naive.
+    accept = next(c for c in cases if (c["n"], c["nprocs"]) == (16, 16))
+    assert accept["layouts"][0].startswith("(*, *, BLOCK)"), accept
+    assert any(l.startswith("(*, BLOCK, *)") for l in accept["layouts"]), accept
+    assert accept["makespan"] < accept["baseline_makespan"], accept
+
+    write_json_atomic(BENCH_FILE, {"schema": TUNE_SCHEMA, "cases": cases})
     benchmark.extra_info["bench_file"] = str(BENCH_FILE)
     benchmark.pedantic(
         lambda: tune(fft3d_source(8, 4, 0), 4, top_k=2),

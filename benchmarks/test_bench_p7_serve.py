@@ -33,12 +33,18 @@ def _run_round(store_root: str, label: str) -> dict:
         str(store_root),
         SupervisorConfig(workers=2, seed=7, timeout_s=120.0),
     )
-    specs = demo_workload(nprocs=NPROCS, rounds=1, seed=7)
+    specs = demo_workload(nprocs=NPROCS, rounds=1, seed=7,
+                          include_tune=True)
     t0 = time.perf_counter()
     outcomes = session.run_jobs(specs)
     wall = time.perf_counter() - t0
     served = [o for o in outcomes if o.status in ("ok", "cached")]
     assert len(served) == len(specs), [o.as_doc() for o in outcomes]
+    by_kind: dict = {}
+    for spec, o in zip(specs, outcomes):
+        k = by_kind.setdefault(spec.kind, {"jobs": 0, "cached": 0})
+        k["jobs"] += 1
+        k["cached"] += o.status == "cached"
     return {
         "round": label,
         "jobs": len(outcomes),
@@ -46,6 +52,7 @@ def _run_round(store_root: str, label: str) -> dict:
         "retries": sum(o.retries for o in outcomes),
         "wall_s": round(wall, 4),
         "latencies": [o.latency_s for o in outcomes],
+        "by_kind": by_kind,
     }
 
 
@@ -58,6 +65,14 @@ def test_p7_serve_warm_cache_replay(benchmark, tmp_path):
     warm_jobs = sum(r["jobs"] for r in warm)
     warm_hits = sum(r["cached"] for r in warm)
     hit_rate = warm_hits / warm_jobs
+    warm_by_kind: dict = {}
+    for r in warm:
+        for kind, k in r["by_kind"].items():
+            agg = warm_by_kind.setdefault(kind, {"jobs": 0, "cached": 0})
+            agg["jobs"] += k["jobs"]
+            agg["cached"] += k["cached"]
+    for agg in warm_by_kind.values():
+        agg["hit_rate"] = round(agg["cached"] / agg["jobs"], 4)
     cold_lat = latency_percentiles(cold["latencies"])
     warm_lat = latency_percentiles(
         [x for r in warm for x in r["latencies"]]
@@ -82,6 +97,9 @@ def test_p7_serve_warm_cache_replay(benchmark, tmp_path):
     # cheaper than a cold compute (cache-served, no worker dispatch).
     assert hit_rate >= 0.90, f"warm hit rate {hit_rate:.1%}"
     assert warm_lat["p50_s"] < cold_lat["p50_s"]
+    # Tune jobs are the most expensive kind the service caches; a warm
+    # replay must serve every one of them from the store.
+    assert warm_by_kind["tune"]["hit_rate"] == 1.0, warm_by_kind
 
     results = {
         "nprocs": NPROCS,
@@ -94,6 +112,7 @@ def test_p7_serve_warm_cache_replay(benchmark, tmp_path):
             "cache_hit_rate": round(hit_rate, 4),
             "retries": sum(r["retries"] for r in warm),
             "latency": warm_lat,
+            "by_kind": warm_by_kind,
         },
     }
     write_json_atomic(BENCH_FILE, results)

@@ -15,7 +15,12 @@ The paper walks this program through three optimization stages:
 * **stage 2 — pipelined**: the ``i``-direction FFT loop fused with the
   ownership sends, and the final ``await`` sunk into the ``k``-direction
   loop, so redistribution latency is overlapped with computation (third
-  listing).
+  listing);
+* **stage 3 — memory-bounded**: stage 1 with the repartition routed
+  through the bounded redistribution planner
+  (:func:`~repro.core.collectives.planner.plan_bounded_redistribution`):
+  the exchange runs in rounds fenced by ``await`` epilogues, capping each
+  receiver's temp memory at a third of the all-at-once peak.
 
 For ``n == nprocs`` the generated programs are exactly the paper's
 listings.  For ``n`` a multiple of ``nprocs`` a generalized form is
@@ -39,9 +44,20 @@ from ..core.ir.parser import parse_program
 from ..machine.model import MachineModel
 from ..machine.stats import RunStats
 
-__all__ = ["fft3d_source", "run_fft3d", "FFTResult", "STAGES"]
+__all__ = [
+    "fft3d_source",
+    "fft3d_redistribution_schedule",
+    "run_fft3d",
+    "FFTResult",
+    "STAGES",
+]
 
-STAGES = (0, 1, 2)
+STAGES = (0, 1, 2, 3)
+
+#: Stage 3's per-round temp-memory budget, as a fraction of the largest
+#: per-processor footprint.  0.25 packs the FFT repartition into rounds
+#: whose receive windows peak at one third of the all-at-once exchange.
+STAGE3_TEMP_FRAC = 0.25
 
 
 def _decl(n: int, seg_n: int) -> str:
@@ -274,14 +290,81 @@ enddo
 """
 
 
+def _fft_distributions(n: int, nprocs: int):
+    """(decl, source dist, target dist) of the §4 repartition
+    ``(*,*,BLOCK) → (*,BLOCK,*)``."""
+    from ..core.analysis.layouts import build_segmentation
+    from ..distributions import ProcessorGrid
+    from ..tune.space import LayoutCandidate, candidate_segmentation
+
+    decl = parse_program(_decl(n, n)).array_decls()[0]
+    source = build_segmentation(decl, ProcessorGrid((nprocs,))).distribution
+    target = candidate_segmentation(
+        decl, LayoutCandidate("(*, BLOCK, *)"), nprocs
+    ).distribution
+    return decl, source, target
+
+
+def fft3d_redistribution_schedule(
+    n: int, nprocs: int, *, max_temp_frac: float = STAGE3_TEMP_FRAC
+):
+    """Stage 3's bounded repartition schedule (for memory accounting)."""
+    from ..core.collectives.planner import plan_bounded_redistribution
+
+    decl, source, target = _fft_distributions(n, nprocs)
+    return plan_bounded_redistribution(
+        source, target,
+        max_temp_frac=max_temp_frac,
+        elem_bytes=int(np.dtype(decl.dtype).itemsize),
+    )
+
+
+def _general_stage3(n: int, nprocs: int) -> str:
+    """Stage 1's localized compute, with the repartition routed through
+    the bounded redistribution planner: the all-at-once pairwise exchange
+    becomes temp-memory-bounded rounds, each fenced by its ``await``
+    epilogue, trading a little latency for a third of the peak."""
+    from ..tune.rewrite import planner_redistribution_text
+
+    decl, source, target = _fft_distributions(n, nprocs)
+    rounds = planner_redistribution_text(
+        "A", source, target, decl, max_temp_frac=STAGE3_TEMP_FRAC,
+    )
+    return f"""{_decl(n, n)}
+do k = max(1, mylb(A[*,*,*], 3)), min({n}, myub(A[*,*,*], 3))
+  do i = 1, {n}
+    call fft1D(A[i,*,k])
+  enddo
+  do j = 1, {n}
+    call fft1D(A[*,j,k])
+  enddo
+enddo
+// redistribute A as (*,BLOCK,*): planner-bounded rounds
+{rounds}
+do j = max(1, mylb(A[*,*,*], 2)), min({n}, myub(A[*,*,*], 2))
+  await(A[*,j,*]) : {{
+    do i = 1, {n}
+      call fft1D(A[i,j,*])
+    enddo
+  }}
+enddo
+"""
+
+
 def fft3d_source(n: int, nprocs: int, stage: int) -> str:
     """IL+XDP source of the 3-D FFT at one optimization stage.
 
-    ``n == nprocs`` yields the paper's exact listings; otherwise ``n`` must
-    be a multiple of ``nprocs`` and the generalized forms are produced.
+    ``n == nprocs`` yields the paper's exact listings for stages 0-2;
+    otherwise ``n`` must be a multiple of ``nprocs`` and the generalized
+    forms are produced.  Stage 3 (always generalized) is stage 1 with the
+    repartition routed through the bounded redistribution planner.
     """
     if stage not in STAGES:
         raise ValueError(f"stage must be one of {STAGES}")
+    if stage == 3:
+        if n % nprocs != 0:
+            raise ValueError(f"n ({n}) must be a multiple of nprocs ({nprocs})")
+        return _general_stage3(n, nprocs)
     if n == nprocs:
         return (_paper_stage0, _paper_stage1, _paper_stage2)[stage](n)
     if n % nprocs != 0:

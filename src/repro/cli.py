@@ -363,6 +363,32 @@ def _cmd_redist(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_knobs(spec: str):
+    """Parse a ``--knobs`` spec like ``bulk,pipelined,planner@0.25`` into a
+    :class:`~repro.tune.space.KnobSpec` (``planner@F`` adds F to the
+    planner's temp-memory fractions; bare ``planner`` keeps the defaults)."""
+    from .tune import KnobSpec
+
+    reals: list[str] = []
+    fracs: list[float] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part.startswith("planner@"):
+            if "planner" not in reals:
+                reals.append("planner")
+            fracs.append(float(part.split("@", 1)[1]))
+        elif part not in reals:
+            reals.append(part)
+    if not reals:
+        raise SystemExit(f"--knobs {spec!r} names no realizations")
+    return KnobSpec(
+        realizations=tuple(reals),
+        max_temp_fracs=tuple(fracs) if fracs else (0.25, 0.5),
+    )
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     from .tune import tune
 
@@ -375,16 +401,29 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         src = fft3d_source(args.n, args.nprocs, args.stage)
         what = f"fft3d n={args.n} stage={args.stage}"
     model = _MODELS[args.model]()
+    if args.knobs and args.realizations:
+        raise SystemExit("pass either --knobs or --realizations, not both")
+    store = args.store
+    if args.shards and store is None:
+        # Sharded workers need a shared store; a throwaway one will do.
+        import tempfile
+
+        store = tempfile.mkdtemp(prefix="repro-tune-store-")
+        print(f"note: --shards without --store, using throwaway {store}")
     res = tune(
         src,
         args.nprocs,
         model=model,
         top_k=args.top_k,
-        realizations=tuple(args.realizations.split(",")),
+        realizations=(tuple(args.realizations.split(","))
+                      if args.realizations else None),
+        knobs=_parse_knobs(args.knobs) if args.knobs else None,
+        budget_s=args.budget,
+        shards=args.shards,
         parallel=not args.serial,
         seed=args.seed,
         backend=args.backend or default_backend(),
-        store=args.store,
+        store=store,
     )
     print(f"tuning {what} at P={args.nprocs} ({args.model} model)")
     print(res.summary())
@@ -397,25 +436,34 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             print(
                 f"  hand stage {stage}: makespan {r.makespan:.2f}   ({mark})"
             )
+    if args.explain:
+        print("\n// shortlist (static rank vs engine):")
+        for i, row in enumerate(res.analytic, 1):
+            eng = ("-" if row["makespan"] is None
+                   else f"{row['makespan']:.1f}")
+            print(f"  {i:2d}. static={row['score']:>10.1f} "
+                  f"engine={eng:>9s}  {row['knob']}: "
+                  + " | ".join(row["layouts"]))
+        for d in res.demoted:
+            first = d["reason"].splitlines()[0]
+            print(f"   --. demoted {d['label']}: {first}")
     if args.print_source:
         print("\n// tuned program:")
         print(res.source)
     if args.json:
-        doc = {
+        doc = res.canonical_doc()
+        doc.update({
             "nprocs": args.nprocs,
             "model": args.model,
-            "phases": [str(p) for p in res.phases],
-            "layouts": [c.key for c in res.phase_layouts],
-            "realization": res.realization,
-            "makespan": res.makespan,
-            "baseline_makespan": res.baseline_makespan,
-            "semantics_preserved": res.semantics_preserved,
-            "candidates_considered": res.candidates_considered,
-            "evaluated": res.evaluated,
+            "shards": res.shards,
+            "budget_s": res.budget_s,
+            "wall_s": res.wall_s,
             "cache_hits": res.cache.hits,
             "cache_misses": res.cache.misses,
-            "analytic": res.analytic,
-        }
+            "store_hits": res.cache.store_hits,
+            "store_misses": res.cache.store_misses,
+            "store_hit_rate": res.cache.store_hit_rate,
+        })
         from .report.record import write_json_atomic
 
         write_json_atomic(args.json, doc)
@@ -669,13 +717,25 @@ def build_parser() -> argparse.ArgumentParser:
                                   "(default: the section-4 FFT demo)")
     u.add_argument("--n", type=int, default=8, help="FFT demo cube size")
     u.add_argument("--nprocs", type=int, default=4)
-    u.add_argument("--stage", type=int, default=0, choices=(0, 1, 2),
+    u.add_argument("--stage", type=int, default=0, choices=(0, 1, 2, 3),
                    help="FFT demo input stage (0 = naive)")
     u.add_argument("--model", default="default", choices=sorted(_MODELS))
     u.add_argument("--top-k", type=int, default=4,
-                   help="engine-validated candidates")
-    u.add_argument("--realizations", default="bulk,pipelined",
-                   help="redistribution realizations to consider")
+                   help="first engine wave size (waves then halve)")
+    u.add_argument("--realizations", default=None,
+                   help="legacy: redistribution realizations to consider "
+                        "(default: the full knob space)")
+    u.add_argument("--knobs", default=None, metavar="SPEC",
+                   help="pass-level knob space, e.g. "
+                        "'bulk,pipelined,planner@0.25,planner@0.5'")
+    u.add_argument("--budget", type=float, default=60.0, metavar="SECONDS",
+                   help="wall-clock budget checked between engine waves")
+    u.add_argument("--shards", type=int, default=None,
+                   help="evaluate candidates across this many supervised "
+                        "worker processes (uses --store, or a throwaway one)")
+    u.add_argument("--explain", action="store_true",
+                   help="print the ranked shortlist with static scores, "
+                        "engine makespans, and demotions")
     u.add_argument("--serial", action="store_true",
                    help="evaluate candidates serially")
     u.add_argument("--seed", type=int, default=7)
@@ -700,7 +760,7 @@ def build_parser() -> argparse.ArgumentParser:
     t = sub.add_parser("fft", help="run the section-4 3-D FFT")
     t.add_argument("--n", type=int, default=4)
     t.add_argument("--nprocs", type=int, default=4)
-    t.add_argument("--stage", type=int, default=2, choices=(0, 1, 2))
+    t.add_argument("--stage", type=int, default=2, choices=(0, 1, 2, 3))
     t.add_argument("--model", default="default", choices=sorted(_MODELS))
     t.add_argument("--path", default="vm", choices=("vm", "interp"))
     t.add_argument("--print-source", action="store_true")

@@ -45,7 +45,7 @@ __all__ = [
     "execute_job",
 ]
 
-JOB_KINDS = ("compile", "check", "run", "tune")
+JOB_KINDS = ("compile", "check", "run", "tune", "eval")
 
 #: Machine-model presets by CLI name (mirrors ``repro run --model``).
 MODELS: dict[str, Callable[[], MachineModel]] = {
@@ -184,11 +184,39 @@ def _fp(v: Any) -> Any:
     return v
 
 
+def _spec_model(spec: JobSpec | Mapping[str, Any]) -> MachineModel:
+    """The machine model a job runs under.
+
+    Presets resolve through :data:`MODELS`; an explicit ``model_json``
+    option (the eval-job wire form — arbitrary models cannot be named)
+    takes precedence.
+    """
+    if isinstance(spec, JobSpec):
+        options, model_name = dict(spec.options), spec.model
+    else:
+        options = dict(tuple(o) for o in (spec.get("options") or ()))
+        model_name = spec["model"]
+    mj = options.get("model_json")
+    if mj is not None:
+        from ..tune.evaluate import model_from_json
+
+        return model_from_json(mj)
+    return MODELS[model_name]()
+
+
 def artifact_key(spec: JobSpec | Mapping[str, Any]) -> ArtifactKey:
-    """The content address of a job's artifact (spec or its dict form)."""
+    """The content address of a job's artifact (spec or its dict form).
+
+    ``eval`` jobs are addressed exactly like the tuner's in-process
+    oracle (:func:`repro.tune.evaluate` evaluations): same config
+    document, same model canonicalization — so a sharded tune and a
+    local one share every engine-run artifact.
+    """
     if isinstance(spec, JobSpec):
         doc, source = spec.key_doc(), spec.source
-        backend, model_name = spec.backend, spec.model
+        backend = spec.backend
+        options = dict(spec.options)
+        kind, nprocs, seed = spec.kind, spec.nprocs, spec.seed
     else:
         doc = {
             "kind": spec["kind"],
@@ -199,8 +227,16 @@ def artifact_key(spec: JobSpec | Mapping[str, Any]) -> ArtifactKey:
             "options": sorted(tuple(o) for o in (spec.get("options") or ())),
         }
         source, backend = spec["source"], spec["backend"]
-        model_name = spec["model"]
-    model = MODELS[model_name]()
+        options = dict(tuple(o) for o in (spec.get("options") or ()))
+        kind, nprocs, seed = spec["kind"], spec["nprocs"], spec["seed"]
+    model = _spec_model(spec)
+    if kind == "eval":
+        doc = {
+            "kind": "eval",
+            "nprocs": nprocs,
+            "path": options.get("path", "vm"),
+            "seed": seed,
+        }
     return ArtifactKey.make(source, doc, backend, model)
 
 
@@ -281,14 +317,10 @@ def _job_tune(spec: Mapping[str, Any], model: MachineModel) -> dict:
         parallel=False,
         store=spec.get("_store_root"),
     )
-    return {
-        "makespan": res.makespan,
-        "baseline_makespan": res.baseline_makespan,
-        "realization": res.realization,
-        "layouts": [c.key for c in res.phase_layouts],
-        "speedup": res.speedup,
-        "semantics_preserved": res.semantics_preserved,
-    }
+    # The canonical doc is exactly the deterministic portion of the
+    # result — no wall clocks, no memo counters — which is what a
+    # content-addressed artifact must be.
+    return res.canonical_doc()
 
 
 def degraded_tune_result(spec: Mapping[str, Any]) -> dict:
@@ -317,11 +349,30 @@ def degraded_tune_result(spec: Mapping[str, Any]) -> dict:
     }
 
 
+def _job_eval(spec: Mapping[str, Any], model: MachineModel) -> dict:
+    """One tuner-candidate engine run (the sharded oracle's work unit).
+
+    Returns exactly the payload the in-process oracle publishes for the
+    same task, so the artifact is interchangeable with one written by
+    :func:`repro.tune.evaluate.evaluate_candidates`.
+    """
+    from ..tune.evaluate import EvalTask, _run_task, _store_payload
+
+    options = dict(tuple(o) for o in (spec.get("options") or ()))
+    task = EvalTask(
+        spec["source"], spec["nprocs"], model,
+        path=options.get("path", "vm"), seed=spec["seed"],
+        backend=spec["backend"],
+    )
+    return _store_payload(_run_task(task))
+
+
 _BODIES = {
     "compile": _job_compile,
     "check": _job_check,
     "run": _job_run,
     "tune": _job_tune,
+    "eval": _job_eval,
 }
 
 
@@ -344,7 +395,7 @@ def execute_job(
         hit = store.get(key)
         if hit is not None:
             return hit, True
-    model = MODELS[spec["model"]]()
+    model = _spec_model(spec)
     if store is not None and spec["kind"] == "tune":
         # Let the tuner's per-candidate oracle share the same store, so
         # even a *fresh* tune job reuses engine runs from earlier ones.

@@ -4,19 +4,25 @@ The paper optimizes the 3-D FFT's distributions and segmentations *by
 hand*, in three stages.  XDP's explicit representation is what makes that
 optimization mechanical — so this package performs it automatically:
 
-* :mod:`~repro.tune.space` — enumerate candidate placements
-  (distribution-spec x segmentation x grid-shape) per array, with pruning;
-* :mod:`~repro.tune.cost` — a fast analytic cost model deriving message
-  counts, bytes and overlap from the transfer statements and the
-  :class:`~repro.machine.model.MachineModel`;
-* :mod:`~repro.tune.search` — exhaustive search for small spaces, and for
-  phased programs a shortest-path/beam search over per-phase layouts whose
-  edge weights are analytic redistribution costs;
-* :mod:`~repro.tune.evaluate` — a simulated-engine oracle validating the
-  top analytic candidates by real :class:`~repro.machine.engine.Engine`
-  runs, memoized and parallel;
+XDP's explicit representation is what makes that optimization mechanical
+— so this package performs it automatically, as a four-stage pipeline:
+
+* :mod:`~repro.tune.space` — **space**: lazy enumeration of candidate
+  placements (distribution-spec x segmentation x grid-shape) per phase,
+  crossed with pass-level knobs, described by :class:`SpaceSpec` without
+  materializing;
+* :mod:`~repro.tune.prefilter` — **ranking**: every space point scored by
+  the analytic cost model (:mod:`~repro.tune.cost`), deduplicated by
+  emission identity, vetted by the communication verifier, cut to a
+  shortlist under an explicit candidate budget;
+* :mod:`~repro.tune.evaluate` — **evaluation**: shortlisted candidates run
+  on the real :class:`~repro.machine.engine.Engine`, in-process or sharded
+  across supervised workers, memoized through the content-addressed
+  artifact store;
+* :mod:`~repro.tune.search` — **search**: budgeted successive halving over
+  the ranked shortlist with a baseline-fallback safety net;
 * :mod:`~repro.tune.rewrite` — phase detection and regeneration of the
-  program under the chosen placements.
+  program under the chosen placements and realization.
 
 See docs/TUNING.md for the full design.
 """
@@ -32,20 +38,43 @@ from .cost import (
     redistribution_cost,
     transport_costs,
 )
-from .evaluate import EvalCache, EvalResult, EvalTask, evaluate_candidates
+from .evaluate import (
+    EvalCache,
+    EvalResult,
+    EvalTask,
+    evaluate_candidates,
+    evaluate_sharded,
+)
+from .prefilter import PrefilterResult, RankedCandidate, prefilter
 from .rewrite import PhaseSpec, detect_phases, generate_phased_program
-from .search import TuneError, TuneResult, tune
-from .space import LayoutCandidate, candidate_segmentation, enumerate_layouts, phase_layouts
+from .search import TUNE_SCHEMA, TuneError, TuneResult, tune
+from .space import (
+    KnobPoint,
+    KnobSpec,
+    LayoutCandidate,
+    SpaceSpec,
+    candidate_segmentation,
+    enumerate_layouts,
+    iter_layouts,
+    iter_phase_layouts,
+    phase_layouts,
+)
 
 __all__ = [
     "CALIBRATION_RTOL",
     "EvalCache",
     "EvalResult",
     "EvalTask",
+    "KnobPoint",
+    "KnobSpec",
     "LayoutCandidate",
     "PhaseSpec",
+    "PrefilterResult",
     "ProgramCostEstimate",
+    "RankedCandidate",
     "SharedAddressCosts",
+    "SpaceSpec",
+    "TUNE_SCHEMA",
     "TransportCosts",
     "TuneError",
     "TuneResult",
@@ -55,9 +84,13 @@ __all__ = [
     "estimate_program",
     "estimate_workqueue",
     "evaluate_candidates",
+    "evaluate_sharded",
     "generate_phased_program",
+    "iter_layouts",
+    "iter_phase_layouts",
     "phase_compute_cost",
     "phase_layouts",
+    "prefilter",
     "redistribution_cost",
     "transport_costs",
     "tune",

@@ -18,7 +18,9 @@ published after, so a re-tune in a fresh process — or a tune job under
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
+import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field
@@ -29,9 +31,29 @@ import numpy as np
 from ..core.codegen import lower
 from ..core.ir.nodes import Program
 from ..core.ir.parser import parse_program
+from ..core.ir.printer import print_program
 from ..machine.model import MachineModel
 
-__all__ = ["EvalCache", "EvalResult", "EvalTask", "evaluate_candidates", "seed_arrays"]
+__all__ = [
+    "EvalCache",
+    "EvalResult",
+    "EvalTask",
+    "evaluate_candidates",
+    "evaluate_sharded",
+    "model_from_json",
+    "model_to_json",
+    "seed_arrays",
+]
+
+
+def model_to_json(model: MachineModel) -> str:
+    """Canonical JSON wire form of a machine model (sorted keys, so the
+    string — and everything keyed on it — is stable across processes)."""
+    return json.dumps(dict(sorted(asdict(model).items())))
+
+
+def model_from_json(text: str) -> MachineModel:
+    return MachineModel(**json.loads(text))
 
 
 @dataclass(frozen=True)
@@ -46,10 +68,20 @@ class EvalTask:
     label: str = ""
     backend: str = "msg"
 
+    def source_text(self) -> str:
+        """Canonical source form: parsed programs print through the IR
+        printer, so a :class:`Program` and its printed text — and an
+        in-process task and the serve job carrying it — share one
+        identity (digest, store key, artifact)."""
+        return (
+            self.program if isinstance(self.program, str)
+            else print_program(self.program)
+        )
+
     @property
     def digest(self) -> str:
-        src = self.program if isinstance(self.program, str) else repr(self.program)
-        key = repr((src, self.nprocs, sorted(asdict(self.model).items()),
+        key = repr((self.source_text(), self.nprocs,
+                    sorted(asdict(self.model).items()),
                     self.path, self.seed, self.backend))
         return hashlib.sha256(key.encode()).hexdigest()
 
@@ -85,12 +117,22 @@ class EvalResult:
 
 
 class EvalCache:
-    """Memoized evaluations keyed by task digest, with hit accounting."""
+    """Memoized evaluations keyed by task digest, with hit accounting.
+
+    Two memo levels are counted separately: ``hits``/``misses`` for this
+    in-memory dict (always 0 hits on a fresh process, however warm the
+    disk is), and ``store_hits``/``store_misses`` for lookups that went
+    to the shared artifact store — the number a warm replay should show
+    as hot.  ``engine_runs`` counts evaluations neither level absorbed.
+    """
 
     def __init__(self) -> None:
         self._store: dict[str, EvalResult] = {}
         self.hits = 0
         self.misses = 0
+        self.store_hits = 0
+        self.store_misses = 0
+        self.engine_runs = 0
 
     def __len__(self) -> int:
         return len(self._store)
@@ -110,6 +152,11 @@ class EvalCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @property
+    def store_hit_rate(self) -> float:
+        total = self.store_hits + self.store_misses
+        return self.store_hits / total if total else 0.0
 
 
 def seed_arrays(program: Program, seed: int) -> dict[str, np.ndarray]:
@@ -166,8 +213,7 @@ def _store_key(task: EvalTask):
     """
     from ..serve.store import ArtifactKey
 
-    src = (task.program if isinstance(task.program, str)
-           else repr(task.program))
+    src = task.source_text()
     config = {
         "kind": "eval",
         "nprocs": task.nprocs,
@@ -262,11 +308,15 @@ def evaluate_candidates(
         if shared is not None:
             payload = shared.get(_store_key(task))
             if payload is not None:
+                if cache is not None:
+                    cache.store_hits += 1
                 r = _result_from_store(task, payload)
                 results[i] = r
                 if cache is not None:
                     cache.put(r)
                 continue
+            if cache is not None:
+                cache.store_misses += 1
         todo.append(i)
     if todo:
         if parallel and len(todo) > 1:
@@ -277,7 +327,106 @@ def evaluate_candidates(
         for i, r in zip(todo, fresh):
             results[i] = r
             if cache is not None:
+                cache.engine_runs += 1
                 cache.put(r)
             if shared is not None:
                 shared.put(_store_key(tasks[i]), _store_payload(r))
+    return [r for r in results if r is not None]
+
+
+def evaluate_sharded(
+    tasks: Sequence[EvalTask],
+    *,
+    store,
+    shards: int,
+    cache: EvalCache | None = None,
+    timeout_s: float = 300.0,
+) -> list[EvalResult]:
+    """Evaluate candidates in ``shards`` supervised worker *processes*.
+
+    Each uncached task becomes a ``kind="eval"`` job dispatched through
+    the :class:`~repro.serve.supervisor.Supervisor`; the content-addressed
+    artifact store is both the cross-process memo (the worker consults it
+    before simulating, under exactly the key
+    :func:`evaluate_candidates` uses, so sharded and in-process
+    evaluations share entries) and the durable record.
+
+    The merge is deterministic: results are matched back to tasks by
+    submission order, never by completion order, and any task whose job
+    does not come back ``ok``/``cached`` (a crashed, poisoned or shed
+    worker) is re-run in-process — so for a fixed seed the returned
+    results are bit-identical for any shard count, 1 included.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1 (got {shards})")
+    shared = _as_store(store)
+    if shared is None:
+        raise ValueError("sharded evaluation needs an artifact store")
+    from ..serve.jobs import JobSpec
+    from ..serve.supervisor import Supervisor, SupervisorConfig
+
+    results: list[EvalResult | None] = [None] * len(tasks)
+    todo: list[int] = []
+    for i, task in enumerate(tasks):
+        if cache is not None:
+            hit = cache.get(task.digest)
+            if hit is not None:
+                results[i] = EvalResult(
+                    label=task.label, digest=hit.digest, makespan=hit.makespan,
+                    total_messages=hit.total_messages,
+                    total_bytes=hit.total_bytes, total_flops=hit.total_flops,
+                    arrays=hit.arrays, from_cache=True,
+                )
+                continue
+        todo.append(i)
+
+    if todo:
+        specs = [
+            JobSpec(
+                kind="eval",
+                source=tasks[i].source_text(),
+                nprocs=tasks[i].nprocs,
+                backend=tasks[i].backend,
+                seed=tasks[i].seed,
+                options=(
+                    ("model_json", model_to_json(tasks[i].model)),
+                    ("path", tasks[i].path),
+                ),
+                label=tasks[i].label,
+                timeout_s=timeout_s,
+            )
+            for i in todo
+        ]
+        config = SupervisorConfig(
+            workers=shards,
+            queue_capacity=max(64, len(specs) + 8),
+            timeout_s=timeout_s,
+        )
+        with Supervisor(store_root=shared.root, config=config) as sup:
+            outcomes = sup.run_jobs(specs)
+        for i, outcome in zip(todo, outcomes):
+            task = tasks[i]
+            if outcome.status in ("ok", "cached") and outcome.value is not None:
+                if cache is not None:
+                    if outcome.status == "cached":
+                        cache.store_hits += 1
+                    else:
+                        cache.store_misses += 1
+                        cache.engine_runs += 1
+                r = dataclasses.replace(
+                    _result_from_store(task, outcome.value),
+                    from_cache=(outcome.status == "cached"),
+                )
+            else:
+                # Worker lost (crash/poison/shed): recompute in-process so
+                # the merged results stay deterministic, and publish what
+                # the worker failed to.
+                r = _run_task(task)
+                if cache is not None:
+                    cache.store_misses += 1
+                    cache.engine_runs += 1
+                shared.put(_store_key(task), _store_payload(r))
+            results[i] = r
+            if cache is not None:
+                cache.put(r)
     return [r for r in results if r is not None]

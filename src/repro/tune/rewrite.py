@@ -21,7 +21,17 @@ Generated code uses the idioms of the paper's hand stages:
 * ``pipelined`` redistribution: each move split along the producing
   phase's loop axis and fused into that loop, so transfer overlaps the
   remaining slabs' computation; the consuming ``await`` is sunk to
-  per-pencil granularity (the stage-2 shape).
+  per-pencil granularity (the stage-2 shape);
+* ``planner`` redistribution: the moves are packed into bounded rounds by
+  :func:`~repro.core.collectives.planner.plan_bounded_redistribution`
+  under a ``max_temp_frac`` temp-memory budget, each round closed by its
+  ``await`` epilogue before the next round's sends (the memory-bounded
+  shape of the ``repro redist`` planner, here as a tuning knob).
+
+Transfer statements that share a guard are emitted as one guarded block:
+every processor evaluates every top-level guard, so at P processors a
+flat per-move emission charges P × moves guard evaluations — enough to
+erase a repartitioning's win at n=16/P=16.  Grouping charges P × senders.
 """
 
 from __future__ import annotations
@@ -29,7 +39,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
 from ..core.analysis.layouts import build_segmentation
+from ..core.collectives.planner import plan_bounded_redistribution
 from ..core.ir.nodes import (
     ArrayDecl, ArrayRef, Block, CallStmt, DoLoop, Full, Guarded, IfStmt,
     Program, Stmt,
@@ -40,10 +53,14 @@ from .space import LayoutCandidate, candidate_segmentation
 
 __all__ = [
     "PhaseSpec",
+    "REALIZATIONS",
     "TuneError",
     "detect_phases",
     "generate_phased_program",
+    "planner_redistribution_text",
 ]
+
+REALIZATIONS = ("bulk", "pipelined", "planner")
 
 _VARS = "ijklmnpqr"
 
@@ -203,6 +220,117 @@ def _phase_loop(
     return lines
 
 
+def _emit_grouped(pairs: Sequence[tuple[str, str]]) -> list[str]:
+    """Render ``(guard, statement)`` pairs, merging consecutive runs that
+    share a guard into one guarded block.
+
+    Guards at statement level are evaluated by *every* processor, so a
+    run of k statements under the same guard costs P × k evaluations flat
+    but only P when grouped — the difference between a repartitioning
+    that beats the naive program and one that loses to it.
+    """
+    out: list[str] = []
+    i = 0
+    while i < len(pairs):
+        guard = pairs[i][0]
+        j = i
+        while j < len(pairs) and pairs[j][0] == guard:
+            j += 1
+        body = [p[1] for p in pairs[i:j]]
+        if len(body) == 1:
+            out.append(f"{guard} : {{ {body[0]} }}")
+        else:
+            out.append(f"{guard} : {{")
+            out.extend(f"  {b}" for b in body)
+            out.append("}")
+        i = j
+    return out
+
+
+def _dedup_moves(moves: Iterable) -> list:
+    """Sorted, deduplicated moves with degenerate self-sends dropped (a
+    processor messaging itself deadlocks; the data is already in place)."""
+    seen: set[tuple[int, int, str]] = set()
+    out = []
+    for m in sorted(moves, key=lambda m: (m.src, m.dst, str(m.section))):
+        key = (m.src, m.dst, str(m.section))
+        if m.src == m.dst or key in seen:
+            continue
+        seen.add(key)
+        out.append(m)
+    return out
+
+
+def _planner_rounds(
+    var: str,
+    current,
+    target,
+    plan,
+    decl: ArrayDecl,
+    *,
+    max_temp_frac: float,
+) -> list[str]:
+    """Bounded-round redistribution text: per round, grouped sends, then
+    grouped receives, then the ``await`` epilogue that closes the round —
+    receivers drain a round before the program order reaches the next
+    round's transfers, which is what bounds their temp memory."""
+    schedule = plan_bounded_redistribution(
+        current,
+        target,
+        max_temp_frac=max_temp_frac,
+        elem_bytes=np.dtype(decl.dtype).itemsize,
+        plan=plan,
+    )
+    lines: list[str] = []
+    for r, rnd in enumerate(schedule.rounds):
+        moves = _dedup_moves(rnd.moves)
+        if not moves:
+            continue
+        lines.append(
+            f"// redistribution round {r + 1}/{schedule.round_count} "
+            f"(peak temp {schedule.peak_temp_bytes} B "
+            f"of naive {schedule.naive_peak_bytes} B)"
+        )
+        lines += _emit_grouped([
+            (f"mypid == {m.src + 1}",
+             f"{_sec_text(var, m.section)} -=> {{{m.dst + 1}}}")
+            for m in moves
+        ])
+        recv_order = sorted(moves, key=lambda m: (m.dst, m.src, str(m.section)))
+        lines += _emit_grouped([
+            (f"mypid == {m.dst + 1}", f"{_sec_text(var, m.section)} <=-")
+            for m in recv_order
+        ])
+        lines += _emit_grouped([
+            (f"mypid == {m.dst + 1}", f"await({_sec_text(var, m.section)})")
+            for m in recv_order
+        ])
+    return lines
+
+
+def planner_redistribution_text(
+    var: str,
+    current,
+    target,
+    decl: ArrayDecl,
+    *,
+    max_temp_frac: float = 0.5,
+) -> str:
+    """IL text of a temp-memory-bounded redistribution ``current → target``.
+
+    The rounds come from the collective planner
+    (:func:`~repro.core.collectives.planner.plan_bounded_redistribution`);
+    each round is grouped sends, grouped receives, and an ``await``
+    epilogue fencing the round, so no receiver ever buffers more than the
+    planner's budget.  Used by applications (the section-4 FFT's bounded
+    repartition stage) as well as the tuner's ``planner`` realization.
+    """
+    plan = plan_redistribution(current, target)
+    return "\n".join(_planner_rounds(
+        var, current, target, plan, decl, max_temp_frac=max_temp_frac,
+    ))
+
+
 def generate_phased_program(
     program: Program,
     phases: Sequence[PhaseSpec],
@@ -210,17 +338,21 @@ def generate_phased_program(
     nprocs: int,
     *,
     realization: str = "bulk",
+    max_temp_frac: float = 0.5,
 ) -> str:
     """Re-emit ``program`` as its phase sequence under chosen placements.
 
     ``layouts[p]`` is the placement for ``phases[p]``; the initial
     placement is the declaration's.  Redistribution between differing
-    placements is planned element-exactly and emitted either after the
-    producing phase (``bulk``) or fused into it per outer slab
-    (``pipelined``).
+    placements is planned element-exactly and emitted after the producing
+    phase (``bulk``), fused into it per outer slab (``pipelined``), or
+    packed into temp-memory-bounded rounds (``planner``, budgeted by
+    ``max_temp_frac`` of the largest per-processor footprint).
     """
-    if realization not in ("bulk", "pipelined"):
-        raise TuneError(f"unknown realization {realization!r}")
+    if realization not in REALIZATIONS:
+        raise TuneError(
+            f"unknown realization {realization!r} (choose from {REALIZATIONS})"
+        )
     if len(layouts) != len(phases):
         raise TuneError("need one layout per phase")
     names = {p.var for p in phases}
@@ -239,53 +371,63 @@ def generate_phased_program(
         target = candidate_segmentation(decl, cand, nprocs).distribution
         plan = plan_redistribution(current, target)
         guard = "iown"
-        fused: list[str] = []
-        recvs: list[str] = []
-        if plan.moves:
-            src_axis = None
+        moves = _dedup_moves(plan.moves)
+        if moves:
             src_axes = [
                 a for a, s in enumerate(current.specs) if not s.collapsed
             ]
-            if len(src_axes) == 1:
-                src_axis = src_axes[0]
-            pipelined = (
-                realization == "pipelined" and idx > 0 and src_axis is not None
-            )
-            sends: list[str] = []
-            for m in sorted(
-                plan.moves, key=lambda m: (m.src, m.dst, str(m.section))
-            ):
-                sec_txt = _sec_text(var, m.section)
-                if pipelined:
-                    ov = _VARS[src_axis]
+            src_axis = src_axes[0] if len(src_axes) == 1 else None
+            if realization == "planner":
+                blocks.append(_planner_rounds(
+                    var, current, target, plan, decl,
+                    max_temp_frac=max_temp_frac,
+                ))
+                guard = "await"
+            elif realization == "pipelined" and idx > 0 and src_axis is not None:
+                ov = _VARS[src_axis]
+                send_pairs: list[tuple[str, str]] = []
+                recv_pairs: list[tuple[str, str]] = []
+                frags = []
+                for m in moves:
                     for coord in m.section.dims[src_axis]:
                         frag = Section(tuple(
                             Triplet(coord, coord, 1) if a == src_axis else t
                             for a, t in enumerate(m.section.dims)
                         ))
-                        sends.append(
-                            f"mypid == {m.src + 1} and {ov} == {coord} : "
-                            f"{{ {_sec_text(var, frag)} -=> {{{m.dst + 1}}} }}"
-                        )
-                        recvs.append(
-                            f"mypid == {m.dst + 1} : "
-                            f"{{ {_sec_text(var, frag)} <=- }}"
-                        )
-                else:
-                    sends.append(
-                        f"mypid == {m.src + 1} : "
-                        f"{{ {sec_txt} -=> {{{m.dst + 1}}} }}"
-                    )
-                    recvs.append(
-                        f"mypid == {m.dst + 1} : {{ {sec_txt} <=- }}"
-                    )
-            if pipelined:
-                blocks[-1] = _rebuild_with_fused(blocks[-1], sends)
+                        frags.append((m.src, coord, m.dst, frag))
+                # Group sends by (source, loop coordinate): one fused
+                # guard per produced slab, fanning out to every consumer.
+                frags.sort(key=lambda f: (f[0], f[1], f[2], str(f[3])))
+                for src, coord, dst, frag in frags:
+                    send_pairs.append((
+                        f"mypid == {src + 1} and {ov} == {coord}",
+                        f"{_sec_text(var, frag)} -=> {{{dst + 1}}}",
+                    ))
+                for src, coord, dst, frag in sorted(
+                    frags, key=lambda f: (f[2], f[0], f[1], str(f[3]))
+                ):
+                    recv_pairs.append((
+                        f"mypid == {dst + 1}", f"{_sec_text(var, frag)} <=-"
+                    ))
+                blocks[-1] = _rebuild_with_fused(
+                    blocks[-1], _emit_grouped(send_pairs)
+                )
+                blocks.append(_emit_grouped(recv_pairs))
                 guard = "await-sunk"
             else:
-                blocks.append(sends)
+                blocks.append(_emit_grouped([
+                    (f"mypid == {m.src + 1}",
+                     f"{_sec_text(var, m.section)} -=> {{{m.dst + 1}}}")
+                    for m in moves
+                ]))
+                blocks.append(_emit_grouped([
+                    (f"mypid == {m.dst + 1}",
+                     f"{_sec_text(var, m.section)} <=-")
+                    for m in sorted(
+                        moves, key=lambda m: (m.dst, m.src, str(m.section))
+                    )
+                ]))
                 guard = "await"
-            blocks.append(recvs)
         comment = f"// phase {idx + 1}: {phase.kernel} along axis " \
                   f"{phase.axis + 1} under {cand.dist}"
         blocks.append([comment] + _phase_loop(decl, phase, cand, guard=guard))

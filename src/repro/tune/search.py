@@ -1,59 +1,102 @@
-"""Placement search: section 4's staged optimization as an algorithm.
+"""Placement search: section 4's staged optimization as a pipeline.
 
 For a phased program the placement problem is a layered shortest path:
-one layer per pencil phase, nodes are that phase's realizable layouts
-(:func:`~repro.tune.space.phase_layouts`), node weight is the analytic
-compute time of the phase under the layout, and edge weight is the
-analytic cost of the compiler-planned redistribution between consecutive
-layouts (:func:`~repro.core.redistgen`'s plan, costed by
-:func:`~repro.tune.cost.redistribution_cost` under each realization).
-Small layered spaces are searched exhaustively; larger ones with a
-deterministic beam.  The top-K analytic paths are then regenerated as
-programs (:func:`~repro.tune.rewrite.generate_phased_program`) and
-validated on the real engine through the memoized, parallel oracle
-(:mod:`~repro.tune.evaluate`); the engine's makespan picks the winner,
-with ties broken by the canonical candidate order — which is how the
-tuner lands on the paper's ``(*, BLOCK, *)`` rather than its mirror.
+one layer per pencil phase, nodes are that phase's realizable layouts,
+node weight the analytic compute time of the phase under the layout,
+edge weight the analytic cost of the compiler-planned redistribution
+between consecutive layouts under each pass-level knob.  The tuner walks
+that space in four stages:
+
+1. **space** (:mod:`~repro.tune.space`) — a :class:`SpaceSpec` describes
+   the per-phase layout families crossed with the knob axes, counted and
+   streamed lazily, never materialized;
+2. **ranking** (:mod:`~repro.tune.prefilter`) — every space point gets a
+   static score from the analytic cost model; the top of the ranking is
+   realized as program text, deduplicated, vetted by the communication
+   verifier, and becomes the shortlist;
+3. **evaluation** (:mod:`~repro.tune.evaluate`) — shortlisted candidates
+   run on the real engine, in-process or sharded across supervised
+   worker processes over the content-addressed artifact store;
+4. **search** (this module) — budgeted successive halving over the
+   shortlist: engine waves of halving size walk the static ranking,
+   re-ranking the remainder after each wave by the observed
+   engine/static bias of each realization family, under a wall-clock
+   budget checked between (never inside) waves, so a fixed seed gives a
+   bit-identical result for any shard count.
+
+The engine's makespan picks the winner, ties broken by the canonical
+candidate order — which is how the tuner lands on the paper's
+``(*, BLOCK, *)`` rather than its mirror — and a winner that fails to
+beat the input program is discarded for the baseline (tuning never
+returns something worse than its input).
 """
 
 from __future__ import annotations
 
-import itertools
+import math
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
-import numpy as np
-
-from ..core.ir.nodes import ArrayDecl, Program
+from ..core.ir.nodes import Program
 from ..core.ir.parser import parse_program
 from ..core.ir.printer import print_program
-from ..distributions import Distribution, ProcessorGrid, plan_redistribution
+from ..distributions import ProcessorGrid
 from ..core.analysis.layouts import build_segmentation
-from ..core.analysis.verify_comm import verify_communication
 from ..machine.model import MachineModel
 from ..machine.transport import default_backend
-from .cost import phase_compute_cost, redistribution_cost
-from .evaluate import EvalCache, EvalResult, EvalTask, evaluate_candidates
-from .rewrite import PhaseSpec, TuneError, detect_phases, generate_phased_program
-from .space import LayoutCandidate, candidate_segmentation, phase_layouts
+from .evaluate import (
+    EvalCache, EvalResult, EvalTask, evaluate_candidates, evaluate_sharded,
+)
+from .prefilter import PrefilterResult, RankedCandidate, prefilter
+from .rewrite import PhaseSpec, TuneError, detect_phases
+from .space import (
+    KnobSpec, LayoutCandidate, PHASE_SEGS, PHASE_SPECS, SpaceSpec,
+)
 
 __all__ = ["TuneError", "TuneResult", "tune"]
 
+#: BENCH_tune.json schema version this module's results serialize as.
+TUNE_SCHEMA = 2
 
-@dataclass(frozen=True)
-class _ScoredPath:
-    score: float
-    layouts: tuple[LayoutCandidate, ...]
-    realization: str
 
-    @property
-    def sort_key(self) -> tuple:
-        return (self.score, tuple(c.key for c in self.layouts), self.realization)
+def _spearman(xs: Sequence[float], ys: Sequence[float]) -> float | None:
+    """Spearman rank correlation with average ranks for ties (no scipy).
+
+    ``None`` when fewer than two points; 0.0 when either side is
+    constant (no ranking information either way).
+    """
+    n = len(xs)
+    if n < 2:
+        return None
+
+    def ranks(v: Sequence[float]) -> list[float]:
+        order = sorted(range(n), key=lambda i: v[i])
+        out = [0.0] * n
+        i = 0
+        while i < n:
+            j = i
+            while j + 1 < n and v[order[j + 1]] == v[order[i]]:
+                j += 1
+            avg = (i + j) / 2 + 1
+            for k in range(i, j + 1):
+                out[order[k]] = avg
+            i = j + 1
+        return out
+
+    rx, ry = ranks(xs), ranks(ys)
+    mx, my = sum(rx) / n, sum(ry) / n
+    num = sum((a - mx) * (b - my) for a, b in zip(rx, ry))
+    dx = math.sqrt(sum((a - mx) ** 2 for a in rx))
+    dy = math.sqrt(sum((a - my) ** 2 for a in ry))
+    if dx == 0.0 or dy == 0.0:
+        return 0.0
+    return num / (dx * dy)
 
 
 @dataclass
 class TuneResult:
-    """Everything a tuning run decided and measured."""
+    """Everything a tuning run decided and measured (BENCH schema 2)."""
 
     phases: tuple[PhaseSpec, ...]
     phase_layouts: tuple[LayoutCandidate, ...]
@@ -68,59 +111,86 @@ class TuneResult:
     results: list[EvalResult] = field(default_factory=list)
     cache: EvalCache = field(default_factory=EvalCache)
     backend: str = "msg"
+    # -- schema 2: pipeline accounting -------------------------------- #
+    space_size: int = 0
+    shortlist_size: int = 0
+    demoted: list[dict] = field(default_factory=list)
+    rank_correlation: float | None = None
+    shards: int = 0
+    waves: int = 0
+    budget_s: float | None = None
+    wall_s: float = 0.0
 
     @property
     def speedup(self) -> float:
         return self.baseline_makespan / self.makespan if self.makespan else 0.0
 
+    def canonical_doc(self) -> dict:
+        """The deterministic portion of the result: every decision and
+        engine measurement, no wall clocks and no memo-level counters
+        (those depend on what happened to be warm, not on the search).
+        A fixed (program, nprocs, model, seed) must yield byte-identical
+        canonical docs for any shard count."""
+        return {
+            "schema": TUNE_SCHEMA,
+            "phases": [str(p) for p in self.phases],
+            "layouts": [c.key for c in self.phase_layouts],
+            "realization": self.realization,
+            "makespan": self.makespan,
+            "baseline_makespan": self.baseline_makespan,
+            "speedup": self.speedup,
+            "semantics_preserved": self.semantics_preserved,
+            "backend": self.backend,
+            "space_size": self.space_size,
+            "candidates_considered": self.candidates_considered,
+            "shortlist_size": self.shortlist_size,
+            "demoted": len(self.demoted),
+            "evaluated": self.evaluated,
+            "waves": self.waves,
+            "rank_correlation": self.rank_correlation,
+            "analytic": self.analytic,
+        }
+
     def summary(self) -> str:
+        rc = ("n/a" if self.rank_correlation is None
+              else f"{self.rank_correlation:+.2f}")
         lines = [
-            f"tuned {len(self.phases)} phases, considered "
-            f"{self.candidates_considered} candidate paths, engine-validated "
-            f"{self.evaluated}",
+            f"tuned {len(self.phases)} phases: space {self.space_size} "
+            f"-> scored {self.candidates_considered} -> shortlist "
+            f"{self.shortlist_size} -> engine-validated {self.evaluated} "
+            f"in {self.waves} wave(s)",
             f"baseline makespan: {self.baseline_makespan:.2f}   "
             f"tuned makespan: {self.makespan:.2f}   "
             f"speedup: {self.speedup:.2f}x   "
             f"semantics preserved: {self.semantics_preserved}",
-            f"realization: {self.realization}",
+            f"realization: {self.realization}   "
+            f"static-vs-engine rank correlation: {rc}",
         ]
         for p, c in zip(self.phases, self.phase_layouts):
             lines.append(f"  phase [{p}] -> {c.key}")
         lines.append(
-            f"oracle cache: {self.cache.hits} hits / {self.cache.misses} misses"
+            f"oracle cache: {self.cache.hits} hits / {self.cache.misses} "
+            f"misses in-memory; store: {self.cache.store_hits} hits / "
+            f"{self.cache.store_misses} misses"
+            + (f"; {self.shards} shard(s)" if self.shards else "")
         )
+        if self.demoted:
+            lines.append(
+                f"demoted by verify_comm: "
+                + ", ".join(d["label"] for d in self.demoted)
+            )
         return "\n".join(lines)
 
 
-def _edge_cost(
-    plans: dict,
-    source: Distribution,
-    cand: LayoutCandidate,
-    decl: ArrayDecl,
-    nprocs: int,
-    model: MachineModel,
-    itemsize: int,
-    realization: str,
-    first_edge: bool,
-    backend: str,
-) -> float:
-    key = (source, cand)
-    plan = plans.get(key)
-    if plan is None:
-        target = candidate_segmentation(decl, cand, nprocs).distribution
-        plan = plan_redistribution(source, target)
-        plans[key] = plan
-    src_axes = [a for a, s in enumerate(source.specs) if not s.collapsed]
-    # The generator cannot pipeline into a non-existent producing loop, and
-    # needs a single source loop axis to fuse on; cost what will be built.
-    real = realization
-    if first_edge or len(src_axes) != 1:
-        real = "bulk"
-    return redistribution_cost(
-        plan, model, itemsize=itemsize, realization=real,
-        outer_axis=src_axes[0] if len(src_axes) == 1 else None,
-        backend=backend,
-    )
+def _wave_sizes(first: int) -> list[int]:
+    """Successive-halving wave sizes: ``first``, then halves down to 1."""
+    out = []
+    w = max(1, first)
+    while True:
+        out.append(w)
+        if w == 1:
+            return out
+        w //= 2
 
 
 def tune(
@@ -129,36 +199,54 @@ def tune(
     *,
     model: MachineModel | None = None,
     top_k: int = 4,
-    max_paths: int = 4096,
-    beam_width: int = 8,
-    realizations: Sequence[str] = ("bulk", "pipelined"),
+    realizations: Sequence[str] | None = None,
+    knobs: KnobSpec | None = None,
+    specs: Sequence[str] | None = None,
+    seg_choices: Sequence[str] | None = None,
+    shortlist: int | None = None,
+    budget_s: float | None = 60.0,
+    shards: int | None = None,
     parallel: bool = True,
     seed: int = 7,
     cache: EvalCache | None = None,
     store=None,
-    specs: Sequence[str] = ("BLOCK", "CYCLIC"),
     backend: str | None = None,
 ) -> TuneResult:
     """Search the placement space of a phased program.
 
     Deterministic for a fixed (program, nprocs, model, seed): enumeration
     order is canonical, scores are exact arithmetic on model constants,
-    and every tie-break is lexicographic.
+    every tie-break is lexicographic, and sharded evaluation merges by
+    submission order — the wall-clock budget only gates *whether* the
+    next engine wave starts, never reorders one.
 
-    If no generated candidate beats the input program on the engine, the
-    result keeps the original placement (``realization == "baseline"``,
-    speedup 1.0) — tuning never returns something worse than its input.
+    ``top_k`` sizes the first engine wave (waves then halve, so at most
+    ``2 * top_k - 1`` candidates are engine-validated); ``shortlist``
+    caps the ranked shortlist (default ``max(2 * top_k, 8)``);
+    ``budget_s`` is the wall-clock budget checked between waves (``None``
+    = unbounded).  ``shards`` switches engine validation to that many
+    supervised worker processes — it requires ``store``, which also
+    memoizes evaluations across processes and runs.
 
-    ``store`` (an artifact-store directory or
-    :class:`~repro.serve.store.ArtifactStore`) shares engine evaluations
-    across processes and runs; see
-    :func:`~repro.tune.evaluate.evaluate_candidates`.
+    ``realizations`` is the legacy knob form (a tuple of realization
+    names); ``knobs`` a full :class:`~repro.tune.space.KnobSpec`.  If no
+    generated candidate beats the input program on the engine, the result
+    keeps the original placement (``realization == "baseline"``, speedup
+    1.0) — tuning never returns something worse than its input.
     """
+    t_start = time.perf_counter()
     if isinstance(program, str):
         program = parse_program(program)
     model = model if model is not None else MachineModel()
     cache = cache if cache is not None else EvalCache()
     backend = backend if backend is not None else default_backend()
+    if shards is not None and store is None:
+        raise TuneError("sharded evaluation (shards=...) needs a store")
+    if knobs is None:
+        knobs = (KnobSpec(realizations=tuple(realizations))
+                 if realizations is not None else KnobSpec())
+    elif realizations is not None:
+        raise TuneError("pass either realizations or knobs, not both")
 
     phases = detect_phases(program)
     names = {p.var for p in phases}
@@ -169,188 +257,152 @@ def tune(
     )
     if decl is None or decl.universal or decl.dist is None:
         raise TuneError(f"array {phases[0].var!r} has no placement to tune")
-    itemsize = np.dtype(decl.dtype).itemsize
     grid = ProcessorGrid((nprocs,))
     initial = build_segmentation(decl, grid).distribution
 
-    layers: list[list[LayoutCandidate]] = []
-    for p in phases:
-        cands = phase_layouts(decl, nprocs, p.axis, specs=specs)
-        if not cands:
+    # -- stage 1+2: lazy space, static ranking, verified shortlist ----- #
+    space = SpaceSpec(
+        decl, nprocs, tuple(p.axis for p in phases),
+        specs=tuple(specs) if specs is not None else PHASE_SPECS,
+        seg_choices=(tuple(seg_choices) if seg_choices is not None
+                     else PHASE_SEGS),
+        knobs=knobs,
+    )
+    for i, size in enumerate(space.layer_sizes):
+        if size == 0:
             raise TuneError(
-                f"no realizable layout for phase [{p}] at P={nprocs}"
+                f"no realizable layout for phase [{phases[i]}] at P={nprocs}"
             )
-        layers.append(cands)
+    budget = shortlist if shortlist is not None else max(2 * top_k, 8)
+    pf: PrefilterResult = prefilter(
+        program, phases, space,
+        initial=initial, model=model, backend=backend, budget=budget,
+    )
 
-    node_cost = {
-        (li, cand): phase_compute_cost(
-            decl, cand, phases[li].axis, nprocs, model, kernel=phases[li].kernel
-        )
-        for li, layer in enumerate(layers) for cand in layer
-    }
-    dists = {
-        cand: candidate_segmentation(decl, cand, nprocs).distribution
-        for layer in layers for cand in layer
-    }
-    plans: dict = {}
+    def _evaluate(tasks: Sequence[EvalTask]) -> list[EvalResult]:
+        if shards is not None:
+            return evaluate_sharded(tasks, store=store, shards=shards,
+                                    cache=cache)
+        return evaluate_candidates(tasks, cache=cache, store=store,
+                                   parallel=parallel)
 
-    def path_score(path: tuple[LayoutCandidate, ...], realization: str) -> float:
-        score = 0.0
-        prev = initial
-        for li, cand in enumerate(path):
-            score += _edge_cost(
-                plans, prev, cand, decl, nprocs, model, itemsize,
-                realization, first_edge=(li == 0), backend=backend,
-            )
-            score += node_cost[(li, cand)]
-            prev = dists[cand]
-        return score
-
-    total_paths = 1
-    for layer in layers:
-        total_paths *= len(layer)
-
-    scored: list[_ScoredPath] = []
-    if total_paths <= max_paths:
-        for realization in realizations:
-            for path in itertools.product(*layers):
-                scored.append(
-                    _ScoredPath(path_score(path, realization), path, realization)
-                )
-    else:
-        # Deterministic beam: extend the best prefixes layer by layer.
-        for realization in realizations:
-            beam: list[tuple[float, tuple[LayoutCandidate, ...], Distribution]] = [
-                (0.0, (), initial)
-            ]
-            for li, layer in enumerate(layers):
-                grown = []
-                for score, path, prev in beam:
-                    for cand in layer:
-                        s = score + _edge_cost(
-                            plans, prev, cand, decl, nprocs, model, itemsize,
-                            realization, first_edge=(li == 0), backend=backend,
-                        ) + node_cost[(li, cand)]
-                        grown.append((s, path + (cand,), dists[cand]))
-                grown.sort(key=lambda g: (g[0], tuple(c.key for c in g[1])))
-                beam = grown[:beam_width]
-            scored.extend(
-                _ScoredPath(s, path, realization) for s, path, _ in beam
-            )
-    scored.sort(key=lambda sp: sp.sort_key)
-
-    # Interleave realizations when picking the oracle's top-K: the analytic
-    # model can systematically favor one realization, but which one actually
-    # wins is machine-dependent — let the engine decide between both.
-    by_real = {r: [sp for sp in scored if sp.realization == r]
-               for r in realizations}
-    interleaved: list[_ScoredPath] = []
-    for rank in range(max((len(v) for v in by_real.values()), default=0)):
-        for r in realizations:
-            if rank < len(by_real[r]):
-                interleaved.append(by_real[r][rank])
-
-    # Drop paths that generate identical programs (e.g. two realizations of
-    # an all-local path), keeping the first (best-scored).
-    chosen: list[tuple[_ScoredPath, str]] = []
-    seen_sources: set[str] = set()
-    for sp in interleaved:
-        if len(chosen) >= top_k:
-            break
-        src = generate_phased_program(
-            program, phases, sp.layouts, nprocs, realization=sp.realization
-        )
-        if src in seen_sources:
-            continue
-        seen_sources.add(src)
-        # The rewriter's output must be communication-safe before we spend
-        # engine time on it; a bad candidate is a rewriter bug, not a bad
-        # score, so fail loudly instead of silently ranking it.
-        report = verify_communication(parse_program(src), nprocs,
-                                      backend=backend)
-        if not report.ok:
-            raise TuneError(
-                "generated candidate "
-                f"{sp.realization}:{' | '.join(c.key for c in sp.layouts)} "
-                "failed communication verification:\n" + report.format()
-            )
-        chosen.append((sp, src))
-    if not chosen:
-        raise TuneError("search produced no candidates")
+    def _task(rc: RankedCandidate) -> EvalTask:
+        return EvalTask(rc.source, nprocs, model, seed=seed, backend=backend,
+                        label=rc.label)
 
     baseline_task = EvalTask(program, nprocs, model, seed=seed,
                              label="baseline", backend=backend)
-    baseline = evaluate_candidates([baseline_task], cache=cache, store=store,
-                                   parallel=False)[0]
+    baseline = _evaluate([baseline_task])[0]
 
-    tasks = [
-        EvalTask(src, nprocs, model, seed=seed, backend=backend,
-                 label=f"{sp.realization}:" + " | ".join(c.key for c in sp.layouts))
-        for sp, src in chosen
-    ]
-    results = evaluate_candidates(tasks, cache=cache, store=store,
-                                  parallel=parallel)
+    # -- stage 3+4: successive halving over the ranked shortlist ------- #
+    remaining = list(range(len(pf.shortlist)))
+    measured: dict[int, EvalResult] = {}
+    waves = 0
+    for size in _wave_sizes(top_k):
+        if not remaining:
+            break
+        if waves > 0 and budget_s is not None:
+            if time.perf_counter() - t_start > budget_s:
+                break  # budget gates between waves, never inside one
+        batch, remaining = remaining[:size], remaining[size:]
+        wave_results = _evaluate([_task(pf.shortlist[i]) for i in batch])
+        for i, r in zip(batch, wave_results):
+            measured[i] = r
+        waves += 1
+        if remaining:
+            # Refine the static ranking with the measured engine/static
+            # bias of each realization family (the analytic model can
+            # systematically flatter one realization; the ratio is the
+            # correction), then re-rank what is left.
+            ratios: dict[str, float] = {}
+            by_fam: dict[str, list[float]] = {}
+            for i, r in measured.items():
+                rc = pf.shortlist[i]
+                if rc.score > 0:
+                    by_fam.setdefault(rc.knob.realization, []).append(
+                        r.makespan / rc.score
+                    )
+            for fam, vals in by_fam.items():
+                vals.sort()
+                ratios[fam] = vals[len(vals) // 2]
+            default = (sorted(ratios.values())[len(ratios) // 2]
+                       if ratios else 1.0)
+
+            def adjusted(i: int) -> tuple:
+                rc = pf.shortlist[i]
+                return (rc.score * ratios.get(rc.knob.realization, default),
+                        rc.sort_key)
+
+            remaining.sort(key=adjusted)
 
     order = sorted(
-        range(len(results)),
-        key=lambda i: (results[i].makespan, chosen[i][0].sort_key),
+        measured,
+        key=lambda i: (measured[i].makespan, pf.shortlist[i].sort_key),
     )
+    if not order:
+        raise TuneError("search evaluated no candidates")
     best_i = order[0]
-    best_sp, best_src = chosen[best_i]
-    best = results[best_i]
+    best_rc = pf.shortlist[best_i]
+    best = measured[best_i]
 
     analytic = [
         {
-            "score": sp.score,
-            "realization": sp.realization,
-            "layouts": [c.key for c in sp.layouts],
-            "makespan": r.makespan,
-            "messages": r.total_messages,
-            "bytes": r.total_bytes,
+            "score": pf.shortlist[i].score,
+            "realization": pf.shortlist[i].knob.realization,
+            "knob": pf.shortlist[i].knob.key,
+            "layouts": [c.key for c in pf.shortlist[i].layouts],
+            "makespan": measured[i].makespan if i in measured else None,
+            "messages": measured[i].total_messages if i in measured else None,
+            "bytes": measured[i].total_bytes if i in measured else None,
         }
-        for (sp, _), r in zip(chosen, results)
+        for i in range(len(pf.shortlist))
     ]
+    pairs = [(pf.shortlist[i].score, measured[i].makespan) for i in measured]
+    rank_corr = _spearman([p[0] for p in pairs], [p[1] for p in pairs])
+
+    common = dict(
+        phases=tuple(phases),
+        baseline_makespan=baseline.makespan,
+        candidates_considered=pf.scored,
+        evaluated=len(measured) + 1,
+        analytic=analytic,
+        results=[measured[i] for i in sorted(measured)],
+        cache=cache,
+        backend=backend,
+        space_size=pf.space_size,
+        shortlist_size=len(pf.shortlist),
+        demoted=pf.demoted,
+        rank_correlation=rank_corr,
+        shards=shards or 0,
+        waves=waves,
+        budget_s=budget_s,
+    )
 
     if baseline.makespan < best.makespan:
         # Nothing generated beats the input program: a tuner must never
         # make things worse, so keep the original placement.
-        confirmed = evaluate_candidates(
-            [baseline_task], cache=cache, store=store, parallel=False
-        )[0]
+        confirmed = _evaluate([baseline_task])[0]
         initial_cand = LayoutCandidate(decl.dist, decl.segment_shape)
         return TuneResult(
-            phases=tuple(phases),
             phase_layouts=tuple(initial_cand for _ in phases),
             realization="baseline",
             source=print_program(program),
             makespan=confirmed.makespan,
-            baseline_makespan=baseline.makespan,
             semantics_preserved=True,
-            candidates_considered=len(scored),
-            evaluated=len(tasks) + 1,
-            analytic=analytic,
-            results=results,
-            cache=cache,
-            backend=backend,
+            wall_s=time.perf_counter() - t_start,
+            **common,
         )
 
     # Winner confirmation goes through the cache — by construction a hit,
     # which is also what keeps repeated tuning calls cheap.
-    confirmed = evaluate_candidates([tasks[best_i]], cache=cache, store=store,
-                                    parallel=False)[0]
-
+    confirmed = evaluate_candidates([_task(best_rc)], cache=cache,
+                                    store=store, parallel=False)[0]
     return TuneResult(
-        phases=tuple(phases),
-        phase_layouts=best_sp.layouts,
-        realization=best_sp.realization,
-        source=best_src,
+        phase_layouts=best_rc.layouts,
+        realization=best_rc.knob.realization,
+        source=best_rc.source,
         makespan=confirmed.makespan,
-        baseline_makespan=baseline.makespan,
         semantics_preserved=best.matches(baseline.arrays),
-        candidates_considered=len(scored),
-        evaluated=len(tasks) + 1,
-        analytic=analytic,
-        results=results,
-        cache=cache,
-        backend=backend,
+        wall_s=time.perf_counter() - t_start,
+        **common,
     )

@@ -1,4 +1,4 @@
-"""Candidate placement enumeration with pruning.
+"""Candidate placement enumeration with pruning — the pipeline's *space* stage.
 
 A placement of one array is a triple (distribution spec, segmentation
 shape, distribution-grid shape).  The space the tuner walks is the HPF
@@ -18,6 +18,23 @@ tie-breaks are reproducible — and pruned:
   equal to the processor count) are kept — they differ in segmentation
   and message shapes — but textual duplicates are deduplicated.
 
+Two enumerators cover the same space:
+
+* :func:`enumerate_layouts` — the eager reference: materialize, dedup,
+  sort.  Kept deliberately independent of the lazy path so the
+  property tests can cross-check one against the other.
+* :func:`iter_layouts` — a generator yielding the *identical* sequence
+  (order, dedup and pruning parity are pinned by tests) while holding at
+  most one distribution's group in memory.  This is what the staged
+  search pipeline consumes: wide spaces are described and ranked without
+  ever being materialized.
+
+:class:`SpaceSpec` bundles the per-phase layout generators with the
+pass-level knob axes (:class:`KnobSpec`: redistribution realization
+``bulk`` / ``pipelined`` / ``planner`` with its ``max_temp_frac`` budget,
+and the collective schedule family where the program makes it legal) and
+can count or describe the full search space without materializing it.
+
 Construction goes through :func:`~repro.core.analysis.layouts`'s
 machinery (:func:`parse_dist_spec` / :func:`build_segmentation`) so the
 tuner reasons about exactly the layouts the machine will use.
@@ -25,7 +42,8 @@ tuner reasons about exactly the layouts the machine will use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import math
+from dataclasses import dataclass, field, replace
 from typing import Iterator, Sequence
 
 from ..core.analysis.layouts import build_segmentation, split_dist_spec
@@ -38,15 +56,21 @@ from ..distributions import (
 )
 
 __all__ = [
+    "KnobPoint",
+    "KnobSpec",
     "LayoutCandidate",
+    "SpaceSpec",
     "candidate_segmentation",
     "enumerate_layouts",
+    "iter_layouts",
     "phase_layouts",
     "rewrite_decl",
 ]
 
+SEG_STYLES = ("coarse", "pencil", "slab")
 
-@dataclass(frozen=True, order=True)
+
+@dataclass(frozen=True)
 class LayoutCandidate:
     """One point of the placement space for one array.
 
@@ -56,7 +80,9 @@ class LayoutCandidate:
     the linearised default).  Ordering is the canonical enumeration order
     (spec string first), which makes ``sorted()`` the tie-break rule:
     ``*`` sorts before letters, so ``(*, BLOCK, *)`` precedes
-    ``(BLOCK, *, *)`` — matching the paper's section-4 choice.
+    ``(BLOCK, *, *)`` — matching the paper's section-4 choice.  ``None``
+    segmentations/grids sort before explicit shapes, so mixed-style
+    spaces still have a total order.
     """
 
     dist: str
@@ -68,6 +94,17 @@ class LayoutCandidate:
         seg = "coarse" if self.seg is None else "x".join(map(str, self.seg))
         grid = "lin" if self.grid_shape is None else "x".join(map(str, self.grid_shape))
         return f"{self.dist} seg={seg} grid={grid}"
+
+    @property
+    def sort_key(self) -> tuple:
+        return (
+            self.dist,
+            self.seg is not None, self.seg or (),
+            self.grid_shape is not None, self.grid_shape or (),
+        )
+
+    def __lt__(self, other: "LayoutCandidate") -> bool:
+        return self.sort_key < other.sort_key
 
     def specs(self) -> tuple:
         return tuple(parse_dist_spec(s) for s in split_dist_spec(self.dist))
@@ -140,6 +177,28 @@ def _pencil_seg(rank: int, extents: Sequence[int], dist_axes: Sequence[int]) -> 
     return tuple(seg)
 
 
+def _slab_seg(rank: int, extents: Sequence[int], dist_axes: Sequence[int]) -> tuple[int, ...]:
+    """Full extent along *every* collapsed dimension, single members on
+    the distributed ones — segments are whole slabs, the unit of bulk
+    redistribution messages (and of await granularity)."""
+    return tuple(
+        1 if axis in dist_axes else extents[axis] for axis in range(rank)
+    )
+
+
+def _seg_for(
+    style: str, rank: int, extents: Sequence[int], dist_axes: Sequence[int]
+) -> tuple[int, ...] | None:
+    if style == "coarse":
+        return None
+    if style == "pencil":
+        return _pencil_seg(rank, extents, dist_axes)
+    if style == "slab":
+        return _slab_seg(rank, extents, dist_axes)
+    raise ValueError(f"unknown segmentation style {style!r} "
+                     f"(choose from {SEG_STYLES})")
+
+
 def enumerate_layouts(
     decl: ArrayDecl,
     nprocs: int,
@@ -150,12 +209,15 @@ def enumerate_layouts(
     allow_idle_procs: bool = False,
     collapsed_axes: Sequence[int] = (),
 ) -> list[LayoutCandidate]:
-    """All pruned candidates for one array, in canonical order.
+    """All pruned candidates for one array, in canonical order (eager).
 
     ``collapsed_axes`` forces ``*`` on the given dimensions (a phase's
     compute axis must stay local).  ``seg_choices`` picks segmentation
-    styles: ``"coarse"`` (one segment per owned piece) and/or
-    ``"pencil"`` (the hand-FFT style).
+    styles: ``"coarse"`` (one segment per owned piece), ``"pencil"`` (the
+    hand-FFT style) and/or ``"slab"`` (whole owned slabs).
+
+    This is the eager reference enumeration — materialize, dedup, sort.
+    :func:`iter_layouts` yields the identical sequence lazily.
     """
     rank = decl.rank
     extents = decl.shape
@@ -182,11 +244,7 @@ def enumerate_layouts(
                 continue
             grid_shape = None if len(dist_axes) == 1 else shape
             for style in seg_choices:
-                seg = (
-                    None
-                    if style == "coarse"
-                    else _pencil_seg(rank, extents, dist_axes)
-                )
+                seg = _seg_for(style, rank, extents, dist_axes)
                 cand = LayoutCandidate(dist, seg, grid_shape)
                 try:
                     candidate_segmentation(decl, cand, nprocs)
@@ -194,6 +252,79 @@ def enumerate_layouts(
                     continue  # unbuildable corner (prune, don't crash)
                 out.add(cand)
     return sorted(out)
+
+
+def iter_layouts(
+    decl: ArrayDecl,
+    nprocs: int,
+    *,
+    specs: Sequence[str] = ("*", "BLOCK", "CYCLIC"),
+    max_dist_dims: int | None = None,
+    seg_choices: Sequence[str] = ("coarse",),
+    allow_idle_procs: bool = False,
+    collapsed_axes: Sequence[int] = (),
+) -> Iterator[LayoutCandidate]:
+    """Lazy twin of :func:`enumerate_layouts`: same candidates, same
+    order, same dedup and pruning, yielded one at a time.
+
+    Candidates group naturally by distribution spec (the leading sort
+    component), so the generator walks the spec strings in sorted order
+    and materializes only one spec's group — factorizations x
+    segmentation styles, a handful of candidates — at a time.  Memory is
+    bounded by the largest group, not the space.
+    """
+    rank = decl.rank
+    extents = decl.shape
+    forced = set(collapsed_axes)
+    limit = rank if max_dist_dims is None else max_dist_dims
+
+    def assignments(axis: int) -> Iterator[tuple[str, ...]]:
+        if axis == rank:
+            yield ()
+            return
+        choices = ("*",) if axis in forced else specs
+        for rest in assignments(axis + 1):
+            for s in choices:
+                yield (s,) + rest
+
+    # The dist string is the leading sort-key component, so sorting the
+    # (small) set of spec assignments up front fixes the global order;
+    # everything per-spec streams.
+    dists: list[tuple[str, tuple[int, ...]]] = []
+    for parts in assignments(0):
+        dist_axes = tuple(i for i, s in enumerate(parts) if s != "*")
+        if not dist_axes or len(dist_axes) > limit:
+            continue
+        dists.append(("(" + ", ".join(parts) + ")", dist_axes))
+    dists.sort(key=lambda d: d[0])
+
+    for dist, dist_axes in dists:
+        group: set[LayoutCandidate] = set()
+        for shape in _factorizations(nprocs, len(dist_axes)):
+            if not allow_idle_procs and any(
+                extents[a] < f for a, f in zip(dist_axes, shape)
+            ):
+                continue
+            grid_shape = None if len(dist_axes) == 1 else shape
+            for style in seg_choices:
+                seg = _seg_for(style, rank, extents, dist_axes)
+                cand = LayoutCandidate(dist, seg, grid_shape)
+                try:
+                    candidate_segmentation(decl, cand, nprocs)
+                except Exception:
+                    continue
+                group.add(cand)
+        yield from sorted(group)
+
+
+#: Default per-phase dimension specs for the widened space: plain block
+#: and cyclic plus one block-cyclic granularity (pruned wherever the
+#: extent/processor-count pair makes it degenerate or idle).
+PHASE_SPECS = ("BLOCK", "CYCLIC", "CYCLIC(2)")
+
+#: Default per-phase segmentation styles (pencil = the paper's unit,
+#: slab = bulk-message unit, coarse = one segment per owned piece).
+PHASE_SEGS = ("pencil", "coarse", "slab")
 
 
 def phase_layouts(
@@ -204,15 +335,30 @@ def phase_layouts(
     specs: Sequence[str] = ("BLOCK", "CYCLIC"),
     seg_choices: Sequence[str] = ("pencil",),
 ) -> list[LayoutCandidate]:
-    """Realizable layouts for a compute phase along ``axis``.
+    """Realizable layouts for a compute phase along ``axis`` (eager list).
 
     The phase's pencils (full extent along ``axis``) must be local, so
     ``axis`` is collapsed; exactly one other dimension is distributed
     over the linearised grid — the family the phased code generator
     (:mod:`~repro.tune.rewrite`) can realize with fused, pipelined
-    transfers.
+    transfers (the IL's declarations cannot carry a multi-axis grid
+    shape, so wider grids are not expressible in generated text).
     """
-    return enumerate_layouts(
+    return list(iter_phase_layouts(
+        decl, nprocs, axis, specs=specs, seg_choices=seg_choices
+    ))
+
+
+def iter_phase_layouts(
+    decl: ArrayDecl,
+    nprocs: int,
+    axis: int,
+    *,
+    specs: Sequence[str] = ("BLOCK", "CYCLIC"),
+    seg_choices: Sequence[str] = ("pencil",),
+) -> Iterator[LayoutCandidate]:
+    """Lazy per-phase layout family (see :func:`phase_layouts`)."""
+    return iter_layouts(
         decl,
         nprocs,
         specs=("*",) + tuple(specs),
@@ -220,3 +366,138 @@ def phase_layouts(
         seg_choices=seg_choices,
         collapsed_axes=(axis,),
     )
+
+
+# ---------------------------------------------------------------------- #
+# pass-level knobs and the assembled search space
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class KnobPoint:
+    """One assignment of the pass-level knobs.
+
+    ``realization`` picks how inter-phase redistribution is emitted
+    (``bulk`` / ``pipelined`` / ``planner``); ``max_temp_frac`` is the
+    bounded planner's per-round temp-memory budget (planner only);
+    ``coll_schedule`` the collective schedule family (``staged`` /
+    ``flat``), present only when the program contains collectives.
+    """
+
+    realization: str
+    max_temp_frac: float | None = None
+    coll_schedule: str | None = None
+
+    @property
+    def key(self) -> str:
+        out = self.realization
+        if self.max_temp_frac is not None:
+            out += f"@{self.max_temp_frac:g}"
+        if self.coll_schedule is not None:
+            out += f"+coll:{self.coll_schedule}"
+        return out
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.key
+
+
+@dataclass(frozen=True)
+class KnobSpec:
+    """The knob *axes*: which realizations, planner budgets and collective
+    schedule families the space crosses the layout paths with."""
+
+    realizations: tuple[str, ...] = ("bulk", "pipelined", "planner")
+    max_temp_fracs: tuple[float, ...] = (0.25, 0.5)
+    coll_schedules: tuple[str, ...] = ("staged", "flat")
+
+    def points(self, *, has_collectives: bool = False) -> tuple[KnobPoint, ...]:
+        """Every legal knob assignment, in canonical order.
+
+        The planner realization crosses with its budget axis; the
+        collective schedule family only exists when the program has
+        collectives to schedule (otherwise the knob is degenerate and is
+        dropped rather than multiplying the space by a no-op axis).
+        """
+        colls: tuple[str | None, ...] = (
+            tuple(self.coll_schedules) if has_collectives else (None,)
+        )
+        out: list[KnobPoint] = []
+        for real in self.realizations:
+            fracs: tuple[float | None, ...] = (
+                tuple(self.max_temp_fracs) if real == "planner" else (None,)
+            )
+            for frac in fracs:
+                for coll in colls:
+                    out.append(KnobPoint(real, frac, coll))
+        return tuple(out)
+
+
+@dataclass
+class SpaceSpec:
+    """The assembled search space of one phased program: per-phase layout
+    generators x pass-level knobs, countable without materialization.
+
+    ``layer(i)`` streams phase ``i``'s candidates; ``iter_paths()``
+    streams the cross product; ``size()`` multiplies layer sizes by knob
+    points.  Layer *sizes* are counted by draining the generators once
+    (O(1) memory) and cached; the path space itself — the exponential
+    part — is never materialized.
+    """
+
+    decl: ArrayDecl
+    nprocs: int
+    phase_axes: tuple[int, ...]
+    specs: tuple[str, ...] = PHASE_SPECS
+    seg_choices: tuple[str, ...] = PHASE_SEGS
+    knobs: KnobSpec = field(default_factory=KnobSpec)
+    has_collectives: bool = False
+    _layer_sizes: tuple[int, ...] | None = field(default=None, repr=False)
+
+    def layer(self, i: int) -> Iterator[LayoutCandidate]:
+        return iter_phase_layouts(
+            self.decl, self.nprocs, self.phase_axes[i],
+            specs=self.specs, seg_choices=self.seg_choices,
+        )
+
+    @property
+    def layer_sizes(self) -> tuple[int, ...]:
+        if self._layer_sizes is None:
+            self._layer_sizes = tuple(
+                sum(1 for _ in self.layer(i))
+                for i in range(len(self.phase_axes))
+            )
+        return self._layer_sizes
+
+    def knob_points(self) -> tuple[KnobPoint, ...]:
+        return self.knobs.points(has_collectives=self.has_collectives)
+
+    def path_count(self) -> int:
+        return math.prod(self.layer_sizes) if self.phase_axes else 0
+
+    def size(self) -> int:
+        return self.path_count() * len(self.knob_points())
+
+    def iter_paths(self) -> Iterator[tuple[LayoutCandidate, ...]]:
+        """Stream the per-phase layout cross product in canonical order."""
+
+        def rec(i: int, prefix: tuple[LayoutCandidate, ...]) -> Iterator[tuple]:
+            if i == len(self.phase_axes):
+                yield prefix
+                return
+            for cand in self.layer(i):
+                yield from rec(i + 1, prefix + (cand,))
+
+        return rec(0, ())
+
+    def describe(self) -> dict:
+        return {
+            "phases": len(self.phase_axes),
+            "layer_sizes": list(self.layer_sizes),
+            "paths": self.path_count(),
+            "knob_points": [k.key for k in self.knob_points()],
+            "size": self.size(),
+            "specs": list(self.specs),
+            "seg_choices": list(self.seg_choices),
+            "grids": "linear (the phased family's declarations cannot "
+                     "carry a multi-axis grid shape)",
+        }
